@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def fit_exponent(points: Sequence[tuple[float, float]]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    For message counts y measured at sizes x, this is the empirical
+    growth exponent ("messages ~ x^alpha").
+    """
+    xs = [math.log(x) for x, _ in points]
+    ys = [math.log(max(y, 1e-9)) for _, y in points]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den if den else 0.0
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence]) -> None:
+    """Render an aligned table to stdout (visible with pytest -s)."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(r, widths)))
+
+
+def fmt(x, digits: int = 2) -> str:
+    if isinstance(x, float):
+        return f"{x:.{digits}f}"
+    return str(x)

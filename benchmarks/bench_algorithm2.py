@@ -1,0 +1,107 @@
+"""T3.8 / L3.5 / L3.7 — Algorithm 2's message scaling in n and epsilon.
+
+Theorem 3.8: (1+eps)Delta coloring with O(n log^3 n / eps^2) messages.
+Two sweeps: messages vs n at fixed eps (near-linear growth, insensitive
+to m), and messages vs eps at fixed n (growing as eps shrinks).  The
+query traffic — the part Lemma 3.7 bounds by O(log^2 n / eps) per node —
+is reported separately from the substrate (spanning tree + broadcast).
+"""
+
+import pytest
+
+from repro.congest.network import SyncNetwork
+from repro.coloring.algorithm2 import run_algorithm2
+from repro.coloring.verify import check_color_bound, check_proper_coloring
+from repro.graphs.generators import connected_gnp_graph
+
+from _util import fit_exponent, fmt, print_table
+
+SEED = 44
+
+
+def test_algorithm2_scaling_in_n(benchmark):
+    def sweep():
+        rows = []
+        for n in (120, 200, 340, 520):
+            g = connected_gnp_graph(n, 0.3, seed=SEED + n)
+            net = SyncNetwork(g, seed=SEED)
+            r = run_algorithm2(net, epsilon=0.5, seed=SEED + 1)
+            check_proper_coloring(g, r.colors)
+            check_color_bound(r.colors, r.palette_size)
+            rows.append({
+                "n": n, "m": g.m, "msgs": r.messages,
+                "queries": r.query_messages, "phases": r.phases,
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    msg_exp = fit_exponent([(r["n"], r["msgs"]) for r in rows])
+    m_exp = fit_exponent([(r["n"], r["m"]) for r in rows])
+    print_table(
+        "T3.8: Algorithm 2 messages by n (eps = 0.5)",
+        ["n", "m", "messages", "queries", "phases", "msgs/m"],
+        [(r["n"], r["m"], r["msgs"], r["queries"], r["phases"],
+          fmt(r["msgs"] / r["m"])) for r in rows],
+    )
+    print(f"fitted exponents: messages ~ n^{msg_exp:.2f}, m ~ n^{m_exp:.2f}")
+    benchmark.extra_info["message_exponent"] = msg_exp
+    # Õ(n): message exponent well below the edge-count exponent.
+    assert msg_exp < m_exp - 0.4
+    assert msg_exp < 1.6
+
+
+def test_algorithm2_scaling_in_epsilon(benchmark):
+    n = 260
+
+    def sweep():
+        g = connected_gnp_graph(n, 0.3, seed=SEED)
+        rows = []
+        for eps in (1.0, 0.5, 0.25):
+            net = SyncNetwork(g, seed=SEED)
+            r = run_algorithm2(net, epsilon=eps, seed=SEED + 2)
+            check_proper_coloring(g, r.colors)
+            rows.append({
+                "eps": eps, "msgs": r.messages,
+                "queries": r.query_messages,
+                "phases": r.phases, "palette": r.palette_size,
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"T3.8: Algorithm 2 messages by eps (n = {n})",
+        ["eps", "messages", "queries", "phases", "palette"],
+        [(r["eps"], r["msgs"], r["queries"], r["phases"], r["palette"])
+         for r in rows],
+    )
+    benchmark.extra_info["rows"] = [
+        {k: v for k, v in r.items()} for r in rows
+    ]
+    # Tighter eps -> more phases, more bits, more messages.
+    msgs = [r["msgs"] for r in rows]
+    assert msgs == sorted(msgs)
+    phases = [r["phases"] for r in rows]
+    assert phases == sorted(phases)
+
+
+def test_algorithm2_per_node_queries_lemma_3_7(benchmark):
+    """Per-node query counts stay polylogarithmic (Lemma 3.7)."""
+    n = 300
+
+    def run():
+        g = connected_gnp_graph(n, 0.4, seed=SEED + 5)
+        net = SyncNetwork(g, seed=SEED)
+        r = run_algorithm2(net, epsilon=0.5, seed=SEED + 3)
+        check_proper_coloring(g, r.colors)
+        # recover per-node query counts from the stage outputs
+        stage = [s for s in net.stats.stages if s.name.endswith("color")][0]
+        return r, stage
+
+    r, stage = benchmark.pedantic(run, rounds=1, iterations=1)
+    logn = max(4, n.bit_length())
+    bound = 8 * logn * logn / 0.5
+    per_node_avg = r.query_messages / n
+    print(f"\nL3.7: avg queries+replies per node = {per_node_avg:.2f}, "
+          f"whp bound O(log^2 n / eps) ~ {bound:.0f}")
+    benchmark.extra_info["avg_queries_per_node"] = per_node_avg
+    assert per_node_avg <= bound

@@ -1,0 +1,123 @@
+"""T4.1 / K-L1 — Algorithm 3 (KT-2 MIS) vs Luby, and the remnant lemma.
+
+Theorem 4.1: Õ(n^1.5) messages and Õ(sqrt n) rounds.  The sweep holds
+density (deg ~ n/5) so m = Theta(n^2), fits the growth exponents of both
+algorithms, and measures the remnant maximum degree after the sampled
+greedy prefix (Konrad's Lemma 1: Õ(sqrt n)).
+"""
+
+import math
+
+import pytest
+
+from repro.congest.network import SyncNetwork
+from repro.graphs.generators import connected_gnp_graph
+from repro.mis.algorithm3 import run_algorithm3
+from repro.mis.luby import run_luby
+from repro.mis.verify import check_mis
+
+from _util import fit_exponent, fmt, print_table
+
+SIZES = (150, 300, 500, 800)
+SEED = 55
+
+
+def _sweep():
+    rows = []
+    for n in SIZES:
+        g = connected_gnp_graph(n, 0.2, seed=SEED + n)
+        net = SyncNetwork(g, rho=2, seed=SEED)
+        r = run_algorithm3(net, seed=SEED + 1)
+        check_mis(g, r.in_mis)
+        luby_net = SyncNetwork(g, rho=1, seed=SEED)
+        luby_mis, _ = run_luby(luby_net)
+        check_mis(g, luby_mis)
+        rows.append({
+            "n": n,
+            "m": g.m,
+            "alg3": r.messages,
+            "luby": luby_net.stats.messages,
+            "alg3_rounds": r.rounds,
+            "remnant_deg": r.remnant_max_degree_local,
+            "sampled": r.sampled,
+        })
+    return rows
+
+
+def test_algorithm3_scaling(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    alg_exp = fit_exponent([(r["n"], max(r["alg3"], 1)) for r in rows])
+    luby_exp = fit_exponent([(r["n"], r["luby"]) for r in rows])
+    print_table(
+        "T4.1: Algorithm 3 vs Luby, messages by n (m = Θ(n²))",
+        ["n", "m", "alg3 msgs", "luby msgs", "ratio", "alg3 rounds",
+         "remnant Δ", "|S|"],
+        [(r["n"], r["m"], r["alg3"], r["luby"],
+          fmt(r["alg3"] / r["luby"]), r["alg3_rounds"],
+          r["remnant_deg"], r["sampled"]) for r in rows],
+    )
+    print(f"fitted exponents: alg3 ~ n^{alg_exp:.2f}, "
+          f"luby ~ n^{luby_exp:.2f}")
+    benchmark.extra_info["alg3_exponent"] = alg_exp
+    benchmark.extra_info["luby_exponent"] = luby_exp
+
+    # Luby tracks m (exponent ~2); Algorithm 3 stays near 1.5.
+    assert luby_exp > 1.7
+    assert alg_exp < luby_exp - 0.2
+    # Outright win at every size in this regime.
+    assert all(r["alg3"] < r["luby"] for r in rows)
+    # Konrad Lemma 1 shape: remnant degree ~ sqrt(n) polylog.
+    for r in rows:
+        assert r["remnant_deg"] <= 4 * math.sqrt(r["n"]) * \
+            math.log(max(r["n"], 3)) + 16
+
+
+def test_algorithm3_rounds_sublinear(benchmark):
+    def sweep_rounds():
+        pts = []
+        for n in (200, 400, 800):
+            g = connected_gnp_graph(n, 0.15, seed=SEED + n)
+            net = SyncNetwork(g, rho=2, seed=SEED)
+            r = run_algorithm3(net, seed=SEED + 2)
+            check_mis(g, r.in_mis)
+            pts.append((n, r.rounds))
+        return pts
+
+    pts = benchmark.pedantic(sweep_rounds, rounds=1, iterations=1)
+    exp = fit_exponent(pts)
+    print_table("T4.1: Algorithm 3 rounds by n", ["n", "rounds"], pts)
+    print(f"fitted round exponent ~ n^{exp:.2f} (theory: 0.5 + polylog)")
+    benchmark.extra_info["round_exponent"] = exp
+    assert exp < 1.0
+
+
+def test_remnant_degree_vs_sample_size(benchmark):
+    """K-L1 ablation: larger samples crush the remnant degree harder."""
+    n = 500
+
+    def sweep_c():
+        g = connected_gnp_graph(n, 0.25, seed=SEED + 7)
+        rows = []
+        for c in (0.5, 1.0, 2.0, 4.0):
+            net = SyncNetwork(g, rho=2, seed=SEED)
+            r = run_algorithm3(net, seed=SEED + 3, sample_constant=c)
+            check_mis(g, r.in_mis)
+            rows.append({
+                "c": c, "sampled": r.sampled,
+                "remnant_deg": r.remnant_max_degree_local,
+                "remnant_size": r.remnant_size,
+                "msgs": r.messages,
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep_c, rounds=1, iterations=1)
+    print_table(
+        f"K-L1: remnant degree vs sample constant (n = {n}, Δ ~ 125)",
+        ["c", "|S|", "remnant Δ", "remnant size", "messages"],
+        [(r["c"], r["sampled"], r["remnant_deg"], r["remnant_size"],
+          r["msgs"]) for r in rows],
+    )
+    benchmark.extra_info["rows"] = rows
+    degs = [r["remnant_deg"] for r in rows]
+    # monotone-ish decrease (allow one inversion from randomness)
+    assert degs[-1] < degs[0]

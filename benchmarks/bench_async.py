@@ -1,0 +1,114 @@
+"""T3.4 / A-SYNC — the asynchronous side of the paper.
+
+Theorem 3.4: asynchronous (Δ+1)-list-coloring with Õ(n^1.5) messages in
+Õ(n) time.  Because every stage of Algorithm 1 is written in count-based
+lockstep, the identical pipeline runs under the event-driven engine with
+adversarial delays; this bench measures its messages/time scaling and the
+alpha-synchronizer's overhead bound (Theorem A.5).
+"""
+
+import pytest
+
+from repro.congest.async_network import AsyncNetwork
+from repro.congest.node import NodeAlgorithm
+from repro.congest.synchronizer import synchronize
+from repro.coloring.algorithm1 import run_algorithm1
+from repro.coloring.verify import check_proper_coloring
+from repro.graphs.generators import connected_gnp_graph
+
+from _util import fit_exponent, fmt, print_table
+
+SEED = 88
+
+
+def test_async_algorithm1_scaling(benchmark):
+    def sweep():
+        rows = []
+        for n in (120, 220, 380):
+            g = connected_gnp_graph(n, 0.25, seed=SEED + n)
+            anet = AsyncNetwork(g, seed=SEED)
+            r = run_algorithm1(anet, seed=SEED + 1)
+            check_proper_coloring(g, r.colors)
+            rows.append({
+                "n": n, "m": g.m, "msgs": r.messages, "time": r.rounds,
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    msg_exp = fit_exponent([(r["n"], r["msgs"]) for r in rows])
+    time_exp = fit_exponent([(r["n"], r["time"]) for r in rows])
+    print_table(
+        "T3.4: asynchronous Algorithm 1 (adversarial delays)",
+        ["n", "m", "messages", "async time", "msgs/m"],
+        [(r["n"], r["m"], r["msgs"], r["time"], fmt(r["msgs"] / r["m"]))
+         for r in rows],
+    )
+    print(f"fitted exponents: messages ~ n^{msg_exp:.2f}, "
+          f"time ~ n^{time_exp:.2f}")
+    benchmark.extra_info["message_exponent"] = msg_exp
+    benchmark.extra_info["time_exponent"] = time_exp
+    assert msg_exp < 1.9         # o(m) on dense graphs
+    assert time_exp < 1.5        # Õ(n)-flavored time
+
+
+def test_async_matches_sync_messages(benchmark):
+    """Delays reorder, they don't add messages: async message counts stay
+    within a small factor of the synchronous run."""
+    from repro.congest.network import SyncNetwork
+
+    def run_pair():
+        g = connected_gnp_graph(200, 0.25, seed=SEED + 5)
+        anet = AsyncNetwork(g, seed=SEED)
+        ra = run_algorithm1(anet, seed=SEED + 2)
+        check_proper_coloring(g, ra.colors)
+        snet = SyncNetwork(g, seed=SEED)
+        rs = run_algorithm1(snet, seed=SEED + 2)
+        check_proper_coloring(g, rs.colors)
+        return ra.messages, rs.messages
+
+    a_msgs, s_msgs = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print(f"\nasync msgs = {a_msgs}, sync msgs = {s_msgs}, "
+          f"ratio = {a_msgs / s_msgs:.2f}")
+    benchmark.extra_info["ratio"] = a_msgs / s_msgs
+    assert 0.5 < a_msgs / s_msgs < 2.0
+
+
+class SilentInner(NodeAlgorithm):
+    def __init__(self, rounds):
+        self.rounds = rounds
+
+    def on_round(self, ctx, inbox):
+        if ctx.round >= self.rounds:
+            ctx.done("done")
+
+
+def test_synchronizer_overhead_curve(benchmark):
+    """Theorem A.5: overhead = 2(T+1) m_active, linear in T."""
+
+    def sweep():
+        g = connected_gnp_graph(120, 0.2, seed=SEED + 7)
+        rows = []
+        for T in (4, 8, 16, 32):
+            anet = AsyncNetwork(g, seed=SEED)
+            res = synchronize(anet, lambda T=T: SilentInner(T), T)
+            assert all(o == "done" for o in res.outputs)
+            rows.append({
+                "T": T, "messages": anet.stats.messages,
+                "bound": 2 * (T + 1) * g.m,
+            })
+        return g, rows
+
+    g, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"A-SYNC: alpha-synchronizer overhead (n={g.n}, m={g.m})",
+        ["T", "messages", "2(T+1)m bound", "utilization"],
+        [(r["T"], r["messages"], r["bound"],
+          fmt(r["messages"] / r["bound"])) for r in rows],
+    )
+    benchmark.extra_info["rows"] = rows
+    for r in rows:
+        assert r["messages"] <= r["bound"]
+    # linearity in T
+    exp = fit_exponent([(r["T"], r["messages"]) for r in rows])
+    print(f"fitted overhead exponent in T ~ {exp:.2f} (theory: 1)")
+    assert 0.8 < exp < 1.2

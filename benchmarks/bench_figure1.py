@@ -1,0 +1,90 @@
+"""FIG1 — regenerate Figure 1, the paper's summary table, empirically.
+
+Figure 1 lists, per knowledge model and problem, the best known message
+bounds.  This bench measures every implemented cell on one reference
+workload (a dense Gnp where m >> n^1.5, the regime where o(m) matters)
+and prints the measured counterpart of the figure:
+
+  (Delta+1)-coloring  KT-1 (C)  baseline trial    ~ Theta(m log n)
+  (Delta+1)-coloring  KT-1 (NC) Algorithm 1       ~ Õ(n^1.5)
+  (1+eps)Delta        KT-1 (NC) Algorithm 2       ~ Õ(n/eps^2)
+  MIS                 KT-1 (C)  Luby              ~ Õ(m)
+  MIS                 KT-2 (C)  Algorithm 3       ~ Õ(n^1.5)
+
+Assertions pin the ordering the paper proves: each new algorithm beats
+its Ω(m) counterpart on the dense workload.
+"""
+
+import math
+
+import pytest
+
+from repro import api
+from repro.graphs.generators import connected_gnp_graph
+
+from _util import print_table
+
+N = 360
+P = 0.45
+SEED = 2021
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return connected_gnp_graph(N, P, seed=SEED)
+
+
+def _row(cell, model, basis, result, m):
+    return (cell, model, basis, result.messages,
+            f"{result.messages / m:.2f}", result.report.rounds)
+
+
+def test_figure1_summary_table(benchmark, workload):
+    g = workload
+    m = g.m
+
+    def run_all():
+        rows = {}
+        rows["coloring-baseline"] = api.color_graph(
+            g, method="baseline-trial", seed=1)
+        rows["coloring-alg1"] = api.color_graph(
+            g, method="kt1-delta-plus-one", seed=2)
+        rows["coloring-alg2"] = api.color_graph(
+            g, method="kt1-eps-delta", epsilon=0.5, seed=3)
+        rows["mis-luby"] = api.find_mis(g, method="luby", seed=4)
+        rows["mis-alg3"] = api.find_mis(g, method="kt2-sampled-greedy",
+                                        seed=5)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for key, result in rows.items():
+        assert result.valid, key
+
+    table = [
+        _row("(Δ+1)-coloring", "KT-1 (C)", "baseline trial [Ω(m)]",
+             rows["coloring-baseline"], m),
+        _row("(Δ+1)-coloring", "KT-1 (NC)", "Algorithm 1 [Õ(n^1.5)]",
+             rows["coloring-alg1"], m),
+        _row("(1+ε)Δ-coloring", "KT-1 (NC)", "Algorithm 2 [Õ(n/ε²)]",
+             rows["coloring-alg2"], m),
+        _row("MIS", "KT-1 (C)", "Luby [Õ(m)]", rows["mis-luby"], m),
+        _row("MIS", "KT-2 (C)", "Algorithm 3 [Õ(n^1.5)]",
+             rows["mis-alg3"], m),
+    ]
+    print_table(
+        f"Figure 1 (measured), n={g.n}, m={m}, n^1.5={int(g.n ** 1.5)}",
+        ["problem", "model", "algorithm", "messages", "msgs/m", "rounds"],
+        table,
+    )
+    benchmark.extra_info["rows"] = {
+        k: v.messages for k, v in rows.items()
+    }
+
+    # The orderings Figure 1 asserts:
+    assert rows["coloring-alg1"].messages < \
+        rows["coloring-baseline"].messages
+    assert rows["coloring-alg2"].messages < \
+        rows["coloring-baseline"].messages
+    assert rows["mis-alg3"].messages < rows["mis-luby"].messages
+    # The Õ(n)-message algorithm should be the cheapest coloring.
+    assert rows["coloring-alg2"].messages < rows["coloring-alg1"].messages

@@ -1,0 +1,190 @@
+"""FIG2 / T2.10–T2.16 / T2.17 — the lower-bound experiments.
+
+* The crossing dichotomy (Sections 2.3-2.4): correct comparison-based
+  algorithms utilize Θ(n²) edges on the family F; message-starved ones
+  fail on crossed graphs exactly as Lemmas 2.9/2.13 predict, and the
+  probe-budget sweep traces the Lemma 2.11 correctness/messages curve.
+* The mute-cycle trade-off (Theorem 2.17): success on n/k disjoint
+  k-cycles requires Θ(n) messages.
+"""
+
+import pytest
+
+from repro.coloring.baselines import RankGreedyColoring
+from repro.lowerbounds.algorithms import (
+    ProbedCountColoring,
+    ProbedExtremaMIS,
+    SilentCountColoring,
+    SilentExtremaMIS,
+)
+from repro.lowerbounds.construction import crossing_instance
+from repro.lowerbounds.crossing_experiment import (
+    dichotomy_experiment,
+    summarize_records,
+)
+from repro.lowerbounds.kt_rho import cycle_tradeoff_sweep
+from repro.mis.baselines import RankGreedyMIS
+
+from _util import fit_exponent, fmt, print_table
+
+SEED = 66
+
+
+def test_utilization_scales_quadratically(benchmark):
+    """T2.10/T2.14: correct comparison-based algorithms utilize Θ(n²)
+    edges on the family (n = 6t, m = 4t²)."""
+
+    def sweep():
+        rows = []
+        for t in (4, 6, 9, 13):
+            inst = crossing_instance(t, 0, 0, 0)
+            from repro.congest.network import SyncNetwork
+
+            pts = {}
+            for name, factory in (("coloring", RankGreedyColoring),
+                                  ("mis", RankGreedyMIS)):
+                net = SyncNetwork(inst.base, assignment=inst.psi,
+                                  comparison_based=True, seed=SEED)
+                net.run(factory, name=name)
+                pts[name] = net.stats.utilized_count
+            rows.append({"t": t, "n": 6 * t, "m": inst.base.m, **pts})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "T2.10/T2.14: utilized edges of correct comparison-based algorithms",
+        ["t", "n", "m", "coloring", "mis"],
+        [(r["t"], r["n"], r["m"], r["coloring"], r["mis"]) for r in rows],
+    )
+    col_exp = fit_exponent([(r["n"], r["coloring"]) for r in rows])
+    mis_exp = fit_exponent([(r["n"], r["mis"]) for r in rows])
+    print(f"fitted exponents: coloring ~ n^{col_exp:.2f}, "
+          f"mis ~ n^{mis_exp:.2f} (theory: 2)")
+    benchmark.extra_info["coloring_exponent"] = col_exp
+    benchmark.extra_info["mis_exponent"] = mis_exp
+    assert col_exp > 1.8
+    assert mis_exp > 1.8
+
+
+def test_dichotomy_probe_sweep(benchmark):
+    """Lemma 2.11 / Theorems 2.12, 2.16: correctness fraction on the
+    family vs message budget."""
+
+    def sweep():
+        table = []
+        for problem, factory in (
+            ("coloring", ProbedCountColoring),
+            ("mis", ProbedExtremaMIS),
+        ):
+            for k in (0, 1, 3, 6, 12, 24):
+                recs = dichotomy_experiment(
+                    8, lambda k=k: factory(k), problem,
+                    sample=16, seed=SEED,
+                )
+                s = summarize_records(recs)
+                table.append({
+                    "problem": problem, "budget": k,
+                    "messages": s["mean_messages"],
+                    "utilized": s["mean_utilized_edges"],
+                    "correct": s["crossed_correct_fraction"],
+                    "dichotomy": s["dichotomy_holds"],
+                })
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "L2.11: correctness on crossed graphs vs probe budget (t=8)",
+        ["problem", "budget k", "mean msgs", "mean utilized", "correct",
+         "dichotomy"],
+        [(r["problem"], r["budget"], fmt(r["messages"], 0),
+          fmt(r["utilized"], 0), fmt(r["correct"]), r["dichotomy"])
+         for r in table],
+    )
+    benchmark.extra_info["rows"] = table
+    assert all(r["dichotomy"] for r in table)
+    for problem in ("coloring", "mis"):
+        rows = [r for r in table if r["problem"] == problem]
+        assert rows[0]["correct"] == 0.0
+        assert rows[-1]["correct"] >= 0.9
+        corr = [r["correct"] for r in rows]
+        assert corr == sorted(corr)
+
+
+def test_silent_failures_match_lemmas(benchmark):
+    """Lemmas 2.9/2.13 exactly: zero-message algorithms are correct on
+    every base graph and wrong on every crossed graph."""
+
+    def run():
+        out = {}
+        for problem, factory in (("coloring", SilentCountColoring),
+                                 ("mis", SilentExtremaMIS)):
+            recs = dichotomy_experiment(7, factory, problem,
+                                        sample=20, seed=SEED + 1)
+            out[problem] = summarize_records(recs)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Lemmas 2.9/2.13: silent algorithms on the family F (t=7)",
+        ["problem", "base correct", "crossed correct", "similar+wrong"],
+        [(p, fmt(s["base_correct_fraction"]),
+          fmt(s["crossed_correct_fraction"]), s["dichotomy_holds"])
+         for p, s in out.items()],
+    )
+    for s in out.values():
+        assert s["base_correct_fraction"] == 1.0
+        assert s["crossed_correct_fraction"] == 0.0
+        assert s["dichotomy_holds"]
+
+
+def test_mute_cycle_tradeoff(benchmark):
+    """T2.17: success probability vs message budget on disjoint cycles."""
+
+    def sweep():
+        return cycle_tradeoff_sweep(
+            30, 12, fractions=(0.0, 0.5, 0.8, 0.95, 1.0), trials=6,
+            seed=SEED,
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "T2.17: mute-cycle experiment (30 cycles of length 12, n=360)",
+        ["active fraction", "mean msgs", "success rate", "mean failed"],
+        [(r["fraction"], fmt(r["mean_messages"], 0),
+          fmt(r["success_rate"]), fmt(r["mean_failed_cycles"], 1))
+         for r in rows],
+    )
+    benchmark.extra_info["rows"] = rows
+    assert rows[0]["success_rate"] == 0.0
+    assert rows[-1]["success_rate"] == 1.0
+    # success needs nearly all cycles active: Θ(n) messages
+    partial = [r for r in rows if 0 < r["fraction"] < 1]
+    assert all(r["success_rate"] < 1.0 for r in partial)
+
+
+def test_mute_cycles_insensitive_to_rho(benchmark):
+    """T2.17 holds for every constant rho: the curve does not move when
+    nodes get KT-2 or KT-3 knowledge."""
+
+    def sweep():
+        out = {}
+        for rho in (1, 2, 3):
+            out[rho] = cycle_tradeoff_sweep(
+                20, 12, fractions=(0.5, 1.0), trials=4,
+                seed=SEED + 2, rho=rho,
+            )
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "T2.17: knowledge radius does not rescue mute cycles",
+        ["rho", "f=0.5 success", "f=1.0 success", "f=1.0 msgs"],
+        [(rho, fmt(rows[0]["success_rate"]), fmt(rows[1]["success_rate"]),
+          fmt(rows[1]["mean_messages"], 0))
+         for rho, rows in out.items()],
+    )
+    reference = out[1]
+    for rho in (2, 3):
+        for i, row in enumerate(out[rho]):
+            assert row["success_rate"] == reference[i]["success_rate"]
+            assert row["mean_messages"] == reference[i]["mean_messages"]

@@ -1,0 +1,6 @@
+"""Make benchmarks/ importable as a script directory (for _util)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Asynchronous (Δ+1)-coloring: Theorem 3.4, live.
+
+The paper's Algorithm 1 has an asynchronous counterpart with the same
+Õ(n^1.5) message bound.  Our implementation makes this concrete in a
+strong way: every protocol stage is written in count-based lockstep
+(progress is driven by received-message counts, never by round numbers),
+so the *identical* code runs under the event-driven engine with
+adversarial per-message delays — no algorithmic changes, no synchronizer
+for the pipeline itself.
+
+The script colors the same network under the synchronous engine and
+under three different adversarial delay schedules, verifies every
+output, and compares the bills.  It finishes with an alpha-synchronizer
+demo (Theorem A.5): a deliberately round-dependent algorithm, correctly
+simulated on the asynchronous engine at the documented 2(T+1)m overhead.
+
+Run:  python examples/async_coloring.py
+"""
+
+from repro.congest.async_network import AsyncNetwork
+from repro.congest.network import SyncNetwork
+from repro.congest.synchronizer import synchronize
+from repro.coloring.algorithm1 import run_algorithm1
+from repro.coloring.johansson import JohanssonListColoring
+from repro.coloring.verify import check_proper_coloring
+from repro.graphs.generators import connected_gnp_graph
+
+
+def main() -> None:
+    g = connected_gnp_graph(250, 0.25, seed=31)
+    print(f"network: n={g.n}, m={g.m}, Δ={g.max_degree()}")
+
+    snet = SyncNetwork(g, seed=1)
+    sync_result = run_algorithm1(snet, seed=2)
+    check_proper_coloring(g, sync_result.colors)
+    print(f"\nsynchronous   : {sync_result.messages:>7} messages, "
+          f"{sync_result.rounds:>6} rounds")
+
+    for delay_seed in (3, 4, 5):
+        anet = AsyncNetwork(g, seed=delay_seed)
+        result = run_algorithm1(anet, seed=2)
+        check_proper_coloring(g, result.colors)
+        print(f"async seed={delay_seed}  : {result.messages:>7} messages, "
+              f"{result.rounds:>6} time units (Theorem 3.4)")
+
+    # -- alpha-synchronizer demo (Theorem A.5) ------------------------------
+    small = connected_gnp_graph(60, 0.15, seed=41)
+    T = 10 * max(4, small.n.bit_length())
+    anet = AsyncNetwork(small, seed=6)
+    inner_inputs = [
+        {"active": None,
+         "palette": frozenset(range(small.degree(v) + 1)),
+         "participate": True}
+        for v in range(small.n)
+    ]
+    res = synchronize(anet, JohanssonListColoring, T,
+                      inner_inputs=inner_inputs)
+    colors = [o["color"] for o in res.outputs]
+    check_proper_coloring(small, colors)
+    bound = 2 * (T + 1) * small.m
+    print(f"\nalpha-synchronizer on n={small.n}, m={small.m}: "
+          f"{anet.stats.messages} messages total")
+    print(f"  (Theorem A.5: the *additional* messages — acks + safety "
+          f"notifications —\n   are bounded by 2(T+1)m = {bound}; the "
+          f"rest is the simulated algorithm itself)")
+    print("all colorings verified proper.")
+
+
+if __name__ == "__main__":
+    main()

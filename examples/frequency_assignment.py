@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Frequency assignment on a dense interference graph.
+
+Scenario: radio cells in a metropolitan deployment interfere with many
+near neighbors — an interference graph with m >> n^1.5.  Each cell must
+pick a frequency distinct from all interferers ((Δ+1)-coloring), but the
+control channel used for coordination is slow and billed per message, so
+the operator wants the assignment negotiated with as little chatter as
+possible.
+
+We model the deployment as a random geometric-flavored power-law + Gnp
+mixture, and compare three distributed protocols end to end:
+
+* Algorithm 1 — Õ(n^1.5) messages, (Δ+1) frequencies;
+* Algorithm 2 — Õ(n/ε²) messages if 25% extra spectrum is available
+  ((1+ε)Δ frequencies with ε = 0.25);
+* the classical trial-coloring baseline — Ω(m) messages.
+
+Run:  python examples/frequency_assignment.py
+"""
+
+from repro import api
+from repro.graphs.core import Graph
+from repro.graphs.generators import connected_gnp_graph, power_law_graph
+
+
+def interference_graph(n: int, seed: int) -> Graph:
+    """Dense urban core (Gnp) + a power-law backhaul overlay."""
+    core = connected_gnp_graph(n, 0.3, seed=seed)
+    overlay = power_law_graph(n, attachment=3, seed=seed + 1)
+    return Graph(n, list(core.edges()) + list(overlay.edges()))
+
+
+def main() -> None:
+    graph = interference_graph(360, seed=11)
+    delta = graph.max_degree()
+    print(f"interference graph: n={graph.n}, m={graph.m}, Δ={delta}")
+
+    runs = {
+        "Algorithm 1  (Δ+1 frequencies)": api.color_graph(
+            graph, method="kt1-delta-plus-one", seed=21),
+        "Algorithm 2  (1.5Δ frequencies)": api.color_graph(
+            graph, method="kt1-eps-delta", epsilon=0.5, seed=22),
+        "baseline     (Δ+1, Ω(m) messages)": api.color_graph(
+            graph, method="baseline-trial", seed=23),
+    }
+
+    print(f"\n{'protocol':38} {'messages':>9} {'msgs/edge':>10} "
+          f"{'frequencies':>12} {'spectrum bound':>15}")
+    for name, result in runs.items():
+        assert result.valid, name
+        print(f"{name:38} {result.messages:>9} "
+              f"{result.messages_per_edge:>10.2f} "
+              f"{result.num_colors:>12} {result.palette_bound:>15}")
+
+    a1 = runs["Algorithm 1  (Δ+1 frequencies)"]
+    a2 = runs["Algorithm 2  (1.5Δ frequencies)"]
+    base = runs["baseline     (Δ+1, Ω(m) messages)"]
+    print(f"\ntakeaway: with no extra spectrum, Algorithm 1 saves "
+          f"{100 * (1 - a1.messages / base.messages):.0f}% of control "
+          f"traffic;")
+    print(f"granting 50% spectrum slack (Algorithm 2, Õ(n/ε²) messages) "
+          f"saves {100 * (1 - a2.messages / base.messages):.0f}% — and "
+          f"its advantage grows with n, since its cost barely depends "
+          f"on m at all.")
+
+
+if __name__ == "__main__":
+    main()

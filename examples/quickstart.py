@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: color a graph and find an MIS with o(m) communication.
+
+Builds a dense random network (the regime where m >> n^1.5, i.e. where
+message-frugality matters), runs the paper's Algorithm 1 for
+(Δ+1)-coloring and Algorithm 3 for MIS, verifies both outputs, and
+compares the message bills against the classical Ω(m)-message algorithms.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import api
+from repro.graphs.generators import connected_gnp_graph
+
+
+def main() -> None:
+    n, p = 400, 0.35
+    graph = connected_gnp_graph(n, p, seed=7)
+    print(f"network: n={graph.n} nodes, m={graph.m} edges, "
+          f"Δ={graph.max_degree()}, n^1.5={int(graph.n ** 1.5)}")
+
+    # --- (Δ+1)-coloring ---------------------------------------------------
+    new = api.color_graph(graph, method="kt1-delta-plus-one", seed=1)
+    old = api.color_graph(graph, method="baseline-trial", seed=2)
+    assert new.valid and old.valid
+    print("\n(Δ+1)-coloring")
+    print(f"  Algorithm 1 (KT-1, non-comparison): "
+          f"{new.messages:>8} messages, {new.report.rounds} rounds, "
+          f"{new.num_colors} colors")
+    print(f"  classical trial coloring (Ω(m))   : "
+          f"{old.messages:>8} messages, {old.report.rounds} rounds, "
+          f"{old.num_colors} colors")
+    print(f"  message saving: "
+          f"{100 * (1 - new.messages / old.messages):.0f}%")
+
+    # --- MIS ---------------------------------------------------------------
+    mis_new = api.find_mis(graph, method="kt2-sampled-greedy", seed=3)
+    mis_old = api.find_mis(graph, method="luby", seed=4)
+    assert mis_new.valid and mis_old.valid
+    print("\nMIS")
+    print(f"  Algorithm 3 (KT-2, comparison-based): "
+          f"{mis_new.messages:>8} messages, {mis_new.report.rounds} rounds, "
+          f"|MIS|={mis_new.size}")
+    print(f"  Luby (KT-1, Ω(m))                  : "
+          f"{mis_old.messages:>8} messages, {mis_old.report.rounds} rounds, "
+          f"|MIS|={mis_old.size}")
+    print(f"  message saving: "
+          f"{100 * (1 - mis_new.messages / mis_old.messages):.0f}%")
+
+    print("\nBoth outputs verified (proper coloring / independent+maximal).")
+
+
+if __name__ == "__main__":
+    main()

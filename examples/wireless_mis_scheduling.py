@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Transmission scheduling in a dense wireless mesh via MIS.
+
+Scenario: sensor nodes in a dense mesh must elect a set of simultaneous
+transmitters such that no two interfere (an independent set) and every
+node either transmits or hears a transmitter (maximality) — a classic
+MIS application.  Nodes know their 2-hop neighborhoods from the
+association handshake (exactly the KT-2 assumption), and radio time is
+precious, so fewer coordination messages means longer battery life.
+
+Compares Algorithm 3 (the paper's KT-2 MIS, Õ(n^1.5) messages in
+Õ(sqrt n) rounds) against Luby's classic (Ω(m) messages), across mesh
+densities, and shows the remnant-degree collapse (Konrad's lemma) that
+makes the two-phase structure work.
+
+Run:  python examples/wireless_mis_scheduling.py
+"""
+
+import math
+
+from repro import api
+from repro.graphs.generators import connected_gnp_graph
+
+
+def main() -> None:
+    print(f"{'density':>8} {'m':>7} {'alg3 msgs':>10} {'luby msgs':>10} "
+          f"{'saving':>7} {'alg3 rounds':>12} {'|MIS|':>6}")
+    for p in (0.1, 0.2, 0.4):
+        mesh = connected_gnp_graph(450, p, seed=int(100 * p))
+        new = api.find_mis(mesh, method="kt2-sampled-greedy", seed=5)
+        old = api.find_mis(mesh, method="luby", seed=6)
+        assert new.valid and old.valid
+        saving = 100 * (1 - new.messages / old.messages)
+        print(f"{p:>8} {mesh.m:>7} {new.messages:>10} {old.messages:>10} "
+              f"{saving:>6.0f}% {new.report.rounds:>12} {new.size:>6}")
+
+    # Peek inside one run: the sampled-greedy prefix crushes the degree.
+    mesh = connected_gnp_graph(450, 0.3, seed=9)
+    result = api.find_mis(mesh, method="kt2-sampled-greedy", seed=7)
+    detail = result.detail
+    print(f"\ninside Algorithm 3 on the p=0.3 mesh "
+          f"(n={mesh.n}, Δ={mesh.max_degree()}):")
+    print(f"  sampled |S| = {detail.sampled} "
+          f"(Θ(sqrt n) = {math.isqrt(mesh.n)})")
+    print(f"  greedy joiners: {detail.greedy_joined}, "
+          f"remnant size: {detail.remnant_size}, "
+          f"remnant max degree: {detail.remnant_max_degree_local} "
+          f"(<= Õ(sqrt n))")
+    print(f"  Luby finished the remnant with {detail.luby_joined} more "
+          f"joiners; stage messages: {detail.stage_messages}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,185 @@
+"""One-call entry points for the library.
+
+These wrap the full pipelines (network construction, algorithm, output
+verification, accounting) behind the API a downstream user wants:
+
+>>> from repro import api
+>>> from repro.graphs import gnp_random_graph
+>>> g = gnp_random_graph(400, 0.1, seed=1)
+>>> result = api.color_graph(g, method="kt1-delta-plus-one", seed=2)
+>>> result.valid, result.messages_per_edge < 10
+(True, True)
+
+Methods:
+
+* coloring — ``kt1-delta-plus-one`` (Algorithm 1, Thm. 3.3),
+  ``kt1-eps-delta`` (Algorithm 2, Thm. 3.8), ``baseline-trial`` /
+  ``baseline-rank-greedy`` (the Ω(m) classics).
+* MIS — ``kt2-sampled-greedy`` (Algorithm 3, Thm. 4.1), ``luby``
+  (the Õ(m) baseline), ``rank-greedy`` (comparison-based classic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.congest.async_network import AsyncNetwork
+from repro.congest.network import SyncNetwork
+from repro.coloring.algorithm1 import run_algorithm1
+from repro.coloring.algorithm2 import run_algorithm2
+from repro.coloring.baselines import run_baseline_coloring
+from repro.coloring.verify import coloring_violations
+from repro.errors import ReproError
+from repro.graphs.core import Graph
+from repro.mis.algorithm3 import run_algorithm3
+from repro.mis.baselines import run_rank_greedy_mis
+from repro.mis.luby import run_luby
+from repro.mis.verify import mis_violations
+
+
+@dataclass
+class RunReport:
+    """Common accounting attached to every API result."""
+
+    method: str
+    n: int
+    m: int
+    messages: int
+    rounds: int
+    utilized_edges: int
+    stage_messages: dict = field(default_factory=dict)
+
+    @property
+    def messages_per_edge(self) -> float:
+        return self.messages / max(self.m, 1)
+
+
+@dataclass
+class ColoringResult:
+    colors: list[Optional[int]]
+    num_colors: int
+    palette_bound: int
+    valid: bool
+    report: RunReport
+    detail: object = None
+
+    @property
+    def messages(self) -> int:
+        return self.report.messages
+
+    @property
+    def messages_per_edge(self) -> float:
+        return self.report.messages_per_edge
+
+
+@dataclass
+class MISResult:
+    in_mis: list[bool]
+    size: int
+    valid: bool
+    report: RunReport
+    detail: object = None
+
+    @property
+    def messages(self) -> int:
+        return self.report.messages
+
+
+def _report(method: str, net) -> RunReport:
+    per_stage = {}
+    for s in net.stats.stages:
+        per_stage[s.name] = s.messages
+    return RunReport(
+        method=method,
+        n=net.graph.n,
+        m=net.graph.m,
+        messages=net.stats.messages,
+        rounds=net.stats.rounds,
+        utilized_edges=net.stats.utilized_count,
+        stage_messages=per_stage,
+    )
+
+
+def color_graph(
+    graph: Graph,
+    method: str = "kt1-delta-plus-one",
+    seed: int = 0,
+    epsilon: float = 0.5,
+    asynchronous: bool = False,
+    **kwargs,
+) -> ColoringResult:
+    """Color a connected graph with one of the paper's algorithms.
+
+    ``asynchronous=True`` reruns Algorithm 1 under the event-driven
+    engine (Theorem 3.4); other methods are synchronous.
+    """
+    engine = AsyncNetwork if asynchronous else SyncNetwork
+    if method == "kt1-delta-plus-one":
+        net = engine(graph, rho=1, seed=seed)
+        detail = run_algorithm1(net, seed=seed, **kwargs)
+        colors = detail.colors
+        bound = graph.max_degree() + 1
+    elif method == "kt1-eps-delta":
+        if asynchronous:
+            raise ReproError("Algorithm 2 is synchronous in the paper")
+        net = engine(graph, rho=1, seed=seed)
+        detail = run_algorithm2(net, epsilon=epsilon, seed=seed, **kwargs)
+        colors = detail.colors
+        bound = detail.palette_size
+    elif method in ("baseline-trial", "baseline-rank-greedy"):
+        kind = method.removeprefix("baseline-")
+        net = engine(
+            graph, rho=1, seed=seed,
+            comparison_based=(kind == "rank-greedy"),
+        )
+        colors, detail = run_baseline_coloring(net, kind)
+        bound = graph.max_degree() + 1
+    else:
+        raise ReproError(f"unknown coloring method {method!r}")
+    valid = (
+        not coloring_violations(graph, colors)
+        and all(c is not None for c in colors)
+    )
+    return ColoringResult(
+        colors=colors,
+        num_colors=len({c for c in colors if c is not None}),
+        palette_bound=bound,
+        valid=valid,
+        report=_report(method, net),
+        detail=detail,
+    )
+
+
+def find_mis(
+    graph: Graph,
+    method: str = "kt2-sampled-greedy",
+    seed: int = 0,
+    comparison_based: bool = True,
+    **kwargs,
+) -> MISResult:
+    """Compute an MIS of a connected graph."""
+    if method == "kt2-sampled-greedy":
+        net = SyncNetwork(graph, rho=2, seed=seed,
+                          comparison_based=comparison_based)
+        detail = run_algorithm3(net, seed=seed, **kwargs)
+        in_mis = detail.in_mis
+    elif method == "luby":
+        net = SyncNetwork(graph, rho=1, seed=seed,
+                          comparison_based=comparison_based)
+        in_mis, detail = run_luby(net)
+    elif method == "rank-greedy":
+        net = SyncNetwork(graph, rho=1, seed=seed,
+                          comparison_based=comparison_based)
+        in_mis, detail = run_rank_greedy_mis(net)
+    else:
+        raise ReproError(f"unknown MIS method {method!r}")
+    bad = mis_violations(graph, in_mis)
+    valid = not bad["independence"] and not bad["maximality"]
+    return MISResult(
+        in_mis=in_mis,
+        size=sum(in_mis),
+        valid=valid,
+        report=_report(method, net),
+        detail=detail,
+    )

@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+color       run a coloring algorithm on a generated graph
+mis         run an MIS algorithm on a generated graph
+lowerbound  run the Section 2 crossing experiment
+cycles      run the Theorem 2.17 mute-cycle sweep
+info        print the model/engine constants for a given n
+
+All graphs are generated from a seed, so every invocation is
+reproducible; results print as a small report with message/round
+accounting and verification status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import api
+from repro.graphs.core import Graph
+from repro.graphs.generators import (
+    barbell_graph,
+    connected_gnp_graph,
+    power_law_graph,
+    random_regular_graph,
+)
+
+
+def _build_graph(args) -> Graph:
+    if args.family == "gnp":
+        return connected_gnp_graph(args.n, args.p, seed=args.graph_seed)
+    if args.family == "regular":
+        d = max(2, int(args.p * args.n))
+        if (d * args.n) % 2:
+            d += 1
+        return random_regular_graph(args.n, d, seed=args.graph_seed)
+    if args.family == "powerlaw":
+        return power_law_graph(args.n, attachment=max(2, int(args.p * 10)),
+                               seed=args.graph_seed)
+    if args.family == "barbell":
+        return barbell_graph(args.n // 2, max(1, args.n // 10))
+    raise SystemExit(f"unknown graph family {args.family!r}")
+
+
+def _graph_args(sub) -> None:
+    sub.add_argument("--n", type=int, default=300, help="vertex count")
+    sub.add_argument("--p", type=float, default=0.2,
+                     help="density knob (edge probability for gnp)")
+    sub.add_argument("--family", default="gnp",
+                     choices=("gnp", "regular", "powerlaw", "barbell"))
+    sub.add_argument("--graph-seed", type=int, default=0)
+    sub.add_argument("--seed", type=int, default=0,
+                     help="algorithm randomness seed")
+    sub.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+
+
+def _emit(args, payload: dict) -> None:
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return
+    for key, value in payload.items():
+        print(f"{key:>18}: {value}")
+
+
+def cmd_color(args) -> int:
+    graph = _build_graph(args)
+    result = api.color_graph(
+        graph, method=args.method, seed=args.seed, epsilon=args.epsilon,
+        asynchronous=args.asynchronous,
+    )
+    _emit(args, {
+        "graph": f"{args.family}(n={graph.n}, m={graph.m})",
+        "method": args.method,
+        "valid": result.valid,
+        "colors used": result.num_colors,
+        "palette bound": result.palette_bound,
+        "messages": result.messages,
+        "messages/edge": round(result.messages_per_edge, 3),
+        "rounds": result.report.rounds,
+        "utilized edges": result.report.utilized_edges,
+    })
+    return 0 if result.valid else 1
+
+
+def cmd_mis(args) -> int:
+    graph = _build_graph(args)
+    result = api.find_mis(graph, method=args.method, seed=args.seed)
+    _emit(args, {
+        "graph": f"{args.family}(n={graph.n}, m={graph.m})",
+        "method": args.method,
+        "valid": result.valid,
+        "MIS size": result.size,
+        "messages": result.messages,
+        "messages/edge": round(result.report.messages_per_edge, 3),
+        "rounds": result.report.rounds,
+    })
+    return 0 if result.valid else 1
+
+
+def cmd_lowerbound(args) -> int:
+    from repro.lowerbounds.algorithms import (
+        ProbedCountColoring,
+        ProbedExtremaMIS,
+    )
+    from repro.lowerbounds.crossing_experiment import (
+        dichotomy_experiment,
+        summarize_records,
+    )
+
+    factory_cls = (ProbedCountColoring if args.problem == "coloring"
+                   else ProbedExtremaMIS)
+    recs = dichotomy_experiment(
+        args.t, lambda: factory_cls(args.budget), args.problem,
+        sample=args.sample, seed=args.seed,
+    )
+    s = summarize_records(recs)
+    _emit(args, {
+        "family": f"F(t={args.t}), n={6 * args.t}, m={4 * args.t ** 2}",
+        "problem": args.problem,
+        "probe budget": args.budget,
+        "trials": s["trials"],
+        "correct on base": round(s["base_correct_fraction"], 3),
+        "correct on crossed": round(s["crossed_correct_fraction"], 3),
+        "pair utilized": round(s["pair_utilized_fraction"], 3),
+        "mean messages": round(s["mean_messages"], 1),
+        "dichotomy holds": s["dichotomy_holds"],
+    })
+    return 0
+
+
+def cmd_cycles(args) -> int:
+    from repro.lowerbounds.kt_rho import cycle_tradeoff_sweep
+
+    rows = cycle_tradeoff_sweep(
+        args.cycles, args.k,
+        fractions=tuple(args.fractions), trials=args.trials,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(f"{'fraction':>9} {'messages':>10} {'success':>8} "
+              f"{'failed cycles':>14}")
+        for r in rows:
+            print(f"{r['fraction']:>9} {r['mean_messages']:>10.0f} "
+                  f"{r['success_rate']:>8.2f} "
+                  f"{r['mean_failed_cycles']:>14.1f}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    from repro.congest.network import SyncNetwork
+
+    graph = _build_graph(args)
+    net = SyncNetwork(graph, seed=args.seed)
+    _emit(args, {
+        "graph": f"{args.family}(n={graph.n}, m={graph.m})",
+        "max degree": graph.max_degree(),
+        "ID space": net.assignment.space_bound(),
+        "word bits": net.word_bits,
+        "words/message": net.words_per_message,
+        "n^1.5": int(graph.n ** 1.5),
+        "m vs n^1.5": round(graph.m / graph.n ** 1.5, 2),
+    })
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Can We Break Symmetry with o(m) "
+                    "Communication?' (PODC 2021)",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    p = subs.add_parser("color", help="run a coloring algorithm")
+    _graph_args(p)
+    p.add_argument("--method", default="kt1-delta-plus-one",
+                   choices=("kt1-delta-plus-one", "kt1-eps-delta",
+                            "baseline-trial", "baseline-rank-greedy"))
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--asynchronous", action="store_true")
+    p.set_defaults(fn=cmd_color)
+
+    p = subs.add_parser("mis", help="run an MIS algorithm")
+    _graph_args(p)
+    p.add_argument("--method", default="kt2-sampled-greedy",
+                   choices=("kt2-sampled-greedy", "luby", "rank-greedy"))
+    p.set_defaults(fn=cmd_mis)
+
+    p = subs.add_parser("lowerbound",
+                        help="Section 2 crossing experiment")
+    p.add_argument("--t", type=int, default=6)
+    p.add_argument("--problem", default="coloring",
+                   choices=("coloring", "mis"))
+    p.add_argument("--budget", type=int, default=0,
+                   help="probe budget per node (0 = silent)")
+    p.add_argument("--sample", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_lowerbound)
+
+    p = subs.add_parser("cycles", help="Theorem 2.17 mute-cycle sweep")
+    p.add_argument("--cycles", type=int, default=20)
+    p.add_argument("--k", type=int, default=12)
+    p.add_argument("--fractions", type=float, nargs="+",
+                   default=[0.0, 0.5, 0.9, 1.0])
+    p.add_argument("--trials", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_cycles)
+
+    p = subs.add_parser("info", help="model constants for a graph")
+    _graph_args(p)
+    p.set_defaults(fn=cmd_info)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,225 @@
+"""Algorithm 2: (1+ε)Δ-coloring in KT-1 CONGEST with Õ(n/ε²) messages.
+
+Paper Section 3.2 / Theorem 3.8.  After a leader shares (C/ε)·polylog(n)
+random bits, every phase i gives each still-active node a *publicly
+computable* candidate color: c_v = h_i(ID_v) over the palette
+[(1+ε)Δ], where h_i is a Θ(log n)-wise independent hash derived from the
+shared string.  The punchline of the shared-randomness + KT-1 technique:
+
+* same-phase conflicts cost zero messages — v evaluates h_i on its
+  neighbors' IDs and sees every colliding candidate locally;
+* cross-phase conflicts cost O(log² n / ε) messages per node (Lemma 3.7)
+  — v only needs to ask the neighbors u whose candidate in some earlier
+  phase j equaled v's current candidate (again computed locally) whether
+  they actually kept that color.
+
+A node keeps its candidate iff it has no same-phase collision and every
+queried neighbor answers "not holding it" (Lemma 3.5: succeeds with
+probability >= ε/(1+ε) per phase, so O(log n / ε) phases whp).
+
+We reproduce the message bound with the spanning-tree substrate standing
+in for the danner at δ→0 / the Mashregi–King broadcast (Theorem 1.3):
+Õ(n) messages for leader election + bit sharing, Õ(n) rounds total.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.congest.node import Context, NodeAlgorithm
+from repro.errors import ProtocolError, VerificationError
+from repro.substrates.flooding import ShareRandomBits, TreeAggregate
+from repro.substrates.spanning_tree import build_spanning_tree
+from repro.util.hashing import KWiseHashFamily
+from repro.util.tail_bounds import required_independence
+
+
+def phase_budget(n: int, epsilon: float) -> int:
+    """Number of phases that suffice whp (Corollary 3.6)."""
+    return max(8, math.ceil(2.0 * (1.0 + epsilon) * math.log(max(n, 3))
+                            / epsilon))
+
+
+def _hash_family(n: int, id_space: int, palette_size: int,
+                 independence_constant: float) -> KWiseHashFamily:
+    c = required_independence(n, independence_constant)
+    return KWiseHashFamily(id_space, palette_size, c)
+
+
+class EpsilonDeltaColoring(NodeAlgorithm):
+    """The per-node protocol of Algorithm 2 (one stage, many phases).
+
+    Input: ``{"bits": BitString, "palette_size": int, "phases": int,
+    "id_space": int, "independence": float}`` — all identical across
+    nodes (bits came from the broadcast; the rest are protocol constants
+    plus the Δ aggregate).
+
+    Phases run on a fixed 3-round cadence: candidates are implicit
+    (hashes), queries go out in round 3i, answers return in round 3i+1,
+    decisions happen in round 3i+2.
+    """
+
+    #: Non-passive: nodes act on a round cadence, not only on messages.
+    passive_when_idle = False
+
+    def setup(self, ctx: Context) -> None:
+        state = ctx.input
+        self.palette_size = state["palette_size"]
+        self.total_phases = state["phases"]
+        bits = state["bits"]
+        family = _hash_family(
+            ctx.n, state["id_space"], self.palette_size,
+            state["independence"],
+        )
+        per = family.bits_needed
+        if len(bits) < per * self.total_phases:
+            raise ProtocolError(
+                f"random string too short: need {per * self.total_phases} "
+                f"bits for {self.total_phases} phases, got {len(bits)}"
+            )
+        self.hashes = [
+            family.sample_from_bits(bits.bits[i * per:(i + 1) * per])
+            for i in range(self.total_phases)
+        ]
+        self.my_value = ctx.my_id.value
+        self.neighbor_values = [u.value for u in ctx.neighbor_ids]
+        self.color: Optional[int] = None
+        # past[c] = neighbors whose candidate equaled c in an earlier phase.
+        self.past: dict[int, set] = {}
+        self.conflicted = False
+        self.candidate: Optional[int] = None
+        self.queries_sent = 0
+
+    def _publish(self, ctx: Context) -> None:
+        ctx.done({"color": self.color, "queries": self.queries_sent})
+
+    def _phase_of_round(self, r: int) -> tuple[int, int]:
+        return divmod(r, 3)
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        # Answer queries regardless of our own state: "do you hold c?"
+        for msg in inbox:
+            if msg.tag == "query":
+                (c,) = msg.fields
+                ctx.send(msg.sender_id, "hold", self.color == c)
+        phase, step = self._phase_of_round(ctx.round)
+        if phase >= self.total_phases:
+            if self.color is None:
+                raise VerificationError(
+                    "node ran out of phases while uncolored (whp event)"
+                )
+            self._publish(ctx)
+            return
+        h = self.hashes[phase]
+        if step == 0 and self.color is None:
+            # Everyone's phase-i candidates are locally computable from
+            # the shared hash — zero messages for same-phase conflicts.
+            nbr_candidates = h.eval_many(self.neighbor_values) \
+                if self.neighbor_values else []
+            self.candidate = h(self.my_value)
+            self.conflicted = any(
+                c == self.candidate for c in nbr_candidates
+            )
+            # Query exactly the neighbors that candidated this color in an
+            # *earlier* phase (Lemma 3.7's O(log^2 n / eps) set).
+            targets = self.past.get(self.candidate, ())
+            if not self.conflicted:
+                for u in targets:
+                    ctx.send(u, "query", self.candidate)
+                    self.queries_sent += 1
+            for u, c in zip(ctx.neighbor_ids, nbr_candidates):
+                self.past.setdefault(c, set()).add(u)
+        elif step == 2 and self.color is None:
+            holds = [m.fields[0] for m in inbox if m.tag == "hold"]
+            if not self.conflicted and not any(holds):
+                self.color = self.candidate
+            self.candidate = None
+        if self.color is not None or phase == self.total_phases - 1:
+            self._publish(ctx)
+
+
+@dataclass
+class Algorithm2Result:
+    colors: list[Optional[int]]
+    palette_size: int
+    max_degree: int
+    epsilon: float
+    phases: int
+    messages: int
+    rounds: int
+    query_messages: int
+    broadcast_bits: int
+
+
+def run_algorithm2(
+    net,
+    epsilon: float,
+    seed=0,
+    independence_constant: float = 1.0,
+    name_prefix: str = "alg2",
+) -> Algorithm2Result:
+    """Run Algorithm 2 on a connected KT-1 network.
+
+    Returns a proper coloring with at most floor((1+ε)Δ) + 1 colors.
+    """
+    if epsilon <= 0:
+        raise ProtocolError("epsilon must be positive")
+    if net.comparison_based:
+        raise ProtocolError("Algorithm 2 hashes IDs (non-comparison-based)")
+    n = net.graph.n
+    id_space = net.assignment.space_bound()
+    msgs_before = net.stats.messages
+    rounds_before = net.stats.rounds
+
+    # Leader election + Δ aggregate + bit sharing over a spanning tree
+    # (the Õ(n)-message substrate; see module docstring).
+    tree = build_spanning_tree(net, seed=seed, name_prefix=f"{name_prefix}-st")
+    tree_inputs = tree.tree_inputs()
+    agg = net.run(
+        lambda: TreeAggregate(combine=max),
+        inputs=[
+            {**tree_inputs[v], "value": net.graph.degree(v)}
+            for v in range(n)
+        ],
+        name=f"{name_prefix}-delta",
+    )
+    max_degree = agg.outputs[tree.root]
+    palette_size = max(max_degree + 1, math.floor((1 + epsilon) * max_degree) + 1)
+    phases = phase_budget(n, epsilon)
+    family = _hash_family(n, id_space, palette_size, independence_constant)
+    nbits = phases * family.bits_needed
+    share = net.run(
+        lambda: ShareRandomBits(nbits),
+        inputs=tree_inputs,
+        name=f"{name_prefix}-bits",
+    )
+    bits = share.outputs[tree.root]
+
+    msgs_before_color = net.stats.messages
+    stage = net.run(
+        EpsilonDeltaColoring,
+        inputs=[
+            {
+                "bits": bits,
+                "palette_size": palette_size,
+                "phases": phases,
+                "id_space": id_space,
+                "independence": independence_constant,
+            }
+        ] * n,
+        name=f"{name_prefix}-color",
+    )
+    colors = [out["color"] for out in stage.outputs]
+    return Algorithm2Result(
+        colors=colors,
+        palette_size=palette_size,
+        max_degree=max_degree,
+        epsilon=epsilon,
+        phases=phases,
+        messages=net.stats.messages - msgs_before,
+        rounds=net.stats.rounds - rounds_before,
+        query_messages=net.stats.messages - msgs_before_color,
+        broadcast_bits=nbits,
+    )

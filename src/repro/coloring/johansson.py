@@ -1,0 +1,209 @@
+"""Johansson's randomized (deg+1)-list coloring [40].
+
+The workhorse of Algorithm 1 (Steps 3 and 5): every still-uncolored node
+repeatedly trials a uniform color from its current list; a trial sticks
+iff no *undecided active neighbor* trialed the same color in the same
+phase; decided colors are struck from neighboring lists.  With lists of
+size >= (active degree + 1) a constant fraction of nodes succeeds per
+phase, so O(log n) phases suffice whp.
+
+The implementation runs in *lockstep by counting*, not by round parity:
+each phase has a trial subphase and a resolve subphase, and a node enters
+the next phase only after hearing a resolve from every neighbor it still
+considers undecided.  Neighbors therefore never drift more than one phase
+apart, and the protocol is insensitive to message delays — the same class
+runs unchanged under link congestion and under the asynchronous engine /
+alpha-synchronizer (Theorem 3.4).
+
+Inputs per node (all locally derivable in Algorithm 1 from KT-1 plus the
+shared random string):
+
+* ``active``  — frozenset of neighbor IDs in this node's active subgraph
+  (e.g. the same-B_i neighbors);
+* ``palette`` — the node's current color list;
+* ``participate`` — False for bystanders (they output None immediately).
+
+Output: ``{"color": int}`` or ``{"deferred": True}`` — deferral happens
+only if a node's list runs empty while neighbors are undecided, which the
+partition properties rule out whp (tests assert it never fires on valid
+inputs; Algorithm 1 folds any deferred node into the next-level remnant).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.congest.node import Context, NodeAlgorithm
+from repro.errors import ProtocolError
+
+
+class JohanssonListColoring(NodeAlgorithm):
+    """One run of list coloring inside an active subgraph."""
+
+    passive_when_idle = True
+
+    def setup(self, ctx: Context) -> None:
+        state = ctx.input or {}
+        self.participate = state.get("participate", True)
+        self.palette: set[int] = set(state.get("palette", ()))
+        active = state.get("active")
+        if active is None:
+            active = frozenset(ctx.neighbor_ids)
+        self.undecided = {u for u in ctx.neighbor_ids if u in active}
+        self.phase = 0
+        self.trial: Optional[int] = None
+        self.resolved = True        # no resolve owed for a not-yet-begun phase
+        self.color: Optional[int] = None
+        self.deferred = False
+        self.trials_seen: dict[int, dict] = {}
+        self.resolves_seen: dict[int, dict] = {}
+
+    # -- local decisions ---------------------------------------------------
+
+    def _publish(self, ctx: Context) -> None:
+        if not self.participate:
+            ctx.done(None)
+        elif self.deferred:
+            ctx.done({"deferred": True})
+        elif self.color is not None:
+            ctx.done({"color": self.color})
+        else:
+            ctx.done(None)
+
+    def _decided(self) -> bool:
+        return self.color is not None or self.deferred
+
+    def _begin_phase(self, ctx: Context) -> None:
+        """Enter the current phase: trial, decide locally, or defer."""
+        if len(self.palette) <= len(self.undecided):
+            # The (deg+1)-list invariant |list| >= undecided + 1 has been
+            # violated upstream (a whp-impossible failure of Lemma 3.1's
+            # property (ii)).  Without it, progress is no longer
+            # guaranteed — e.g. two neighbors sharing one singleton list
+            # would conflict forever — so defer to the caller's remnant.
+            self.deferred = True
+            for u in self.undecided:
+                ctx.send(u, "rd", self.phase)
+            self._publish(ctx)
+            return
+        if not self.undecided:
+            self.color = min(self.palette)
+            self._publish(ctx)
+            return
+        choices = sorted(self.palette)
+        self.trial = choices[ctx.rng.randrange(len(choices))]
+        self.resolved = False
+        for u in self.undecided:
+            ctx.send(u, "trial", self.phase, self.trial)
+
+    def _try_resolve(self, ctx: Context) -> bool:
+        """Send this phase's resolve once every expected trial arrived.
+
+        A deferring neighbor sends a resolve instead of a trial; either
+        counts toward completeness.
+        """
+        if self.resolved or self.trial is None:
+            return False
+        p = self.phase
+        trials = self.trials_seen.get(p, {})
+        resolves = self.resolves_seen.get(p, {})
+        if not all(u in trials or u in resolves for u in self.undecided):
+            return False
+        conflict = any(
+            trials.get(u) == self.trial for u in self.undecided
+        )
+        self.resolved = True
+        if conflict:
+            for u in self.undecided:
+                ctx.send(u, "rf", p)
+        else:
+            self.color = self.trial
+            for u in self.undecided:
+                ctx.send(u, "rc", p, self.trial)
+            self._publish(ctx)
+        return True
+
+    def _try_advance(self, ctx: Context) -> bool:
+        """Move to the next phase once every neighbor's resolve arrived."""
+        if not self.resolved or self._decided():
+            return False
+        p = self.phase
+        resolves = self.resolves_seen.get(p, {})
+        if not all(u in resolves for u in self.undecided):
+            return False
+        for u in list(self.undecided):
+            kind, value = resolves[u]
+            if kind == "colored":
+                self.palette.discard(value)
+                self.undecided.discard(u)
+            elif kind == "deferred":
+                self.undecided.discard(u)
+        self.trials_seen.pop(p, None)
+        self.resolves_seen.pop(p, None)
+        self.phase = p + 1
+        self.trial = None
+        return True
+
+    def _pump(self, ctx: Context) -> None:
+        """Run the state machine to a fixed point on buffered messages."""
+        while not self._decided():
+            if self._try_resolve(ctx):
+                continue
+            if self._try_advance(ctx):
+                self._begin_phase(ctx)
+                continue
+            break
+
+    # -- protocol ------------------------------------------------------------
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        if not self.participate:
+            if inbox:
+                raise ProtocolError("bystander received a coloring message")
+            self._publish(ctx)
+            return
+        for msg in inbox:
+            if msg.tag == "trial":
+                p, c = msg.fields
+                self.trials_seen.setdefault(p, {})[msg.sender_id] = c
+            elif msg.tag == "rf":
+                (p,) = msg.fields
+                self.resolves_seen.setdefault(p, {})[msg.sender_id] = (
+                    "failed", None,
+                )
+            elif msg.tag == "rc":
+                p, c = msg.fields
+                self.resolves_seen.setdefault(p, {})[msg.sender_id] = (
+                    "colored", c,
+                )
+            elif msg.tag == "rd":
+                (p,) = msg.fields
+                self.resolves_seen.setdefault(p, {})[msg.sender_id] = (
+                    "deferred", None,
+                )
+        if ctx.round == 0:
+            self._publish(ctx)
+            self._begin_phase(ctx)
+        if not self._decided():
+            self._pump(ctx)
+
+
+def johansson_color(net, active_sets, palettes, participate=None,
+                    name: str = "johansson"):
+    """Driver: run one list-coloring stage.
+
+    ``active_sets[v]`` / ``palettes[v]`` follow the class docstring;
+    ``participate`` defaults to all-True.  Returns the StageResult.
+    """
+    n = net.graph.n
+    if participate is None:
+        participate = [True] * n
+    inputs = [
+        {
+            "active": active_sets[v],
+            "palette": frozenset(palettes[v]),
+            "participate": participate[v],
+        }
+        for v in range(n)
+    ]
+    return net.run(JohanssonListColoring, inputs=inputs, name=name)

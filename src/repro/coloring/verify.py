@@ -1,0 +1,67 @@
+"""Coloring verifiers.
+
+All checkers work on driver-side outputs (colors indexed by vertex) and
+raise :class:`~repro.errors.VerificationError` with a precise witness when
+a property fails, so test failures read like counterexamples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import VerificationError
+from repro.graphs.core import Graph
+
+
+def coloring_violations(graph: Graph, colors: Sequence[Optional[int]]
+                        ) -> list[tuple[int, int]]:
+    """All monochromatic edges (ignoring uncolored endpoints)."""
+    bad = []
+    for u, v in graph.edges():
+        cu, cv = colors[u], colors[v]
+        if cu is not None and cu == cv:
+            bad.append((u, v))
+    return bad
+
+
+def check_proper_coloring(graph: Graph, colors: Sequence[Optional[int]],
+                          allow_uncolored: bool = False) -> None:
+    """Raise unless ``colors`` is a proper (total, unless allowed) coloring."""
+    if not allow_uncolored:
+        missing = [v for v in range(graph.n) if colors[v] is None]
+        if missing:
+            raise VerificationError(
+                f"{len(missing)} vertices uncolored, e.g. {missing[:5]}"
+            )
+    bad = coloring_violations(graph, colors)
+    if bad:
+        u, v = bad[0]
+        raise VerificationError(
+            f"{len(bad)} monochromatic edges, e.g. ({u}, {v}) "
+            f"both colored {colors[u]}"
+        )
+
+
+def check_color_bound(colors: Sequence[Optional[int]], bound: int) -> None:
+    """Raise unless every color lies in [0, bound)."""
+    for v, c in enumerate(colors):
+        if c is None:
+            continue
+        if not (0 <= c < bound):
+            raise VerificationError(
+                f"vertex {v} colored {c}, outside [0, {bound})"
+            )
+
+
+def check_list_coloring(colors: Sequence[Optional[int]],
+                        palettes: Sequence[frozenset[int]]) -> None:
+    """Raise unless every assigned color came from the vertex's list."""
+    for v, c in enumerate(colors):
+        if c is not None and c not in palettes[v]:
+            raise VerificationError(
+                f"vertex {v} colored {c}, not in its palette"
+            )
+
+
+def count_colors(colors: Sequence[Optional[int]]) -> int:
+    return len({c for c in colors if c is not None})

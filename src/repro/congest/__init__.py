@@ -1,0 +1,50 @@
+"""The KT-rho CONGEST simulator.
+
+The model (paper Section 1.4.1): a synchronous message-passing network on a
+graph G = (V, E); nodes carry unique IDs from a poly(n) space; each round a
+node may send an O(log n)-bit message to each neighbor.  KT-rho initial
+knowledge gives every node the IDs within rho hops and the neighborhoods of
+nodes within rho - 1 hops.
+
+This package provides:
+
+* :class:`~repro.congest.network.SyncNetwork` — the synchronous round
+  engine with message/round accounting and staged protocol composition;
+* :class:`~repro.congest.async_network.AsyncNetwork` — the asynchronous
+  event-driven engine (Section 3.1.1);
+* :class:`~repro.congest.ids.OpaqueId` — a machine-checked version of the
+  comparison-based discipline (Section 1.4.2);
+* utilized-edge tracking per Definition 2.3 and execution traces with
+  decoded representations per Definitions 2.1-2.2.
+"""
+
+from repro.congest.ids import NodeId, OpaqueId, IdAssignment, id_value
+from repro.congest.message import Envelope, Msg, payload_words
+from repro.congest.knowledge import KTKnowledge, build_knowledge
+from repro.congest.metrics import MessageStats, StageStats
+from repro.congest.node import NodeAlgorithm, Context
+from repro.congest.network import SyncNetwork, StageResult
+from repro.congest.trace import ExecutionTrace, TraceEvent, traces_similar
+from repro.congest.inspect import NetworkInspector
+
+__all__ = [
+    "NodeId",
+    "OpaqueId",
+    "IdAssignment",
+    "id_value",
+    "Envelope",
+    "Msg",
+    "payload_words",
+    "KTKnowledge",
+    "build_knowledge",
+    "MessageStats",
+    "StageStats",
+    "NodeAlgorithm",
+    "Context",
+    "SyncNetwork",
+    "StageResult",
+    "ExecutionTrace",
+    "TraceEvent",
+    "traces_similar",
+    "NetworkInspector",
+]

@@ -1,0 +1,149 @@
+"""The asynchronous KT-rho CONGEST engine (paper Section 3.1.1).
+
+Standard asynchronous model: every message arrives after a finite
+adversarial delay, normalized so one unit is the maximum delay; *time
+complexity* of an execution is the total normalized time.  Links are
+FIFO.  There are no rounds — nodes act only when messages arrive (plus
+one initial activation), so only ``passive_when_idle`` protocols can run
+here; the engine rejects round-cadence algorithms, which is exactly the
+class the alpha-synchronizer exists for (Theorem A.5,
+:mod:`repro.congest.synchronizer`).
+
+Because every protocol stage in Algorithm 1's pipeline is written in
+count-based lockstep (progress is driven by received-message counts, not
+by round numbers), the *same* stage classes run unchanged under this
+engine — which is how the reproduction of Theorem 3.4 (asynchronous
+(Δ+1)-coloring with Õ(n^1.5) messages in Õ(n) time) works: call
+``run_algorithm1`` on an AsyncNetwork.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Any, Callable, Optional, Sequence
+
+from repro.congest.message import Envelope, Msg
+from repro.congest.network import StageResult, SyncNetwork
+from repro.congest.node import Context, NodeAlgorithm
+from repro.errors import ConvergenceError, ProtocolError
+
+
+class AsyncNetwork(SyncNetwork):
+    """Event-driven engine sharing identity/accounting with SyncNetwork.
+
+    ``max_delay_spread`` controls how adversarial the delays are: each
+    charged message takes uniform(min_delay, 1.0) time per packet, FIFO
+    per link.  ``stats.rounds`` records ceil(total time) per stage, the
+    asynchronous time complexity.
+    """
+
+    def __init__(self, *args, min_delay: float = 0.05, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.min_delay = min_delay
+        self._delay_rng = random.Random(f"delays-{self.seed}")
+        if self.trace is not None:
+            raise ProtocolError(
+                "execution traces are a synchronous-model notion; "
+                "run lower-bound experiments on SyncNetwork"
+            )
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, env: Envelope, charged: int) -> None:
+        link = (env.sender, env.receiver)
+        start = max(self._now, self._link_clock.get(link, 0.0))
+        delay = sum(
+            self._delay_rng.uniform(self.min_delay, 1.0)
+            for _ in range(charged)
+        )
+        arrival = start + delay
+        self._link_clock[link] = arrival
+        self._seq += 1
+        heapq.heappush(self._queue, (arrival, self._seq, env))
+
+    # -- event loop --------------------------------------------------------------
+
+    def run(
+        self,
+        algorithm_factory: Callable[[], NodeAlgorithm],
+        inputs: Optional[Sequence[Any]] = None,
+        max_rounds: int = 100_000,
+        name: Optional[str] = None,
+    ) -> StageResult:
+        """Run one stage to quiescence under adversarial delays.
+
+        ``max_rounds`` bounds the *per-node activation count* (a safety
+        valve against livelock, mirroring the synchronous budget).
+        """
+        n = self.graph.n
+        stage_name = name or f"stage-{self._stage_counter}"
+        self._stage_counter += 1
+        stage = self.stats.begin_stage(stage_name)
+
+        algorithms = [algorithm_factory() for _ in range(n)]
+        if any(not a.passive_when_idle for a in algorithms):
+            raise ProtocolError(
+                "round-cadence algorithms cannot run asynchronously; "
+                "wrap them in an AlphaSynchronizer (Theorem A.5)"
+            )
+        contexts = []
+        for v in range(n):
+            rng = random.Random(f"{self.seed}-{stage_name}-node-{v}")
+            node_input = inputs[v] if inputs is not None else None
+            contexts.append(Context(self, v, self.knowledge[v], rng,
+                                    node_input))
+        self._queue: list = []
+        self._seq = 0
+        self._link_clock: dict[tuple[int, int], float] = {}
+        self._now = 0.0
+        self._current_round = 0
+        activations = [0] * n
+
+        for v in range(n):
+            algorithms[v].setup(contexts[v])
+        # Initial activation: every node acts once at time zero.
+        for v in range(n):
+            ctx = contexts[v]
+            ctx.round = 0
+            ctx._send_allowed = True
+            algorithms[v].on_round(ctx, [])
+            ctx._send_allowed = False
+
+        max_events = max_rounds * max(n, 1)
+        events = 0
+        while self._queue:
+            events += 1
+            if events > max_events:
+                raise ConvergenceError(
+                    f"async stage '{stage_name}' exceeded {max_events} events"
+                )
+            arrival, _seq, env = heapq.heappop(self._queue)
+            self._now = arrival
+            v = env.receiver
+            activations[v] += 1
+            ctx = contexts[v]
+            ctx.round = activations[v]
+            self._register_received_ids(v, [env])
+            ctx._send_allowed = True
+            algorithms[v].on_round(
+                ctx, [Msg(self._ids[env.sender], env.tag, env.fields)]
+            )
+            ctx._send_allowed = False
+
+        unfinished = [v for v in range(n) if not contexts[v]._finished]
+        if unfinished:
+            raise ConvergenceError(
+                f"async stage '{stage_name}' quiesced with unfinished "
+                f"nodes {unfinished[:10]} (total {len(unfinished)})"
+            )
+        elapsed = max(1, math.ceil(self._now))
+        self.stats.charge_rounds(elapsed)
+        return StageResult(
+            name=stage_name,
+            outputs=[contexts[v]._output for v in range(n)],
+            rounds=elapsed,
+            stats=stage,
+            converged=True,
+        )

@@ -1,0 +1,100 @@
+"""Observability helpers: where did the message budget go?
+
+A downstream user tuning a protocol wants three views the raw counters
+don't give directly: cost per pipeline phase (stage groups), cost per
+message type (tags), and the load distribution across nodes (hot spots).
+`NetworkInspector` renders all three from a finished network's stats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class NetworkInspector:
+    """Read-only analysis over a network's accumulated statistics."""
+
+    def __init__(self, net):
+        self.net = net
+        self.stats = net.stats
+
+    # -- groupings ------------------------------------------------------------
+
+    def stage_groups(self, separator: str = "-") -> dict[str, dict]:
+        """Aggregate stage stats by name prefix (pipeline phase).
+
+        ``alg1-danner-local`` and ``alg1-danner-elect0-flood`` both land
+        in the ``alg1-danner`` group under the default 2-part grouping.
+        """
+        groups: dict[str, dict] = {}
+        for stage in self.stats.stages:
+            parts = stage.name.split(separator)
+            key = separator.join(parts[:2]) if len(parts) > 1 else parts[0]
+            g = groups.setdefault(
+                key, {"messages": 0, "words": 0, "rounds": 0, "stages": 0}
+            )
+            g["messages"] += stage.messages
+            g["words"] += stage.words
+            g["rounds"] += stage.rounds
+            g["stages"] += 1
+        return groups
+
+    def top_tags(self, limit: int = 10) -> list[tuple[str, int]]:
+        """Message tags by charged-message count, descending."""
+        ranked = sorted(self.stats.by_tag.items(), key=lambda kv: -kv[1])
+        return ranked[:limit]
+
+    def load_profile(self) -> dict:
+        """Distribution of charged messages across sender vertices."""
+        counts = [
+            self.stats.by_sender.get(v, 0)
+            for v in range(self.net.graph.n)
+        ]
+        counts_sorted = sorted(counts)
+        n = len(counts_sorted)
+        total = sum(counts_sorted)
+        if n == 0 or total == 0:
+            return {"total": 0, "max": 0, "median": 0, "gini": 0.0}
+        median = counts_sorted[n // 2]
+        # Gini coefficient of the per-node send load.
+        cum = 0
+        weighted = 0
+        for i, c in enumerate(counts_sorted, start=1):
+            cum += c
+            weighted += i * c
+        gini = (2 * weighted) / (n * total) - (n + 1) / n
+        return {
+            "total": total,
+            "max": counts_sorted[-1],
+            "median": median,
+            "gini": round(gini, 4),
+        }
+
+    # -- rendering ------------------------------------------------------------
+
+    def report(self, title: Optional[str] = None) -> str:
+        """A human-readable multi-section cost report."""
+        lines = []
+        if title:
+            lines.append(f"== {title} ==")
+        lines.append(
+            f"totals: {self.stats.messages} messages, "
+            f"{self.stats.words} words, {self.stats.rounds} rounds, "
+            f"{self.stats.utilized_count} utilized edges"
+        )
+        lines.append("by pipeline phase:")
+        groups = self.stage_groups()
+        for name, g in sorted(groups.items(), key=lambda kv: -kv[1]["messages"]):
+            lines.append(
+                f"  {name:<24} {g['messages']:>9} msgs  "
+                f"{g['rounds']:>6} rounds  ({g['stages']} stages)"
+            )
+        lines.append("by message tag:")
+        for tag, count in self.top_tags():
+            lines.append(f"  {tag:<24} {count:>9} msgs")
+        profile = self.load_profile()
+        lines.append(
+            f"load: max/node={profile['max']}, median={profile['median']}, "
+            f"gini={profile['gini']}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""KT-rho initial knowledge (paper Section 1.4.1).
+
+In the KT-rho CONGEST model each node v is provided initial knowledge of
+
+  (i) the IDs of all nodes at distance at most rho from v, and
+  (ii) the neighborhood of every node at distance at most rho - 1 from v.
+
+So KT-1 gives a node its neighbors' IDs (but nothing about who *their*
+neighbors are), and KT-2 additionally gives the full adjacency lists of its
+neighbors (hence the IDs at distance two).  Algorithm 3 (the KT-2 MIS)
+leans on (ii) to build local 2-hop BFS trees without communication.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.congest.ids import NodeId
+from repro.errors import ModelViolationError, ReproError
+from repro.graphs.core import Graph
+
+
+class KTKnowledge:
+    """One node's initial knowledge under KT-rho.
+
+    All IDs are exposed as :class:`NodeId` objects (opaque ones for
+    comparison-based protocols), never as raw integers.
+    """
+
+    __slots__ = ("rho", "n", "my_id", "neighbor_ids", "_ids_by_distance",
+                 "_neighborhoods")
+
+    def __init__(
+        self,
+        rho: int,
+        n: int,
+        my_id: NodeId,
+        neighbor_ids: tuple[NodeId, ...],
+        ids_by_distance: tuple[frozenset[NodeId], ...],
+        neighborhoods: dict[NodeId, frozenset[NodeId]],
+    ):
+        self.rho = rho
+        self.n = n
+        self.my_id = my_id
+        self.neighbor_ids = neighbor_ids
+        self._ids_by_distance = ids_by_distance
+        self._neighborhoods = neighborhoods
+
+    # -- queries -------------------------------------------------------------
+
+    def ids_within(self, distance: int) -> frozenset[NodeId]:
+        """All known IDs at distance <= ``distance`` (excluding self)."""
+        if distance > self.rho:
+            raise ModelViolationError(
+                f"KT-{self.rho} knowledge does not extend to distance {distance}"
+            )
+        combined: set[NodeId] = set()
+        for d in range(1, distance + 1):
+            combined |= self._ids_by_distance[d]
+        return frozenset(combined)
+
+    def ids_at(self, distance: int) -> frozenset[NodeId]:
+        """Known IDs at exactly ``distance`` hops."""
+        if distance > self.rho:
+            raise ModelViolationError(
+                f"KT-{self.rho} knowledge does not extend to distance {distance}"
+            )
+        return self._ids_by_distance[distance]
+
+    def knows_neighborhood_of(self, node_id: NodeId) -> bool:
+        return node_id in self._neighborhoods
+
+    def neighborhood_of(self, node_id: NodeId) -> frozenset[NodeId]:
+        """The full neighbor-ID set of a node at distance <= rho - 1.
+
+        Under KT-1 this is only available for the node itself; under KT-2
+        it is available for every 1-hop neighbor, etc.
+        """
+        try:
+            return self._neighborhoods[node_id]
+        except KeyError:
+            raise ModelViolationError(
+                f"KT-{self.rho} knowledge does not include the neighborhood "
+                f"of {node_id!r}"
+            ) from None
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbor_ids)
+
+
+def _bfs_within(graph: Graph, source: int, radius: int) -> list[list[int]]:
+    """Vertices grouped by exact distance 0..radius from ``source``."""
+    layers: list[list[int]] = [[source]]
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        if dist[u] == radius:
+            continue
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                while len(layers) <= dist[v]:
+                    layers.append([])
+                layers[dist[v]].append(v)
+                queue.append(v)
+    while len(layers) <= radius:
+        layers.append([])
+    return layers
+
+
+def build_knowledge(
+    graph: Graph,
+    rho: int,
+    make_id: Callable[[int], NodeId],
+) -> list[KTKnowledge]:
+    """Compute every node's KT-rho knowledge for ``graph``.
+
+    ``make_id`` maps a vertex to its (possibly opaque) NodeId object; the
+    engine passes a memoized constructor so identical vertices share one
+    NodeId instance.
+    """
+    if rho < 1:
+        raise ReproError("this simulator supports KT-rho for rho >= 1")
+    n = graph.n
+    knowledge: list[KTKnowledge] = []
+    for v in range(n):
+        layers = _bfs_within(graph, v, rho)
+        ids_by_distance = tuple(
+            frozenset(make_id(u) for u in layer) for layer in layers
+        )
+        neighbor_ids = tuple(
+            sorted((make_id(u) for u in graph.neighbors(v)),
+                   key=lambda x: x._value)  # noqa: SLF001 - engine-side sort
+        )
+        neighborhoods: dict[NodeId, frozenset[NodeId]] = {}
+        for d in range(0, rho):  # nodes at distance <= rho - 1
+            for u in layers[d]:
+                neighborhoods[make_id(u)] = frozenset(
+                    make_id(w) for w in graph.neighbors(u)
+                )
+        knowledge.append(
+            KTKnowledge(
+                rho=rho,
+                n=n,
+                my_id=make_id(v),
+                neighbor_ids=neighbor_ids,
+                ids_by_distance=ids_by_distance,
+                neighborhoods=neighborhoods,
+            )
+        )
+    return knowledge

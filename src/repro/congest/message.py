@@ -1,0 +1,100 @@
+"""CONGEST messages and O(log n)-bit word accounting.
+
+A CONGEST message carries O(log n) bits.  We express payload size in
+*words*, where one word is Theta(log n) bits: a node ID is one word, a
+small integer (< ID space) is one word, and longer payloads are charged
+ceil(bits / word) words.  A single send of w words is charged
+``ceil(w / words_per_message)`` CONGEST messages, so protocols are free to
+hand the engine a logically-atomic payload and still pay the honest
+message price (this mirrors the standard "split into O(log n)-bit pieces"
+convention).
+
+Payload fields may contain: ``int``, ``bool``, ``None``, short ``str``
+tags, :class:`~repro.congest.ids.NodeId`,
+:class:`~repro.util.bitstrings.BitString`, and tuples/frozensets of these.
+The engine scans payloads for NodeIds to maintain Definition 2.3's
+utilized-edge accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.congest.ids import NodeId
+from repro.errors import ModelViolationError
+from repro.util.bitstrings import BitString
+
+
+@dataclass(frozen=True)
+class Msg:
+    """What a node actually receives: the sender's *ID* plus the payload.
+
+    Engine-internal vertex indices never reach algorithm code; in KT-1 and
+    above the port-to-neighbor-ID mapping is initial knowledge, so exposing
+    the sender ID is model-faithful.
+    """
+
+    sender_id: NodeId
+    tag: str
+    fields: tuple
+
+    def __repr__(self) -> str:
+        return f"Msg(from {self.sender_id!r} '{self.tag}' {self.fields!r})"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: engine-level routing plus the user payload."""
+
+    sender: int          # vertex index (engine-internal)
+    receiver: int        # vertex index (engine-internal)
+    tag: str
+    fields: tuple
+    round_sent: int
+    words: int
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope({self.sender}->{self.receiver} '{self.tag}' "
+            f"{self.fields!r} @r{self.round_sent})"
+        )
+
+
+def _field_words(field: Any, word_bits: int) -> int:
+    if field is None or isinstance(field, bool):
+        return 1
+    if isinstance(field, NodeId):
+        return 1
+    if isinstance(field, int):
+        bits = max(1, field.bit_length() + (1 if field < 0 else 0))
+        return max(1, -(-bits // word_bits))
+    if isinstance(field, str):
+        if len(field) > 64:
+            raise ModelViolationError("string payloads are for short tags only")
+        return max(1, -(-(8 * len(field)) // word_bits))
+    if isinstance(field, BitString):
+        return field.words(word_bits)
+    if isinstance(field, (tuple, frozenset)):
+        return sum(_field_words(f, word_bits) for f in field)
+    raise ModelViolationError(
+        f"payload field of type {type(field).__name__} is not encodable; "
+        "allowed: int, bool, None, str, NodeId, BitString, tuple, frozenset"
+    )
+
+
+def payload_words(fields: tuple, word_bits: int) -> int:
+    """Number of Theta(log n)-bit words the payload occupies (tag is free:
+    a tag is O(1) protocol-constant bits, absorbed in the word slack)."""
+    if not fields:
+        return 1
+    return sum(_field_words(f, word_bits) for f in fields)
+
+
+def iter_node_ids(fields: Any) -> Iterator[NodeId]:
+    """Yield every NodeId appearing (recursively) in a payload."""
+    if isinstance(fields, NodeId):
+        yield fields
+    elif isinstance(fields, (tuple, frozenset, list)):
+        for f in fields:
+            yield from iter_node_ids(f)

@@ -1,0 +1,122 @@
+"""Message-complexity accounting and utilized-edge tracking.
+
+Message complexity is the quantity the whole paper is about; this module
+is the measurement instrument.  It tracks:
+
+* ``sends`` — logical send operations performed by algorithms;
+* ``messages`` — charged CONGEST messages (a w-word payload costs
+  ceil(w / words_per_message) messages);
+* ``words`` — total Theta(log n)-bit words moved;
+* ``rounds`` — synchronous rounds elapsed;
+* ``utilized`` — the utilized edges of Definition 2.3: an edge {u, v} is
+  utilized if (i) a message crosses it, (ii) u sends or receives phi(v), or
+  (iii) v sends or receives phi(u).
+
+Lemma 2.4 (utilized edges = O(message complexity)) becomes a checkable
+invariant: each charged message contains at most O(1) IDs, so it can
+utilize at most a constant number of edges; tests assert
+``len(utilized) <= utilization_constant * messages``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageStats:
+    """Accounting for a single protocol stage."""
+
+    name: str
+    sends: int = 0
+    messages: int = 0
+    words: int = 0
+    rounds: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "sends": self.sends,
+            "messages": self.messages,
+            "words": self.words,
+            "rounds": self.rounds,
+        }
+
+
+class MessageStats:
+    """Cumulative statistics for a network (across all stages)."""
+
+    def __init__(self) -> None:
+        self.sends = 0
+        self.messages = 0
+        self.words = 0
+        self.rounds = 0
+        self.utilized: set[tuple[int, int]] = set()
+        self.stages: list[StageStats] = []
+        #: charged messages per protocol tag (who is spending the budget)
+        self.by_tag: dict[str, int] = {}
+        #: charged messages per sender vertex (load distribution)
+        self.by_sender: dict[int, int] = {}
+
+    # -- charging ------------------------------------------------------------
+
+    def charge_send(self, words: int, charged_messages: int,
+                    tag: str = "", sender: int = -1) -> None:
+        self.sends += 1
+        self.words += words
+        self.messages += charged_messages
+        if tag:
+            self.by_tag[tag] = self.by_tag.get(tag, 0) + charged_messages
+        if sender >= 0:
+            self.by_sender[sender] = (
+                self.by_sender.get(sender, 0) + charged_messages
+            )
+        if self.stages:
+            stage = self.stages[-1]
+            stage.sends += 1
+            stage.words += words
+            stage.messages += charged_messages
+
+    def charge_round(self) -> None:
+        self.charge_rounds(1)
+
+    def charge_rounds(self, count: int) -> None:
+        self.rounds += count
+        if self.stages:
+            self.stages[-1].rounds += count
+
+    def mark_utilized(self, u: int, v: int) -> None:
+        self.utilized.add((u, v) if u < v else (v, u))
+
+    # -- stage management ----------------------------------------------------
+
+    def begin_stage(self, name: str) -> StageStats:
+        stage = StageStats(name=name)
+        self.stages.append(stage)
+        return stage
+
+    def stage_named(self, name: str) -> StageStats:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(name)
+
+    @property
+    def utilized_count(self) -> int:
+        return len(self.utilized)
+
+    def summary(self) -> dict:
+        return {
+            "sends": self.sends,
+            "messages": self.messages,
+            "words": self.words,
+            "rounds": self.rounds,
+            "utilized_edges": len(self.utilized),
+            "stages": [s.as_dict() for s in self.stages],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MessageStats(messages={self.messages}, rounds={self.rounds}, "
+            f"utilized={len(self.utilized)})"
+        )

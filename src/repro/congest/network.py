@@ -1,0 +1,288 @@
+"""The synchronous KT-rho CONGEST engine.
+
+One :class:`SyncNetwork` owns a graph, an ID assignment, the KT-rho
+knowledge of every node, and cumulative :class:`MessageStats`.  Protocols
+are executed as *stages* (:meth:`SyncNetwork.run`): each stage runs one
+:class:`NodeAlgorithm` on every node until global quiescence (every node
+has called ``ctx.done`` and no message is in flight).  Composite protocols
+(Algorithm 1's danner -> leader election -> broadcast -> coloring pipeline)
+are drivers that run several stages, feeding each node's stage output back
+as its next stage input — a per-node handoff that never moves information
+between nodes outside the message-passing model.
+
+Accounting: every send is charged words (one word = Theta(log n) bits) and
+``ceil(words / words_per_message)`` CONGEST messages; utilized edges follow
+Definition 2.3 (see :mod:`repro.congest.metrics`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.congest.ids import IdAssignment, NodeId, OpaqueId, id_value
+from repro.congest.knowledge import KTKnowledge, build_knowledge
+from repro.congest.message import Envelope, Msg, iter_node_ids, payload_words
+from repro.congest.metrics import MessageStats, StageStats
+from repro.congest.node import Context, NodeAlgorithm
+from repro.congest.trace import ExecutionTrace
+from repro.errors import (
+    ConvergenceError,
+    ModelViolationError,
+    ReproError,
+    UnknownNeighborError,
+)
+from repro.graphs.core import Graph
+
+
+@dataclass
+class StageResult:
+    """What a single protocol stage produced."""
+
+    name: str
+    outputs: list            # outputs[vertex]
+    rounds: int
+    stats: StageStats
+    converged: bool
+
+
+class SyncNetwork:
+    """A synchronous CONGEST network on a fixed graph and ID assignment."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        rho: int = 1,
+        assignment: Optional[IdAssignment] = None,
+        seed: int = 0,
+        comparison_based: bool = False,
+        words_per_message: int = 4,
+        record_trace: bool = False,
+    ):
+        if rho < 1:
+            raise ReproError("SyncNetwork supports KT-rho for rho >= 1")
+        self.graph = graph
+        self.rho = rho
+        self.seed = seed
+        self.comparison_based = comparison_based
+        self.words_per_message = words_per_message
+        self.assignment = assignment or IdAssignment.random(graph.n, seed=seed)
+        if len(self.assignment) != graph.n:
+            raise ReproError("assignment size does not match graph size")
+
+        # One word is Theta(log n) bits; size it by the ID space so any
+        # single ID always fits in one word.
+        self.word_bits = max(8, self.assignment.space_bound().bit_length())
+
+        self._salt = random.Random(f"salt-{seed}").getrandbits(32)
+        self._ids: list[NodeId] = [
+            self._make_id_object(self.assignment.value_of(v))
+            for v in range(graph.n)
+        ]
+        self._vertex_by_value = {
+            self.assignment.value_of(v): v for v in range(graph.n)
+        }
+        self.knowledge: list[KTKnowledge] = build_knowledge(
+            graph, rho, lambda v: self._ids[v]
+        )
+        self.stats = MessageStats()
+        self.trace: Optional[ExecutionTrace] = (
+            ExecutionTrace() if record_trace else None
+        )
+        self._stage_counter = 0
+
+    # -- identity helpers (harness-side; not exposed to algorithms) ----------
+
+    def _make_id_object(self, value: int) -> NodeId:
+        if self.comparison_based:
+            return OpaqueId(value, salt=self._salt)
+        return NodeId(value)
+
+    def id_of(self, vertex: int) -> NodeId:
+        return self._ids[vertex]
+
+    def vertex_of(self, node_id: NodeId) -> int:
+        return self._vertex_by_value[id_value(node_id)]
+
+    def vertex_of_value(self, value: int) -> int:
+        return self._vertex_by_value[value]
+
+    # -- stage execution ------------------------------------------------------
+
+    def run(
+        self,
+        algorithm_factory: Callable[[], NodeAlgorithm],
+        inputs: Optional[Sequence[Any]] = None,
+        max_rounds: int = 100_000,
+        name: Optional[str] = None,
+    ) -> StageResult:
+        """Run one protocol stage to global quiescence.
+
+        ``inputs[vertex]`` is handed to node ``vertex`` as ``ctx.input``.
+        Raises :class:`ConvergenceError` if the stage does not quiesce
+        within ``max_rounds``.
+        """
+        n = self.graph.n
+        stage_name = name or f"stage-{self._stage_counter}"
+        self._stage_counter += 1
+        stage = self.stats.begin_stage(stage_name)
+
+        algorithms = [algorithm_factory() for _ in range(n)]
+        contexts = []
+        for v in range(n):
+            rng = random.Random(f"{self.seed}-{stage_name}-node-{v}")
+            node_input = inputs[v] if inputs is not None else None
+            contexts.append(Context(self, v, self.knowledge[v], rng, node_input))
+        self._contexts = contexts
+
+        for v in range(n):
+            algorithms[v].setup(contexts[v])
+
+        passive = all(a.passive_when_idle for a in algorithms)
+        # Messages in flight, keyed by delivery round.  Each directed edge
+        # carries one message per round (CONGEST); a w-word payload occupies
+        # ceil(w / words_per_message) consecutive slots on its link, and
+        # bursts to the same neighbor queue up behind each other.
+        self._pending: dict[int, list[Envelope]] = {}
+        self._link_free: dict[tuple[int, int], int] = {}
+        round_index = 0
+        converged = False
+
+        while round_index <= max_rounds:
+            self._current_round = round_index
+            arriving = self._pending.pop(round_index, [])
+            inboxes: dict[int, list[Envelope]] = {}
+            for env in arriving:
+                inboxes.setdefault(env.receiver, []).append(env)
+            active_vertices = (
+                range(n)
+                if (round_index == 0 or not passive)
+                else list(inboxes.keys())
+            )
+            for v in active_vertices:
+                ctx = contexts[v]
+                ctx.round = round_index
+                ctx._send_allowed = True
+                envelopes = inboxes.get(v, ())
+                self._register_received_ids(v, envelopes)
+                inbox = [
+                    Msg(self._ids[e.sender], e.tag, e.fields)
+                    for e in envelopes
+                ]
+                algorithms[v].on_round(ctx, inbox)
+                ctx._send_allowed = False
+            all_done = all(c._finished for c in contexts)
+            if not self._pending:
+                if all_done:
+                    converged = True
+                    round_index += 1
+                    break
+                if passive and round_index > 0:
+                    unfinished = [
+                        v for v in range(n) if not contexts[v]._finished
+                    ]
+                    raise ConvergenceError(
+                        f"stage '{stage_name}' deadlocked with unfinished "
+                        f"nodes {unfinished[:10]} (total {len(unfinished)})"
+                    )
+                round_index += 1
+            elif passive:
+                # Idle nodes never act on silence: jump to the next delivery.
+                round_index = min(self._pending)
+            else:
+                round_index += 1
+        else:
+            raise ConvergenceError(
+                f"stage '{stage_name}' exceeded {max_rounds} rounds"
+            )
+
+        self.stats.charge_rounds(round_index)
+        outputs = [contexts[v]._output for v in range(n)]
+        if self.trace is not None:
+            for v in range(n):
+                self.trace.record_output(v, outputs[v], self.vertex_of_value)
+        return StageResult(
+            name=stage_name,
+            outputs=outputs,
+            rounds=stage.rounds,
+            stats=stage,
+            converged=converged,
+        )
+
+    # -- engine internals ------------------------------------------------------
+
+    def _submit_send(self, sender: int, to_id: NodeId, tag: str,
+                     fields: tuple) -> None:
+        value = id_value(to_id)
+        receiver = self._vertex_by_value.get(value)
+        if receiver is None:
+            raise UnknownNeighborError(
+                f"no node with ID value {value} exists"
+            )
+        if not self.graph.has_edge(sender, receiver):
+            raise ModelViolationError(
+                f"vertex {sender} tried to send to non-neighbor {receiver}; "
+                "CONGEST only delivers over edges"
+            )
+        words = payload_words(fields, self.word_bits)
+        charged = max(1, -(-words // self.words_per_message))
+        self.stats.charge_send(words, charged, tag=tag, sender=sender)
+        # Utilization, Definition 2.3: the transport edge ...
+        self.stats.mark_utilized(sender, receiver)
+        # ... plus every edge {sender, w} for an ID phi(w) the sender ships.
+        for nid in iter_node_ids(fields):
+            w = self._vertex_by_value.get(id_value(nid))
+            if w is not None and w != sender and self.graph.has_edge(sender, w):
+                self.stats.mark_utilized(sender, w)
+        env = Envelope(
+            sender=sender,
+            receiver=receiver,
+            tag=tag,
+            fields=fields,
+            round_sent=self._current_round,
+            words=words,
+        )
+        self._schedule(env, charged)
+        if self.trace is not None:
+            self.trace.record(
+                self._current_round, sender, receiver, tag, fields,
+                self.vertex_of_value,
+            )
+
+    def _schedule(self, env: Envelope, charged: int) -> None:
+        """Synchronous delivery: one CONGEST message per link per round.
+
+        Bursts to the same neighbor queue behind each other and a k-message
+        payload holds the link for k rounds.  The asynchronous engine
+        overrides this with random finite delays.
+        """
+        link = (env.sender, env.receiver)
+        start = max(self._current_round + 1, self._link_free.get(link, 0))
+        deliver_at = start + charged - 1
+        self._link_free[link] = deliver_at + 1
+        self._pending.setdefault(deliver_at, []).append(env)
+
+    def _register_received_ids(self, receiver: int,
+                               inbox: list[Envelope]) -> None:
+        """Definition 2.3 receive-side utilization."""
+        for env in inbox:
+            for nid in iter_node_ids(env.fields):
+                w = self._vertex_by_value.get(id_value(nid))
+                if w is not None and w != receiver \
+                        and self.graph.has_edge(receiver, w):
+                    self.stats.mark_utilized(receiver, w)
+
+    # -- conveniences -----------------------------------------------------------
+
+    def outputs_by_id_value(self, outputs: Sequence[Any]) -> dict[int, Any]:
+        return {
+            self.assignment.value_of(v): outputs[v]
+            for v in range(self.graph.n)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SyncNetwork(n={self.graph.n}, m={self.graph.m}, rho={self.rho}, "
+            f"comparison_based={self.comparison_based})"
+        )

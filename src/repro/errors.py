@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelViolationError(ReproError):
+    """An algorithm violated a rule of the CONGEST KT-rho model.
+
+    Examples: sending to a node whose ID is not locally known, or sending
+    a payload that cannot be encoded in the allowed number of words.
+    """
+
+
+class ComparisonDisciplineError(ModelViolationError):
+    """A comparison-based algorithm performed a non-comparison operation
+    on an ID-type variable (see Section 1.4.2 of the paper)."""
+
+
+class UnknownNeighborError(ModelViolationError):
+    """A node attempted to address a message to an ID outside its
+    initial knowledge plus learned IDs."""
+
+
+class ProtocolError(ReproError):
+    """An algorithm reached an internally inconsistent state (a bug in a
+    protocol implementation, not a model violation)."""
+
+
+class VerificationError(ReproError):
+    """A produced output (coloring / MIS / tree) failed verification."""
+
+
+class ConvergenceError(ReproError):
+    """A protocol failed to terminate within its round budget."""

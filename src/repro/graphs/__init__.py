@@ -1,0 +1,44 @@
+"""Graph substrate: a light adjacency-list graph plus generators/analysis.
+
+The simulator keeps vertices as integers ``0..n-1`` internally and never
+touches networkx on hot paths; :mod:`repro.graphs.analysis` converts to
+networkx for diameter/component computations in tests and benchmarks.
+"""
+
+from repro.graphs.core import Graph
+from repro.graphs.generators import (
+    gnp_random_graph,
+    random_regular_graph,
+    power_law_graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    disjoint_cycles,
+    barbell_graph,
+    tiered_bipartite,
+)
+from repro.graphs.analysis import (
+    connected_components,
+    is_connected,
+    diameter,
+    subgraph_diameter,
+    max_degree,
+)
+
+__all__ = [
+    "Graph",
+    "gnp_random_graph",
+    "random_regular_graph",
+    "power_law_graph",
+    "complete_bipartite",
+    "complete_graph",
+    "cycle_graph",
+    "disjoint_cycles",
+    "barbell_graph",
+    "tiered_bipartite",
+    "connected_components",
+    "is_connected",
+    "diameter",
+    "subgraph_diameter",
+    "max_degree",
+]

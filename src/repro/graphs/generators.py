@@ -1,0 +1,235 @@
+"""Graph generators for the experiments and benchmarks.
+
+Every generator takes an explicit ``seed`` (or ``rng``) so benchmark runs
+are reproducible.  The families here are the ones the paper's bounds are
+exercised on:
+
+* Gnp / random-regular / power-law — generic workloads for the upper bounds
+  (dense Gnp gives m >> n^1.5, the regime where o(m) matters).
+* complete bipartite + the tiered bipartite X-Y-Z gadget — the lower-bound
+  construction of Section 2.2 (Figure 2).
+* disjoint k-cycles — the KT-rho lower bound of Theorem 2.17.
+* barbell — a high-diameter stress test for the danner.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.graphs.core import Graph
+
+
+def _rng_from(seed) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def gnp_random_graph(n: int, p: float, seed=0) -> Graph:
+    """Erdos-Renyi G(n, p) via geometric edge skipping (O(n + m) time)."""
+    if not 0.0 <= p <= 1.0:
+        raise ReproError("p must be in [0, 1]")
+    rng = _rng_from(seed)
+    edges: list[tuple[int, int]] = []
+    if p == 0.0 or n < 2:
+        return Graph(n, edges)
+    if p == 1.0:
+        return complete_graph(n)
+    import math
+
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        r = rng.random()
+        w = w + 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            edges.append((v, w))
+    return Graph(n, edges)
+
+
+def connected_gnp_graph(n: int, p: float, seed=0, max_tries: int = 60) -> Graph:
+    """G(n, p) conditioned on connectivity (resamples; then patches)."""
+    rng = _rng_from(seed)
+    from repro.graphs.analysis import connected_components
+
+    for _ in range(max_tries):
+        g = gnp_random_graph(n, p, rng)
+        comps = connected_components(g)
+        if len(comps) == 1:
+            return g
+    # Patch: link consecutive components with one random edge each.
+    g = gnp_random_graph(n, p, rng)
+    comps = connected_components(g)
+    extra = []
+    for a, b in zip(comps, comps[1:]):
+        extra.append((rng.choice(sorted(a)), rng.choice(sorted(b))))
+    return g.with_edges(added=extra)
+
+
+def random_regular_graph(n: int, d: int, seed=0, max_tries: int = 60) -> Graph:
+    """A random d-regular simple graph.
+
+    Tries the configuration model first; for dense degrees (where simple
+    outcomes are exponentially rare) falls back to a circulant graph
+    randomized by double edge swaps, which is guaranteed simple and
+    d-regular.
+    """
+    if (n * d) % 2 != 0:
+        raise ReproError("n * d must be even for a d-regular graph")
+    if d >= n:
+        raise ReproError("degree must be below n")
+    rng = _rng_from(seed)
+    for _ in range(max_tries):
+        stubs = [v for v in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or (min(u, v), max(u, v)) in edges:
+                ok = False
+                break
+            edges.add((min(u, v), max(u, v)))
+        if ok:
+            return Graph(n, edges)
+    return _circulant_with_swaps(n, d, rng)
+
+
+def _circulant_with_swaps(n: int, d: int, rng: random.Random) -> Graph:
+    """Deterministic circulant base + random double edge swaps."""
+    edges: set[tuple[int, int]] = set()
+    for offset in range(1, d // 2 + 1):
+        for v in range(n):
+            u = (v + offset) % n
+            edges.add((min(u, v), max(u, v)))
+    if d % 2 == 1:
+        # odd degree needs even n: add the antipodal perfect matching
+        for v in range(n // 2):
+            u = v + n // 2
+            edges.add((v, u))
+    edge_list = list(edges)
+    # Randomize with double edge swaps: {a,b},{c,d} -> {a,c},{b,d}.
+    for _ in range(10 * len(edge_list)):
+        i, j = rng.randrange(len(edge_list)), rng.randrange(len(edge_list))
+        if i == j:
+            continue
+        a, b = edge_list[i]
+        c, e = edge_list[j]
+        if len({a, b, c, e}) < 4:
+            continue
+        new1 = (min(a, c), max(a, c))
+        new2 = (min(b, e), max(b, e))
+        if new1 in edges or new2 in edges:
+            continue
+        edges.discard(edge_list[i])
+        edges.discard(edge_list[j])
+        edges.add(new1)
+        edges.add(new2)
+        edge_list[i], edge_list[j] = new1, new2
+    return Graph(n, edges)
+
+
+def power_law_graph(n: int, attachment: int = 3, seed=0) -> Graph:
+    """Barabasi-Albert preferential attachment (power-law degrees)."""
+    if attachment < 1 or attachment >= n:
+        raise ReproError("attachment must be in [1, n)")
+    rng = _rng_from(seed)
+    edges: list[tuple[int, int]] = []
+    targets = list(range(attachment))
+    repeated: list[int] = list(range(attachment))
+    for v in range(attachment, n):
+        chosen = set()
+        while len(chosen) < attachment:
+            chosen.add(rng.choice(repeated) if repeated else rng.randrange(v))
+        for u in chosen:
+            edges.append((u, v))
+            repeated.append(u)
+            repeated.append(v)
+        targets.append(v)
+    return Graph(n, edges)
+
+
+def complete_graph(n: int) -> Graph:
+    return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """K_{a,b} with left part 0..a-1 and right part a..a+b-1."""
+    return Graph(a + b, [(u, a + v) for u in range(a) for v in range(b)])
+
+
+def cycle_graph(k: int) -> Graph:
+    if k < 3:
+        raise ReproError("a cycle needs at least 3 vertices")
+    return Graph(k, [(i, (i + 1) % k) for i in range(k)])
+
+
+def disjoint_cycles(num_cycles: int, k: int) -> Graph:
+    """The Theorem 2.17 family: ``num_cycles`` disjoint k-cycles."""
+    edges = []
+    for c in range(num_cycles):
+        base = c * k
+        edges.extend((base + i, base + (i + 1) % k) for i in range(k))
+    return Graph(num_cycles * k, edges)
+
+
+def barbell_graph(clique: int, path: int) -> Graph:
+    """Two ``clique``-cliques joined by a ``path``-vertex path (big D)."""
+    if clique < 2:
+        raise ReproError("cliques need at least 2 vertices")
+    edges = []
+    # Left clique: 0..clique-1, right clique: clique+path..2*clique+path-1
+    for u in range(clique):
+        for v in range(u + 1, clique):
+            edges.append((u, v))
+    offset = clique + path
+    for u in range(clique):
+        for v in range(u + 1, clique):
+            edges.append((offset + u, offset + v))
+    chain = [clique - 1] + [clique + i for i in range(path)] + [offset]
+    edges.extend(zip(chain, chain[1:]))
+    return Graph(2 * clique + path, edges)
+
+
+def tiered_bipartite(t: int) -> tuple[Graph, dict[str, list[int]]]:
+    """The lower-bound gadget G(X, Y, Z, E) of Section 2.2.
+
+    |X| = |Y| = |Z| = t; G[X u Y] and G[Y u Z] are both K_{t,t}, so
+    |E| = 2 t^2.  Returns the graph and the parts, with vertices numbered
+    X = 0..t-1, Y = t..2t-1, Z = 2t..3t-1.
+    """
+    if t < 1:
+        raise ReproError("t must be >= 1")
+    xs = list(range(t))
+    ys = list(range(t, 2 * t))
+    zs = list(range(2 * t, 3 * t))
+    edges = [(x, y) for x in xs for y in ys]
+    edges.extend((y, z) for y in ys for z in zs)
+    return Graph(3 * t, edges), {"X": xs, "Y": ys, "Z": zs}
+
+
+def graph_from_networkx(g) -> Graph:
+    """Convert a networkx graph with integer-convertible nodes."""
+    mapping = {v: i for i, v in enumerate(sorted(g.nodes()))}
+    return Graph(
+        g.number_of_nodes(),
+        [(mapping[u], mapping[v]) for u, v in g.edges()],
+    )
+
+
+def random_spanning_subgraph(g: Graph, keep: float, seed=0) -> Graph:
+    """Keep each edge independently with probability ``keep`` (tests)."""
+    rng = _rng_from(seed)
+    return Graph(g.n, [e for e in g.edges() if rng.random() < keep])
+
+
+def relabelled(g: Graph, permutation: Sequence[int]) -> Graph:
+    """Apply a vertex permutation (tests of isomorphism invariance)."""
+    if sorted(permutation) != list(range(g.n)):
+        raise ReproError("not a permutation of the vertex set")
+    return Graph(g.n, [(permutation[u], permutation[v]) for u, v in g.edges()])

@@ -1,0 +1,61 @@
+"""The paper's lower-bound machinery, made executable.
+
+* :mod:`repro.lowerbounds.construction` — Section 2.2: the base graph
+  G ∪ G′, the crossed graphs G_{e,e′}, the ID assignment ψ_{e,e′} with
+  its shifted ranges, and the swap assignments of Lemma 2.5 (Figure 2).
+* :mod:`repro.lowerbounds.algorithms` — deterministic comparison-based
+  probe algorithms whose message budget is a dial, used to trace the
+  utilization/correctness dichotomy.
+* :mod:`repro.lowerbounds.crossing_experiment` — Lemmas 2.5/2.8/2.9/2.13
+  and Theorems 2.10-2.16 as experiments over the family F.
+* :mod:`repro.lowerbounds.kt_rho` — Theorem 2.17's disjoint-cycle family
+  and the mute-cycle message/success trade-off.
+"""
+
+from repro.lowerbounds.construction import (
+    CrossingInstance,
+    build_base_graph,
+    crossing_instance,
+    enumerate_family,
+    sample_family,
+    family_size,
+    verify_id_properties,
+)
+from repro.lowerbounds.algorithms import (
+    SilentCountColoring,
+    SilentExtremaMIS,
+    ProbedCountColoring,
+    ProbedExtremaMIS,
+)
+from repro.lowerbounds.crossing_experiment import (
+    CrossingRecord,
+    run_crossing_trial,
+    dichotomy_experiment,
+    summarize_records,
+)
+from repro.lowerbounds.kt_rho import (
+    CycleExperimentResult,
+    run_cycle_experiment,
+    cycle_tradeoff_sweep,
+)
+
+__all__ = [
+    "CrossingInstance",
+    "build_base_graph",
+    "crossing_instance",
+    "enumerate_family",
+    "sample_family",
+    "family_size",
+    "verify_id_properties",
+    "SilentCountColoring",
+    "SilentExtremaMIS",
+    "ProbedCountColoring",
+    "ProbedExtremaMIS",
+    "CrossingRecord",
+    "run_crossing_trial",
+    "dichotomy_experiment",
+    "summarize_records",
+    "CycleExperimentResult",
+    "run_cycle_experiment",
+    "cycle_tradeoff_sweep",
+]

@@ -1,0 +1,157 @@
+"""Comparison-based probe algorithms for the dichotomy experiments.
+
+The lower-bound proofs show that a comparison-based algorithm either
+*utilizes* one edge of every crossable pair (e, e′) or computes the same
+decoded output on the base and crossed graphs — and the latter is wrong
+on G_{e,e′} (monochromatic {y, y′} for coloring, Lemma 2.9; adjacent MIS
+pair {x′, z} for MIS, Lemma 2.13).  These algorithms make that dichotomy
+*measurable*:
+
+* the **silent** variants send zero messages, are correct on the base
+  graph family, and reproduce exactly the failure the lemmas predict on
+  every crossed graph;
+* the **probed** variants additionally verify a budget of k randomly
+  sampled incident edges, repairing the violation exactly when a probe
+  hits a crossing edge — sweeping k traces out the messages-vs-
+  correctness trade-off that Lemma 2.11 and Yao's-lemma Theorem 2.12
+  formalize.
+
+All of them only *compare* IDs (count smaller neighbors, compare
+endpoint IDs for tie-breaking) — they run under ``OpaqueId`` discipline.
+They are experiment gadgets tailored to the family F: the probed
+variants' repair rules exploit the family's structure and are not
+general-purpose algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.congest.node import Context, NodeAlgorithm
+
+
+def _position_color(ctx: Context) -> int:
+    """A pure comparison-based color from the ID-order signature.
+
+    0 if every neighbor has a larger ID, 1 if every neighbor has a
+    smaller ID, 2 if mixed.  On the base family: X and X′ get 0 (their Y
+    neighbors sit above), Z and Z′ get 1 (their Y neighbors sit below),
+    Y and Y′ get 2 — proper.  On a crossed graph both y and y′ still see
+    mixed neighborhoods (the ψ shifts guarantee the crossing preserves
+    every local comparison), so {y, y′} goes monochromatic.
+    """
+    me = ctx.my_id
+    smaller = sum(1 for u in ctx.neighbor_ids if u < me)
+    larger = len(ctx.neighbor_ids) - smaller
+    if smaller == 0:
+        return 0
+    if larger == 0:
+        return 1
+    return 2
+
+
+class SilentCountColoring(NodeAlgorithm):
+    """color(v) = ID-order signature of the neighborhood; zero messages.
+
+    Correct on every base graph of the family; on every crossed graph it
+    makes {y, y′} monochromatic — the Lemma 2.9 witness.
+    """
+
+    passive_when_idle = True
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        ctx.done({"color": _position_color(ctx)})
+
+
+class SilentExtremaMIS(NodeAlgorithm):
+    """join iff my ID is a local extremum; zero messages.
+
+    On the base family this yields the valid MIS X ∪ Z ∪ X′ ∪ Z′ (one of
+    the two outcomes Lemma 2.13 allows); on every crossed graph both x′
+    and z join while being adjacent — the Lemma 2.13 witness.
+    """
+
+    passive_when_idle = True
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        me = ctx.my_id
+        nbrs = ctx.neighbor_ids
+        local_min = all(u > me for u in nbrs)
+        local_max = all(u < me for u in nbrs)
+        ctx.done({"in_mis": local_min or local_max})
+
+
+class ProbedCountColoring(NodeAlgorithm):
+    """Silent count coloring plus k random edge probes.
+
+    Each node samples up to k incident edges, announces its candidate
+    color across them, and answers any probe with its own candidate.  If
+    a probe reveals an equal-color neighbor, the smaller-ID endpoint
+    recolors to 3 (the signature colors are 0-2, so 3 is conflict-free on
+    the family F; requires t >= 2 for it to fit the Δ+1 palette).
+    Utilized edges ≈ the probed ones, so correctness on a crossed
+    instance ≈ Pr[some probe hits a crossing edge].
+    """
+
+    passive_when_idle = True
+
+    def __init__(self, budget: int):
+        self.budget = budget
+
+    def setup(self, ctx: Context) -> None:
+        self.color = None
+
+    def _ensure_color(self, ctx: Context) -> None:
+        if self.color is None:
+            self.color = _position_color(ctx)
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        self._ensure_color(ctx)
+        if ctx.round == 0:
+            nbrs = list(ctx.neighbor_ids)
+            ctx.rng.shuffle(nbrs)
+            for u in nbrs[: self.budget]:
+                ctx.send(u, "probe", self.color)
+        for msg in inbox:
+            (their_color,) = msg.fields
+            if msg.tag == "probe":
+                ctx.send(msg.sender_id, "answer", self.color)
+            if their_color == self.color and msg.sender_id > ctx.my_id:
+                # Conflict detected: the smaller-ID endpoint repairs.
+                self.color = 3
+        ctx.done({"color": self.color})
+
+
+class ProbedExtremaMIS(NodeAlgorithm):
+    """Silent extrema MIS plus k random edge probes.
+
+    A probe carries the sender's tentative membership; if both endpoints
+    of a probed edge are in, the smaller-ID endpoint defects (it stays
+    dominated by the larger one, preserving maximality on the family F).
+    """
+
+    passive_when_idle = True
+
+    def __init__(self, budget: int):
+        self.budget = budget
+
+    def setup(self, ctx: Context) -> None:
+        self.in_mis = False
+
+    def _decide(self, ctx: Context) -> None:
+        me = ctx.my_id
+        nbrs = ctx.neighbor_ids
+        self.in_mis = all(u > me for u in nbrs) or all(u < me for u in nbrs)
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        if ctx.round == 0:
+            self._decide(ctx)
+            nbrs = list(ctx.neighbor_ids)
+            ctx.rng.shuffle(nbrs)
+            for u in nbrs[: self.budget]:
+                ctx.send(u, "probe", self.in_mis)
+        for msg in inbox:
+            (their_state,) = msg.fields
+            if msg.tag == "probe":
+                ctx.send(msg.sender_id, "answer", self.in_mis)
+            if their_state and self.in_mis and msg.sender_id > ctx.my_id:
+                self.in_mis = False
+        ctx.done({"in_mis": self.in_mis})

@@ -1,0 +1,237 @@
+"""Section 2.2: the lower-bound graph family and its ID assignments.
+
+The base graph is G ∪ G′ where G(X, Y, Z, E) has |X| = |Y| = |Z| = t and
+G[X ∪ Y] ≅ G[Y ∪ Z] ≅ K_{t,t} (so |E| = 2t², n = 6t, m = 4t²), and G′ is
+a disjoint copy.  A *crossed graph* G_{e,e′} swaps the edge e = {y, z}
+of G with e′ = {x′, y′} of G′, producing the new edges {y, y′} and
+{x′, z} (Figure 2).
+
+The ID assignment φ places X on even values in [0, 2t), Y in [10t, 12t),
+Z in [20t, 22t); the copy's assignment φ′_{e,e′} shifts each part so that
+the ID of x′ lands right next to φ(y) and the ID of y′ right next to
+φ(z) — equation (1) of the paper — which is what hides the crossing from
+any comparison-based algorithm that does not utilize e or e′.
+
+`verify_id_properties` checks the paper's observations (i)-(iii) about
+φ′_{e,e′} on any instance; tests run it across the family.
+
+Vertex numbering: X = 0..t-1, Y = t..2t-1, Z = 2t..3t-1, and primed
+copies shifted by 3t (so v′ = v + 3t).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.congest.ids import IdAssignment
+from repro.errors import ReproError
+from repro.graphs.core import Graph
+
+
+def build_base_graph(t: int) -> tuple[Graph, dict[str, list[int]]]:
+    """G ∪ G′ plus the six parts."""
+    if t < 1:
+        raise ReproError("t must be >= 1")
+    xs = list(range(t))
+    ys = list(range(t, 2 * t))
+    zs = list(range(2 * t, 3 * t))
+    edges = [(x, y) for x in xs for y in ys]
+    edges += [(y, z) for y in ys for z in zs]
+    # The primed copy, shifted by 3t.
+    edges += [(u + 3 * t, v + 3 * t) for u, v in list(edges)]
+    parts = {
+        "X": xs, "Y": ys, "Z": zs,
+        "X'": [v + 3 * t for v in xs],
+        "Y'": [v + 3 * t for v in ys],
+        "Z'": [v + 3 * t for v in zs],
+    }
+    return Graph(6 * t, edges), parts
+
+
+def phi_values(t: int) -> list[int]:
+    """φ for the unprimed side: X, Y, Z on even values in their windows."""
+    values = [0] * (3 * t)
+    for i in range(t):
+        values[i] = 2 * i                     # X in [0, 2t)
+        values[t + i] = 10 * t + 2 * i        # Y in [10t, 12t)
+        values[2 * t + i] = 20 * t + 2 * i    # Z in [20t, 22t)
+    return values
+
+
+@dataclass(frozen=True)
+class CrossingInstance:
+    """One member of the family F: indices, graphs, and assignments."""
+
+    t: int
+    y_index: int      # which y in Y
+    z_index: int      # which z in Z (edge e = {y, z})
+    x_index: int      # which x' in X' (edge e' = {x', y'})
+    base: Graph
+    crossed: Graph
+    parts: dict
+    psi: IdAssignment        # psi_{e,e'}
+    psi_x: IdAssignment      # psi_{e,e',x}: swap values of y and x'
+    psi_z: IdAssignment      # psi_{e,e',z}: swap values of z and y'
+
+    # -- distinguished vertices ------------------------------------------------
+
+    @property
+    def y(self) -> int:
+        return self.t + self.y_index
+
+    @property
+    def z(self) -> int:
+        return 2 * self.t + self.z_index
+
+    @property
+    def x(self) -> int:
+        return self.x_index
+
+    @property
+    def x_prime(self) -> int:
+        return 3 * self.t + self.x_index
+
+    @property
+    def y_prime(self) -> int:
+        return 3 * self.t + self.y
+
+    @property
+    def z_prime(self) -> int:
+        return 3 * self.t + self.z
+
+    @property
+    def e(self) -> tuple[int, int]:
+        return (min(self.y, self.z), max(self.y, self.z))
+
+    @property
+    def e_prime(self) -> tuple[int, int]:
+        a, b = self.x_prime, self.y_prime
+        return (min(a, b), max(a, b))
+
+    @property
+    def new_edges(self) -> list[tuple[int, int]]:
+        return [
+            (min(self.y, self.y_prime), max(self.y, self.y_prime)),
+            (min(self.x_prime, self.z), max(self.x_prime, self.z)),
+        ]
+
+    def copy_map(self) -> dict[int, int]:
+        """v -> v' for the Lemma 2.8 isomorphism."""
+        return {v: v + 3 * self.t for v in range(3 * self.t)}
+
+
+def crossing_instance(t: int, y_index: int, z_index: int,
+                      x_index: int) -> CrossingInstance:
+    """Build G ∪ G′, G_{e,e′} and ψ_{e,e′} for the chosen crossing."""
+    for idx in (y_index, z_index, x_index):
+        if not 0 <= idx < t:
+            raise ReproError("crossing indices must lie in [0, t)")
+    base, parts = build_base_graph(t)
+    phi = phi_values(t)
+
+    y_val = phi[t + y_index]       # phi(y)
+    z_val = phi[2 * t + z_index]   # phi(z)
+    x_val = phi[x_index]           # phi(x)
+
+    shift_x = (y_val - x_val) + 1
+    shift_y = (z_val - y_val) + 1
+    shift_z = 10 * t + 1
+
+    values = list(phi) + [0] * (3 * t)
+    for i in range(t):
+        values[3 * t + i] = phi[i] + shift_x                    # X'
+        values[4 * t + i] = phi[t + i] + shift_y                # Y'
+        values[5 * t + i] = phi[2 * t + i] + shift_z            # Z'
+    psi = IdAssignment(values)
+
+    y_vertex = t + y_index
+    z_vertex = 2 * t + z_index
+    x_prime_vertex = 3 * t + x_index
+    y_prime_vertex = 3 * t + y_vertex
+    psi_x = psi.with_swapped(y_vertex, x_prime_vertex)
+    psi_z = psi.with_swapped(z_vertex, y_prime_vertex)
+
+    e = (min(y_vertex, z_vertex), max(y_vertex, z_vertex))
+    e_p = (min(x_prime_vertex, y_prime_vertex),
+           max(x_prime_vertex, y_prime_vertex))
+    crossed = base.with_edges(
+        removed=[e, e_p],
+        added=[(y_vertex, y_prime_vertex), (x_prime_vertex, z_vertex)],
+    )
+    return CrossingInstance(
+        t=t, y_index=y_index, z_index=z_index, x_index=x_index,
+        base=base, crossed=crossed, parts=parts,
+        psi=psi, psi_x=psi_x, psi_z=psi_z,
+    )
+
+
+def family_size(t: int) -> int:
+    """|F| = t^3 (t choices each for y, z, x')."""
+    return t ** 3
+
+
+def enumerate_family(t: int) -> Iterator[CrossingInstance]:
+    for y_index in range(t):
+        for z_index in range(t):
+            for x_index in range(t):
+                yield crossing_instance(t, y_index, z_index, x_index)
+
+
+def sample_family(t: int, count: int, seed=0) -> list[CrossingInstance]:
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    out = []
+    for _ in range(count):
+        out.append(crossing_instance(
+            t, rng.randrange(t), rng.randrange(t), rng.randrange(t)
+        ))
+    return out
+
+
+def verify_id_properties(inst: CrossingInstance) -> dict:
+    """The paper's observations (i)-(iii) about φ′_{e,e′}.
+
+    (i) the ranges of φ and φ′ are disjoint; (ii) φ′ lands inside the
+    stated windows per part; (iii) φ′ induces the same ID order on V′ as
+    φ does on V.  Also checks the two 'adjacency' facts Lemma 2.5 uses:
+    ψ(x′) = φ(y) + 1 and ψ(y′) = φ(z) + 1.
+    """
+    t = inst.t
+    psi = inst.psi
+    side_a = set(range(3 * t))
+    side_b = set(range(3 * t, 6 * t))
+    vals_a = {psi.value_of(v) for v in side_a}
+    vals_b = {psi.value_of(v) for v in side_b}
+
+    windows_ok = True
+    for i in range(t):
+        if not (8 * t + 1 <= psi.value_of(3 * t + i) <= 14 * t + 1):
+            windows_ok = False
+        if not (18 * t + 1 <= psi.value_of(4 * t + i) <= 24 * t + 1):
+            windows_ok = False
+        if not (30 * t + 1 <= psi.value_of(5 * t + i) <= 32 * t + 1):
+            windows_ok = False
+
+    order_ok = True
+    pairs = [(v, v + 3 * t) for v in range(3 * t)]
+    for i in range(len(pairs)):
+        for j in range(i + 1, len(pairs)):
+            a1, b1 = pairs[i]
+            a2, b2 = pairs[j]
+            if ((psi.value_of(a1) < psi.value_of(a2))
+                    != (psi.value_of(b1) < psi.value_of(b2))):
+                order_ok = False
+                break
+        if not order_ok:
+            break
+
+    return {
+        "ranges_disjoint": not (vals_a & vals_b),
+        "windows": windows_ok,
+        "order_isomorphic": order_ok,
+        "x_prime_adjacent_to_y":
+            psi.value_of(inst.x_prime) == psi.value_of(inst.y) + 1,
+        "y_prime_adjacent_to_z":
+            psi.value_of(inst.y_prime) == psi.value_of(inst.z) + 1,
+    }

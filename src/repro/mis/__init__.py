@@ -1,0 +1,44 @@
+"""MIS algorithms: Luby's baseline, randomized greedy, and Algorithm 3.
+
+* :mod:`repro.mis.luby` — Luby's MIS [26]: the Õ(m)-message KT-1
+  baseline of Figure 1, also reused on the remnant graph in Algorithm 3.
+* :mod:`repro.mis.greedy` — sequential randomized greedy MIS and the
+  parallel rank-driven version (Blelloch et al. [5]); they compute the
+  same MIS, which tests verify (Fischer–Noever [11] bound the round
+  count).
+* :mod:`repro.mis.algorithm3` — **Algorithm 3**: the KT-2
+  comparison-based MIS with Õ(n^1.5) messages in Õ(sqrt n) rounds
+  (Theorem 4.1).
+* :mod:`repro.mis.verify` — independence/maximality checkers and the
+  remnant-degree measurement behind Konrad's Lemma 1 [21].
+"""
+
+from repro.mis.verify import (
+    check_mis,
+    mis_violations,
+    remnant_vertices,
+    remnant_max_degree,
+)
+from repro.mis.luby import LubyMIS, run_luby
+from repro.mis.greedy import (
+    sequential_greedy_mis,
+    greedy_by_rank,
+    ParallelGreedyMIS,
+    run_parallel_greedy,
+)
+from repro.mis.algorithm3 import Algorithm3Result, run_algorithm3
+
+__all__ = [
+    "check_mis",
+    "mis_violations",
+    "remnant_vertices",
+    "remnant_max_degree",
+    "LubyMIS",
+    "run_luby",
+    "sequential_greedy_mis",
+    "greedy_by_rank",
+    "ParallelGreedyMIS",
+    "run_parallel_greedy",
+    "Algorithm3Result",
+    "run_algorithm3",
+]

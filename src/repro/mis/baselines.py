@@ -1,0 +1,45 @@
+"""Comparison-based MIS baseline: deterministic greedy by ID rank.
+
+A correct, deterministic, comparison-based MIS: undecided local ID-maxima
+join; neighbors retire.  Message cost Θ(m) (every node announces its fate
+over every incident edge) and every edge is utilized — the behavior
+Theorems 2.14/2.16 prove unavoidable for comparison-based algorithms.
+Used as the "correct" arm of the crossing dichotomy experiment.
+"""
+
+from __future__ import annotations
+
+from repro.congest.node import Context, NodeAlgorithm
+
+
+class RankGreedyMIS(NodeAlgorithm):
+    """Deterministic comparison-based MIS by ID order."""
+
+    passive_when_idle = True
+
+    def setup(self, ctx: Context) -> None:
+        self.undecided_above = {u for u in ctx.neighbor_ids if u > ctx.my_id}
+        self.state = None       # None / "joined" / "out"
+
+    def _try_decide(self, ctx: Context) -> None:
+        if self.state is None and not self.undecided_above:
+            self.state = "joined"
+            for u in ctx.neighbor_ids:
+                ctx.send(u, "joined")
+            ctx.done({"in_mis": True})
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        for msg in inbox:
+            if msg.tag == "joined" and self.state is None:
+                self.state = "out"
+                for u in ctx.neighbor_ids:
+                    ctx.send(u, "out")
+            self.undecided_above.discard(msg.sender_id)
+        ctx.done({"in_mis": self.state == "joined"})
+        self._try_decide(ctx)
+
+
+def run_rank_greedy_mis(net, name: str = "rank-mis"):
+    stage = net.run(RankGreedyMIS, name=name)
+    in_mis = [bool(out and out["in_mis"]) for out in stage.outputs]
+    return in_mis, stage

@@ -1,0 +1,165 @@
+"""Luby's MIS [26] — the Õ(m)-message KT-1 baseline of Figure 1.
+
+Classic phase structure, implemented in the same count-based lockstep
+style as the Johansson coloring so it tolerates link congestion and
+asynchrony: in every phase each undecided node draws a random priority
+and exchanges it with its undecided active neighbors (subphase A); local
+maxima join the MIS and everyone reports joined/not (subphase B); nodes
+adjacent to a joiner retire and everyone reports retired/alive (subphase
+C).  Each phase kills a constant fraction of edges in expectation, so
+O(log n) phases suffice whp — message complexity Θ(m log n), the Ω(m)
+bound the paper's Algorithm 3 undercuts.
+
+Priorities are random *ordinary* values and IDs are only compared for
+tie-breaking, so the algorithm is comparison-based — matching Figure 1's
+"(C)" classification of the Õ(m) KT-1 MIS upper bound.  It also serves
+as the remnant-graph finisher inside Algorithm 3 (Step 5), where the
+``active`` input restricts it to remnant edges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.congest.node import Context, NodeAlgorithm
+
+
+class LubyMIS(NodeAlgorithm):
+    """One Luby run inside an (optional) active subgraph.
+
+    Input (or None for whole-graph defaults):
+      ``{"active": frozenset of neighbor IDs, "participate": bool}``
+    Output: ``{"in_mis": bool}`` (None for bystanders).
+    """
+
+    passive_when_idle = True
+
+    def setup(self, ctx: Context) -> None:
+        state = ctx.input or {}
+        self.participate = state.get("participate", True)
+        active = state.get("active")
+        if active is None:
+            active = frozenset(ctx.neighbor_ids)
+        self.undecided = {u for u in ctx.neighbor_ids if u in active}
+        self.phase = 0
+        self.priority: Optional[int] = None
+        self.state: Optional[str] = None      # None / "joined" / "out"
+        self.prios: dict[int, dict] = {}
+        self.joins: dict[int, dict] = {}
+        self.fates: dict[int, dict] = {}
+
+    def _publish(self, ctx: Context) -> None:
+        if not self.participate:
+            ctx.done(None)
+        else:
+            ctx.done({"in_mis": self.state == "joined"})
+
+    # -- phase machinery -----------------------------------------------------
+
+    def _begin_phase(self, ctx: Context) -> None:
+        if not self.undecided:
+            self.state = "joined"
+            self._publish(ctx)
+            return
+        self.priority = ctx.rng.randrange(max(ctx.n, 2) ** 3)
+        for u in self.undecided:
+            ctx.send(u, "prio", self.phase, self.priority)
+        self.sent_join = False
+        self.sent_fate = False
+
+    def _try_join(self, ctx: Context) -> bool:
+        if self.sent_join:
+            return False
+        p = self.phase
+        prios = self.prios.get(p, {})
+        if not all(u in prios for u in self.undecided):
+            return False
+        me = (self.priority, ctx.my_id)
+        wins = all(me > (prios[u], u) for u in self.undecided)
+        self.sent_join = True
+        self.joined_now = wins
+        for u in self.undecided:
+            ctx.send(u, "join", p, wins)
+        return True
+
+    def _try_fate(self, ctx: Context) -> bool:
+        if self.sent_fate or not self.sent_join:
+            return False
+        p = self.phase
+        joins = self.joins.get(p, {})
+        if not all(u in joins for u in self.undecided):
+            return False
+        retired = any(joins[u] for u in self.undecided)
+        self.sent_fate = True
+        if self.joined_now:
+            self.state = "joined"
+        elif retired:
+            self.state = "out"
+        for u in self.undecided:
+            ctx.send(u, "fate", p, self.state is not None)
+        if self.state is not None:
+            self._publish(ctx)
+        return True
+
+    def _try_advance(self, ctx: Context) -> bool:
+        if not self.sent_fate or self.state is not None:
+            return False
+        p = self.phase
+        fates = self.fates.get(p, {})
+        if not all(u in fates for u in self.undecided):
+            return False
+        self.undecided = {u for u in self.undecided if not fates[u]}
+        for store in (self.prios, self.joins, self.fates):
+            store.pop(p, None)
+        self.phase = p + 1
+        return True
+
+    def _pump(self, ctx: Context) -> None:
+        while self.state is None:
+            if self._try_join(ctx):
+                continue
+            if self._try_fate(ctx):
+                continue
+            if self._try_advance(ctx):
+                self._begin_phase(ctx)
+                continue
+            break
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        if not self.participate:
+            self._publish(ctx)
+            return
+        for msg in inbox:
+            p = msg.fields[0]
+            if msg.tag == "prio":
+                self.prios.setdefault(p, {})[msg.sender_id] = msg.fields[1]
+            elif msg.tag == "join":
+                self.joins.setdefault(p, {})[msg.sender_id] = msg.fields[1]
+            elif msg.tag == "fate":
+                self.fates.setdefault(p, {})[msg.sender_id] = msg.fields[1]
+        if ctx.round == 0:
+            self._publish(ctx)
+            self._begin_phase(ctx)
+        if self.state is None:
+            self._pump(ctx)
+
+
+def run_luby(net, active_sets=None, participate=None, name: str = "luby"):
+    """Driver: run Luby to completion; returns (in_mis list, StageResult).
+
+    Bystanders (participate=False) yield in_mis=False.
+    """
+    n = net.graph.n
+    if active_sets is None:
+        active_sets = [None] * n
+    if participate is None:
+        participate = [True] * n
+    inputs = [
+        {"active": active_sets[v], "participate": participate[v]}
+        for v in range(n)
+    ]
+    stage = net.run(LubyMIS, inputs=inputs, name=name)
+    in_mis = [
+        bool(out and out.get("in_mis")) for out in stage.outputs
+    ]
+    return in_mis, stage

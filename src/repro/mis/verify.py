@@ -1,0 +1,61 @@
+"""MIS verifiers and remnant-degree measurements.
+
+`remnant_max_degree` measures the quantity behind Konrad's Lemma 1 [21]
+(cited in the proof of Theorem 4.1): after the sampled prefix of the
+randomized greedy order is processed, undominated vertices have
+Õ(n / |S|) undominated neighbors — with |S| = Θ(sqrt n) that is Õ(sqrt n),
+which is what makes running Luby on the remnant cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import VerificationError
+from repro.graphs.core import Graph
+
+
+def mis_violations(graph: Graph, in_mis: Sequence[bool]) -> dict:
+    """Independence and maximality violations, as witness lists."""
+    independence = [
+        (u, v) for u, v in graph.edges() if in_mis[u] and in_mis[v]
+    ]
+    maximality = [
+        v for v in range(graph.n)
+        if not in_mis[v] and not any(in_mis[u] for u in graph.neighbors(v))
+    ]
+    return {"independence": independence, "maximality": maximality}
+
+
+def check_mis(graph: Graph, in_mis: Sequence[bool]) -> None:
+    """Raise unless ``in_mis`` marks a maximal independent set."""
+    bad = mis_violations(graph, in_mis)
+    if bad["independence"]:
+        u, v = bad["independence"][0]
+        raise VerificationError(
+            f"{len(bad['independence'])} adjacent MIS pairs, e.g. ({u}, {v})"
+        )
+    if bad["maximality"]:
+        v = bad["maximality"][0]
+        raise VerificationError(
+            f"{len(bad['maximality'])} undominated vertices, e.g. {v}"
+        )
+
+
+def remnant_vertices(graph: Graph, mis_members: Iterable[int]) -> set[int]:
+    """Vertices neither in the partial MIS nor adjacent to it."""
+    members = set(mis_members)
+    dominated = set(members)
+    for u in members:
+        dominated.update(graph.neighbors(u))
+    return {v for v in range(graph.n) if v not in dominated}
+
+
+def remnant_max_degree(graph: Graph, mis_members: Iterable[int]) -> int:
+    """Max degree of the remnant-induced subgraph (Konrad Lemma 1)."""
+    remnant = remnant_vertices(graph, mis_members)
+    best = 0
+    for v in remnant:
+        deg = sum(1 for u in graph.neighbors(v) if u in remnant)
+        best = max(best, deg)
+    return best

@@ -1,0 +1,65 @@
+"""Substrates the paper's algorithms stand on.
+
+* :mod:`repro.substrates.sketches` — XOR edge-fingerprint sketches; the
+  King-Kutten-Thorup [19] non-comparison primitive that lets a tree
+  fragment find an outgoing edge without touching non-tree edges.
+* :mod:`repro.substrates.flooding` — leader election by flooding, tree
+  adoption, tree broadcast/aggregate, payload flooding (Corollary 1.2's
+  "elect a leader and broadcast random bits" toolkit).
+* :mod:`repro.substrates.boruvka` — Boruvka merging over sketches; yields
+  the Õ(n)-message KT-1 spanning tree of [19] and repairs danner
+  connectivity.
+* :mod:`repro.substrates.danner` — the Gmyr-Pandurangan danner substitute
+  (Theorem 1.1 interface) and `share_random_bits` (Corollary 1.2).
+* :mod:`repro.substrates.spanning_tree` — standalone Õ(n)-message spanning
+  tree + leader election driver.
+"""
+
+from repro.substrates.sketches import (
+    find_outgoing,
+    vector_indicates_no_outgoing,
+    SketchParams,
+    edge_token,
+    edge_level,
+    decode_token,
+    local_sketch_vector,
+    xor_vectors,
+)
+from repro.substrates.flooding import (
+    FloodLeaderElect,
+    AdoptParents,
+    TreeBroadcast,
+    TreeAggregate,
+    FloodPayload,
+    ShareRandomBits,
+    elect_leader_and_tree,
+)
+from repro.substrates.boruvka import BoruvkaPhase, run_boruvka, ForestState
+from repro.substrates.spanning_tree import SpanningTreeResult, build_spanning_tree
+from repro.substrates.danner import DannerResult, build_danner, share_random_bits
+
+__all__ = [
+    "SketchParams",
+    "edge_token",
+    "edge_level",
+    "decode_token",
+    "find_outgoing",
+    "vector_indicates_no_outgoing",
+    "local_sketch_vector",
+    "xor_vectors",
+    "FloodLeaderElect",
+    "AdoptParents",
+    "TreeBroadcast",
+    "TreeAggregate",
+    "FloodPayload",
+    "ShareRandomBits",
+    "elect_leader_and_tree",
+    "BoruvkaPhase",
+    "run_boruvka",
+    "ForestState",
+    "build_spanning_tree",
+    "SpanningTreeResult",
+    "build_danner",
+    "DannerResult",
+    "share_random_bits",
+]

@@ -1,0 +1,406 @@
+"""Boruvka merging over XOR sketches: o(m)-message spanning forests.
+
+This is the reproduction of the King-Kutten-Thorup [19] style spanning
+tree used by the paper (Section 1.4.3 and Theorem 1.3's substitute).  Each
+*fragment* is a rooted tree of already-selected edges.  One phase:
+
+1. every fragment root flips a private coin (H/T) and broadcasts a QUERY
+   carrying (fragment name, coin) down its tree;
+2. H-fragments convergecast the XOR sketch vectors of their members;
+   internal edges cancel, so the root obtains, per sampling level, the
+   XOR of *outgoing* edge fingerprints (see :mod:`repro.substrates.sketches`);
+3. the root decodes a single outgoing edge whp and announces it; the
+   inside endpoint offers a merge across that edge;
+4. the outside endpoint accepts iff its fragment's coin is T (classic
+   star contraction, so merges never create cycles), the H-fragment
+   re-roots along the path to the offering node, and attaches.
+
+A constant fraction of fragments merge per phase in expectation, so
+O(log n) phases suffice whp.  Per phase the messages are O(1) queries plus
+O(levels) sketch words per tree edge — Õ(n) in total, which is the [19]
+bound that makes o(m) symmetry breaking possible at all.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.congest.ids import NodeId
+from repro.congest.node import Context, NodeAlgorithm
+from repro.errors import ConvergenceError
+from repro.substrates import sketches
+from repro.substrates.sketches import SketchParams
+
+
+@dataclass
+class ForestState:
+    """Driver-side view of a rooted spanning forest (indexed by vertex)."""
+
+    parents: list[Optional[NodeId]]
+    children: list[frozenset[NodeId]]
+
+    @classmethod
+    def singletons(cls, n: int) -> "ForestState":
+        return cls(parents=[None] * n, children=[frozenset()] * n)
+
+    @classmethod
+    def from_tree(cls, parents, children) -> "ForestState":
+        return cls(parents=list(parents), children=list(children))
+
+    def roots(self) -> list[int]:
+        return [v for v, p in enumerate(self.parents) if p is None]
+
+    def tree_edges(self, net) -> list[tuple[int, int]]:
+        edges = []
+        for v, p in enumerate(self.parents):
+            if p is not None:
+                u = net.vertex_of(p)
+                edges.append((min(u, v), max(u, v)))
+        return edges
+
+
+@dataclass
+class BoruvkaResult:
+    forest: ForestState
+    phases: int
+    new_edges: list[tuple[int, int]]   # graph edges added as tree edges
+    leader_vertices: list[int]
+
+
+class BoruvkaPhase(NodeAlgorithm):
+    """One Boruvka phase (see module docstring).
+
+    Convergecasts carry only a *window* of sketch levels (plus level 0
+    for the no-outgoing certificate); the root centers the window on the
+    level that isolated an edge in its previous phase ("hint") and slides
+    it downward on retries — the standard constant-factor saving over
+    shipping all Theta(log n) levels every phase.
+    """
+
+    passive_when_idle = True
+
+    def __init__(self, params: SketchParams, window: Optional[int] = None):
+        self.params = params
+        # Default: ship the full vector (no within-phase retries).  A
+        # narrow window trades convergecast volume for retry waves; the
+        # danner ablation bench sweeps this knob.
+        self.WINDOW = window if window is not None else params.levels
+
+    def setup(self, ctx: Context) -> None:
+        state = ctx.input
+        self.parent: Optional[NodeId] = state.get("parent")
+        self.children: set[NodeId] = set(state.get("children", frozenset()))
+        self.certified = bool(state.get("certified"))
+        self.hint = state.get("hint")
+        if self.hint is None:
+            if self.WINDOW >= self.params.levels:
+                self.hint = self.params.levels - 1
+            else:
+                # Cold start: mid-size fragments have ~n-to-n*deg outgoing
+                # edges; center the first window near log2(n) + slack.
+                self.hint = min(self.params.levels - 1,
+                                max(ctx.n, 2).bit_length() + 3)
+        self.is_root = self.parent is None
+        self.frag: Optional[NodeId] = None
+        self.coin: Optional[str] = None
+        self.indices: Optional[list[int]] = None
+        self.vector: Optional[list[int]] = None
+        self.waiting = 0
+        self.pending_offers: list[tuple[NodeId, NodeId, str]] = []
+        self.found_outgoing = False
+        self.no_outgoing = False
+        self.retry = False
+        self.merged = False
+        self.attached_to: Optional[NodeId] = None
+        self.did_findany = False
+        self.hint_next: Optional[int] = None
+        self.wave = 0
+        self.window_retries = 0
+        self.my_value = None
+        self.neighbor_by_value: dict[int, NodeId] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _publish(self, ctx: Context) -> None:
+        ctx.done({
+            "parent": self.parent,
+            "children": frozenset(self.children),
+            "was_root": self.is_root,
+            "found_outgoing": self.found_outgoing,
+            "no_outgoing": self.no_outgoing,
+            "retry": self.retry,
+            "merged": self.merged,
+            "attached_to": self.attached_to,
+            "did_findany": self.did_findany,
+            "hint_next": self.hint_next,
+        })
+
+    def _learn_values(self, ctx: Context) -> None:
+        if self.my_value is None:
+            self.my_value = ctx.my_id.value
+            self.neighbor_by_value = {
+                u.value: u for u in ctx.neighbor_ids
+            }
+
+    def _indices_for(self, hint: int) -> list[int]:
+        if self.WINDOW >= self.params.levels:
+            return list(range(self.params.levels))
+        return sketches.window_indices(hint, self.WINDOW, self.params.levels)
+
+    def _my_slice(self, ctx: Context) -> list[int]:
+        self._learn_values(ctx)
+        return sketches.local_sketch_slice(
+            self.my_value, list(self.neighbor_by_value), self.params,
+            self.indices,
+        )
+
+    def _set_fragment(self, ctx: Context, frag: NodeId, coin: str) -> None:
+        self.frag = frag
+        self.coin = coin
+        for sender, frag_f, coin_f in self.pending_offers:
+            self._answer_offer(ctx, sender, frag_f, coin_f)
+        self.pending_offers.clear()
+
+    def _answer_offer(self, ctx: Context, sender: NodeId,
+                      frag_f: NodeId, coin_f: str) -> None:
+        accept = (
+            self.coin == "T" and coin_f == "H" and frag_f != self.frag
+        )
+        ctx.send(sender, "reply", accept)
+        if accept:
+            self.children.add(sender)
+
+    def _subtree_complete(self, ctx: Context) -> None:
+        if self.is_root:
+            self._root_decode(ctx)
+        else:
+            ctx.send(self.parent, "resp", self.wave, tuple(self.vector))
+
+    def _decode_slice(self) -> Optional[tuple[int, int, int]]:
+        """Scan window levels (densest-last), then level 0."""
+        order = sorted(range(1, len(self.indices)),
+                       key=lambda i: -self.indices[i]) + [0]
+        for i in order:
+            edge = sketches.decode_token(
+                self.vector[i], self.indices[i], self.params
+            )
+            if edge is not None:
+                return (edge[0], edge[1], self.indices[i])
+        return None
+
+    def _root_decode(self, ctx: Context) -> None:
+        found = self._decode_slice()
+        if found is None:
+            if self.vector[0] == 0:
+                self.no_outgoing = True
+                return
+            # Slide the window down; wrap to the top when exhausted.
+            lo = min(j for j in self.indices if j > 0) \
+                if len(self.indices) > 1 else 1
+            slid = lo - 1 if lo > 1 else self.params.levels - 1
+            self.hint_next = slid
+            if (self.children and self.window_retries < 3
+                    and self.WINDOW < self.params.levels):
+                # Re-query the slid window within the same phase: same
+                # nonce, previously-unseen levels — one extra convergecast
+                # instead of a wasted Boruvka phase.
+                self.window_retries += 1
+                self.wave += 1
+                self.hint = slid
+                self.indices = self._indices_for(slid)
+                for c in self.children:
+                    ctx.send(c, "query", self.frag, self.coin, True,
+                             slid, self.wave)
+                self.vector = self._my_slice(ctx)
+                self.waiting = len(self.children)
+                return
+            self.retry = True
+            return
+        a, b, level = found
+        self.found_outgoing = True
+        self.hint_next = min(level + 3, self.params.levels - 1)
+        for c in self.children:
+            ctx.send(c, "announce", a, b)
+        self._maybe_offer(ctx, a, b)
+
+    def _maybe_offer(self, ctx: Context, a: int, b: int) -> None:
+        if self.my_value is None:
+            self.my_value = ctx.my_id.value
+            self.neighbor_by_value = {u.value: u for u in ctx.neighbor_ids}
+        partner = None
+        if self.my_value == a:
+            partner = self.neighbor_by_value.get(b)
+        elif self.my_value == b:
+            partner = self.neighbor_by_value.get(a)
+        if partner is not None:
+            ctx.send(partner, "offer", self.frag, self.coin)
+
+    # -- protocol --------------------------------------------------------------
+
+    def on_round(self, ctx: Context, inbox) -> None:
+        if ctx.round == 0 and self.is_root and self.certified:
+            # A fragment that certified "no outgoing edge" is a whole
+            # component: nothing can reach it, so it sits the phase out.
+            self.no_outgoing = True
+            self._publish(ctx)
+            return
+        if ctx.round == 0 and self.is_root:
+            coin = "H" if ctx.rng.random() < 0.5 else "T"
+            self._set_fragment(ctx, ctx.my_id, coin)
+            needs = coin == "H"
+            self.did_findany = needs
+            if needs and not self.children:
+                # Singleton fragments decode their full local vector for
+                # free — and seed the hint for later phases.
+                self._learn_values(ctx)
+                full = sketches.local_sketch_vector(
+                    self.my_value, list(self.neighbor_by_value), self.params
+                )
+                self.indices = list(range(self.params.levels))
+                self.vector = full
+                self._root_decode(ctx)
+            elif needs:
+                self.indices = self._indices_for(self.hint)
+                for c in self.children:
+                    ctx.send(c, "query", self.frag, coin, True,
+                             self.hint, self.wave)
+                self.vector = self._my_slice(ctx)
+                self.waiting = len(self.children)
+            else:
+                for c in self.children:
+                    ctx.send(c, "query", self.frag, coin, False, 0, 0)
+        for msg in inbox:
+            tag = msg.tag
+            if tag == "query":
+                frag, coin, needs, hint, wave = msg.fields
+                self._set_fragment(ctx, frag, coin)
+                for c in self.children:
+                    ctx.send(c, "query", frag, coin, needs, hint, wave)
+                if needs:
+                    self.wave = wave
+                    self.indices = self._indices_for(hint)
+                    self.vector = self._my_slice(ctx)
+                    self.waiting = len(self.children)
+                    if self.waiting == 0:
+                        self._subtree_complete(ctx)
+            elif tag == "resp":
+                wave, vec = msg.fields
+                if wave != self.wave:
+                    continue    # stale response from a superseded window
+                sketches.xor_vectors(self.vector, vec)
+                self.waiting -= 1
+                if self.waiting == 0:
+                    self._subtree_complete(ctx)
+            elif tag == "announce":
+                a, b = msg.fields
+                for c in self.children:
+                    ctx.send(c, "announce", a, b)
+                self._maybe_offer(ctx, a, b)
+            elif tag == "offer":
+                frag_f, coin_f = msg.fields
+                if self.frag is None:
+                    self.pending_offers.append((msg.sender_id, frag_f, coin_f))
+                else:
+                    self._answer_offer(ctx, msg.sender_id, frag_f, coin_f)
+            elif tag == "reply":
+                (accept,) = msg.fields
+                if accept:
+                    self.merged = True
+                    self.attached_to = msg.sender_id
+                    old_parent = self.parent
+                    self.parent = msg.sender_id
+                    if old_parent is not None:
+                        ctx.send(old_parent, "reroot")
+                        self.children.add(old_parent)
+            elif tag == "reroot":
+                y = msg.sender_id
+                self.children.discard(y)
+                old_parent = self.parent
+                self.parent = y
+                if old_parent is not None:
+                    ctx.send(old_parent, "reroot")
+                    self.children.add(old_parent)
+        self._publish(ctx)
+
+
+def phase_params(net, seed, phase: int) -> SketchParams:
+    """SketchParams for a given phase (fresh nonce per phase)."""
+    nonce = zlib.crc32(f"boruvka:{seed}:{phase}".encode()) & 0xFFFFFFFF
+    return SketchParams(
+        word_bits=net.word_bits,
+        levels=sketches.default_levels(net.graph.n),
+        nonce=nonce,
+    )
+
+
+def run_boruvka(
+    net,
+    forest: ForestState,
+    seed=0,
+    max_phases: Optional[int] = None,
+    name_prefix: str = "boruvka",
+    window: Optional[int] = None,
+) -> BoruvkaResult:
+    """Drive Boruvka phases until the forest spans every component.
+
+    Termination is protocol-internal: the driver stops after a phase in
+    which at least one root ran FindAny, no root found an outgoing edge,
+    and no merge happened — for a connected graph that means a single
+    fragment whose root certified (via the level-0 sketch) that no
+    outgoing edge exists.
+    """
+    n = net.graph.n
+    if max_phases is None:
+        max_phases = 40 * max(4, n.bit_length())
+    new_edges: list[tuple[int, int]] = []
+    certified: set[int] = set()
+    hints: dict[int, int] = {}
+    phase = 0
+    while phase < max_phases:
+        inputs = [
+            {
+                "parent": forest.parents[v],
+                "children": forest.children[v],
+                "certified": v in certified,
+                "hint": hints.get(v),
+            }
+            for v in range(n)
+        ]
+        params = phase_params(net, seed, phase)
+        stage = net.run(
+            lambda: BoruvkaPhase(params, window=window),
+            inputs=inputs,
+            name=f"{name_prefix}-phase{phase}",
+        )
+        outs = stage.outputs
+        forest = ForestState(
+            parents=[o["parent"] for o in outs],
+            children=[o["children"] for o in outs],
+        )
+        for v, o in enumerate(outs):
+            if o["merged"]:
+                u = net.vertex_of(o["attached_to"])
+                new_edges.append((min(u, v), max(u, v)))
+            # A root whose level-0 sketch XORed to zero certified that its
+            # fragment has no outgoing edge; that is permanent (a whole
+            # component cannot gain outgoing edges).
+            if o["was_root"] and o["no_outgoing"]:
+                certified.add(v)
+            if o["was_root"] and o["hint_next"] is not None:
+                hints[v] = o["hint_next"]
+        phase += 1
+        if all(forest.parents[r] is None for r in certified) and \
+                set(forest.roots()) <= certified:
+            break
+    else:
+        raise ConvergenceError(
+            f"Boruvka did not converge within {max_phases} phases"
+        )
+    return BoruvkaResult(
+        forest=forest,
+        phases=phase,
+        new_edges=new_edges,
+        leader_vertices=forest.roots(),
+    )

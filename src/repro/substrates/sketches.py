@@ -1,0 +1,197 @@
+"""XOR edge-fingerprint sketches (the King-Kutten-Thorup primitive).
+
+The trick that makes o(m)-message spanning structures possible in KT-1
+(paper Section 1, [19]): both endpoints of an edge know both endpoint IDs,
+so both can evaluate a fixed hash of the *edge name* locally.  If every
+node in a tree fragment XORs the fingerprints of all its incident edges
+and the fragment convergecasts the XOR, every internal edge contributes
+twice and cancels, leaving the XOR of the fingerprints of *outgoing* edges
+— computed without sending anything over non-tree edges.
+
+Fingerprints are *tokens* packing ``checksum | min-ID | max-ID`` into one
+integer.  Sub-sampling edges at geometric rates ("levels") isolates a
+single outgoing edge at some level whp, and the checksum certifies that a
+surviving XOR value really is one edge rather than a collision.
+
+Everything here is plain local computation on ID *values* — legitimate for
+non-comparison-based algorithms only, which is exactly how the paper
+classifies the King et al. technique.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+
+_CHECK_BITS = 32
+_CHECK_MASK = (1 << _CHECK_BITS) - 1
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """Parameters shared by every node (part of the algorithm's code)."""
+
+    word_bits: int       # bits per ID field; any ID value must fit
+    levels: int          # number of geometric sampling levels
+    nonce: int           # per-phase salt for checksums and sampling
+
+    @property
+    def id_mask(self) -> int:
+        return (1 << self.word_bits) - 1
+
+    @property
+    def token_bits(self) -> int:
+        return 2 * self.word_bits + _CHECK_BITS
+
+    def token_words(self, word_bits: int) -> int:
+        return max(1, -(-self.token_bits // word_bits))
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a *non-linear* 64-bit mixer.
+
+    Non-linearity matters: a GF(2)-linear hash (e.g. CRC32) lets
+    structured edge sets cancel — the four cut edges of a complete
+    bipartite {a,b}×{x,y} XOR to zero in every linear hash, which would
+    forge "no outgoing edge" certificates on dense cuts.  The integer
+    multiplications here break that linearity.
+    """
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _edge_hash(lo: int, hi: int, nonce: int, salt: int) -> int:
+    seed = (lo * 0x9E3779B97F4A7C15 + hi * 0xC2B2AE3D27D4EB4F
+            + nonce * 0x165667B19E3779F9 + salt) & _MASK64
+    return _mix64(seed)
+
+
+def edge_checksum(a: int, b: int, nonce: int) -> int:
+    """A 32-bit non-linear checksum of the canonical edge name."""
+    lo, hi = (a, b) if a < b else (b, a)
+    return _edge_hash(lo, hi, nonce, 0xC0FFEE) & _CHECK_MASK
+
+
+def edge_level(a: int, b: int, nonce: int) -> int:
+    """Geometric sampling level: the edge survives level j iff
+    ``edge_level(...) >= j``; levels are trailing zeros of a hash, so
+    level >= j happens with probability 2^-j."""
+    lo, hi = (a, b) if a < b else (b, a)
+    h = _edge_hash(lo, hi, nonce, 0x5EED) & 0xFFFFFFFF
+    if h == 0:
+        return 32
+    return (h & -h).bit_length() - 1
+
+
+def edge_token(a: int, b: int, params: SketchParams) -> int:
+    """Pack the canonical edge name plus checksum into one integer."""
+    lo, hi = (a, b) if a < b else (b, a)
+    if hi > params.id_mask:
+        raise ReproError("ID value does not fit in the sketch word size")
+    check = edge_checksum(lo, hi, params.nonce)
+    return (check << (2 * params.word_bits)) | (lo << params.word_bits) | hi
+
+
+def decode_token(x: int, level: int, params: SketchParams) -> Optional[tuple[int, int]]:
+    """Try to interpret an XOR value as a single edge surviving ``level``.
+
+    Returns the canonical (min, max) ID pair, or None if the checksum or
+    sampling-level consistency check fails (i.e. ``x`` is a collision of
+    several edges, not a lone fingerprint).
+    """
+    if x == 0:
+        return None
+    hi = x & params.id_mask
+    lo = (x >> params.word_bits) & params.id_mask
+    check = x >> (2 * params.word_bits)
+    if lo >= hi:
+        return None
+    if check != edge_checksum(lo, hi, params.nonce):
+        return None
+    if edge_level(lo, hi, params.nonce) < level:
+        return None
+    return (lo, hi)
+
+
+def local_sketch_vector(my_value: int, neighbor_values: Sequence[int],
+                        params: SketchParams) -> list[int]:
+    """One node's per-level XOR of its incident edge tokens.
+
+    Level j accumulates every incident edge whose sampling level is >= j;
+    level 0 therefore contains *all* incident edges.
+    """
+    vec = [0] * params.levels
+    for b in neighbor_values:
+        lvl = edge_level(my_value, b, params.nonce)
+        token = edge_token(my_value, b, params)
+        top = min(lvl, params.levels - 1)
+        for j in range(top + 1):
+            vec[j] ^= token
+    return vec
+
+
+def local_sketch_slice(my_value: int, neighbor_values: Sequence[int],
+                       params: SketchParams,
+                       indices: Sequence[int]) -> list[int]:
+    """The sketch vector restricted to the given level indices.
+
+    Convergecasting a small window of levels (plus level 0 for the
+    no-outgoing certificate) instead of the full vector is the standard
+    constant-factor saving: the root centers the window on the level
+    that isolated an edge last phase and widens/limits it on retries.
+    """
+    vec = [0] * len(indices)
+    for b in neighbor_values:
+        lvl = edge_level(my_value, b, params.nonce)
+        token = edge_token(my_value, b, params)
+        for i, j in enumerate(indices):
+            if lvl >= j:
+                vec[i] ^= token
+    return vec
+
+
+def window_indices(hint: int, width: int, levels: int) -> list[int]:
+    """Level 0 plus a ``width``-level window topped at ``hint``."""
+    hi = max(1, min(hint, levels - 1))
+    lo = max(1, hi - width + 1)
+    return [0] + list(range(lo, hi + 1))
+
+
+def xor_vectors(acc: list[int], other: Sequence[int]) -> list[int]:
+    """In-place XOR combine (convergecast step)."""
+    for i, v in enumerate(other):
+        acc[i] ^= v
+    return acc
+
+
+def find_outgoing(vector: Sequence[int],
+                  params: SketchParams) -> Optional[tuple[int, int, int]]:
+    """Scan a fragment XOR vector from sparsest level down.
+
+    Returns (min ID value, max ID value, level) for the first level whose
+    XOR decodes to a certified single edge, or None.
+    """
+    for j in range(params.levels - 1, -1, -1):
+        edge = decode_token(vector[j], j, params)
+        if edge is not None:
+            return (edge[0], edge[1], j)
+    return None
+
+
+def vector_indicates_no_outgoing(vector: Sequence[int]) -> bool:
+    """Level 0 XORs *all* outgoing edges; a zero there means (whp, by the
+    32-bit checksums) the fragment has no outgoing edge at all."""
+    return vector[0] == 0
+
+
+def default_levels(n: int) -> int:
+    """Enough levels to isolate one edge among up to n^2 whp."""
+    return max(4, 2 * max(n, 2).bit_length() + 4)

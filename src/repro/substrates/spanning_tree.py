@@ -1,0 +1,61 @@
+"""Standalone Õ(n)-message KT-1 spanning tree + leader election.
+
+The King-Kutten-Thorup [19] result the paper builds on: in KT-1 CONGEST,
+a spanning tree (and hence leader election and broadcast) is constructible
+with Õ(n) messages by a non-comparison-based algorithm — sidestepping the
+Awerbuch et al. Ω(m) bound for comparison-based algorithms.  Our
+construction is sketch-Boruvka (see :mod:`repro.substrates.boruvka`)
+starting from singleton fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.congest.ids import NodeId
+from repro.errors import ProtocolError
+from repro.substrates.boruvka import BoruvkaResult, ForestState, run_boruvka
+
+
+@dataclass
+class SpanningTreeResult:
+    """A rooted spanning tree with per-vertex parent/children pointers."""
+
+    parents: list[Optional[NodeId]]
+    children: list[frozenset[NodeId]]
+    root: int
+    phases: int
+    tree_edges: list[tuple[int, int]]
+
+    def tree_inputs(self) -> list[dict]:
+        """Inputs for TreeBroadcast / TreeAggregate stages."""
+        return [
+            {"parent": self.parents[v], "children": self.children[v]}
+            for v in range(len(self.parents))
+        ]
+
+
+def build_spanning_tree(net, seed=0, name_prefix: str = "st") -> SpanningTreeResult:
+    """Build a spanning tree of a *connected* graph with Õ(n) messages.
+
+    The root of the final fragment is the elected leader.  Raises
+    :class:`ProtocolError` if the graph turns out to be disconnected
+    (multiple fragments certify no-outgoing-edge).
+    """
+    forest = ForestState.singletons(net.graph.n)
+    result: BoruvkaResult = run_boruvka(
+        net, forest, seed=seed, name_prefix=name_prefix
+    )
+    roots = result.forest.roots()
+    if len(roots) != 1:
+        raise ProtocolError(
+            f"graph is disconnected: {len(roots)} fragments remain"
+        )
+    return SpanningTreeResult(
+        parents=result.forest.parents,
+        children=result.forest.children,
+        root=roots[0],
+        phases=result.phases,
+        tree_edges=result.forest.tree_edges(net),
+    )

@@ -1,0 +1,29 @@
+"""Shared utilities: limited-independence hashing, tail bounds, bit strings.
+
+These are the tools from Appendix A of the paper:
+
+* :mod:`repro.util.hashing` — c-wise independent hash families (Lemma A.4).
+* :mod:`repro.util.tail_bounds` — Chernoff bounds under limited independence
+  (Lemmas A.1 and A.2).
+* :mod:`repro.util.bitstrings` — packing random bits into CONGEST words for
+  the broadcast of shared randomness (Section 3.1, Step 1).
+"""
+
+from repro.util.hashing import KWiseHashFamily, KWiseHash, hash_family_from_bits
+from repro.util.tail_bounds import (
+    kwise_concentration_bound,
+    kwise_chernoff_upper,
+    required_independence,
+)
+from repro.util.bitstrings import BitString, random_bitstring
+
+__all__ = [
+    "KWiseHashFamily",
+    "KWiseHash",
+    "hash_family_from_bits",
+    "kwise_concentration_bound",
+    "kwise_chernoff_upper",
+    "required_independence",
+    "BitString",
+    "random_bitstring",
+]

@@ -1,0 +1,70 @@
+"""Random bit strings and their CONGEST word accounting.
+
+Algorithm 1 broadcasts a string R of O(log^2 n) random bits; Algorithm 2
+broadcasts (C / eps) log^3 n bits.  Nodes then derive limited-independence
+hash functions locally from R.  A BitString knows how many O(log n)-bit
+CONGEST words it occupies so the broadcast substrate can charge the right
+number of messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class BitString:
+    """An immutable sequence of bits with CONGEST word accounting."""
+
+    bits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(b not in (0, 1) for b in self.bits):
+            raise ValueError("BitString entries must be 0 or 1")
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.bits)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return BitString(self.bits[index])
+        return self.bits[index]
+
+    def words(self, word_bits: int) -> int:
+        """Number of word_bits-bit CONGEST words needed to carry this string."""
+        if word_bits <= 0:
+            raise ValueError("word size must be positive")
+        return max(1, -(-len(self.bits) // word_bits))
+
+    def to_int(self) -> int:
+        value = 0
+        for b in self.bits:
+            value = (value << 1) | b
+        return value
+
+    @staticmethod
+    def from_int(value: int, length: int) -> "BitString":
+        bits = tuple((value >> (length - 1 - i)) & 1 for i in range(length))
+        return BitString(bits)
+
+    def concat(self, other: "BitString") -> "BitString":
+        return BitString(self.bits + other.bits)
+
+
+def random_bitstring(rng, length: int) -> BitString:
+    """Draw ``length`` fair bits from a ``random.Random``-like source."""
+    return BitString(tuple(rng.getrandbits(1) for _ in range(length)))
+
+
+def bits_from_ints(values: Sequence[int], word_bits: int) -> BitString:
+    """Pack integers (each < 2**word_bits) into one bit string."""
+    bits: list[int] = []
+    for v in values:
+        if v < 0 or v >= (1 << word_bits):
+            raise ValueError(f"value {v} does not fit in {word_bits} bits")
+        bits.extend((v >> (word_bits - 1 - i)) & 1 for i in range(word_bits))
+    return BitString(tuple(bits))

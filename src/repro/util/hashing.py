@@ -1,0 +1,173 @@
+"""c-wise independent hash families over prime fields (paper Lemma A.4).
+
+The paper's algorithms derandomize their probabilistic steps down to a
+shared random string of Theta(log^2 n) bits by drawing hash functions from
+c-wise independent families (Definition A.3).  The standard construction is
+a degree-(c-1) polynomial over a prime field:
+
+    h(x) = (a_{c-1} x^{c-1} + ... + a_1 x + a_0  mod p)  mod L
+
+For distinct x_1..x_c the values h(x_1)..h(x_c) are independent and
+uniform over [p]; taking the result mod L introduces a bias of at most
+L/p, which is negligible for p >> L (we pick p > max(N, L)^2 by default).
+
+Choosing a random function from the family takes c * ceil(log2 p) random
+bits (Lemma A.4: c * max(a, b) bits); this file provides exactly that
+interface so that network protocols can derive hash functions from a
+broadcast bit string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ReproError
+
+# A few large Mersenne primes used as field moduli, indexed by bit size.
+# 2^31 - 1 is preferred whenever it fits: products stay below 2^62, which
+# keeps Horner evaluation inside numpy's uint64 fast path.
+_PRIMES = [
+    (2**13 - 1),
+    (2**17 - 1),
+    (2**19 - 1),
+    (2**31 - 1),
+    (2**61 - 1),
+    (2**89 - 1),
+]
+
+
+def _choose_prime(minimum: int) -> int:
+    """Return the smallest builtin prime strictly greater than ``minimum``."""
+    for p in _PRIMES:
+        if p > minimum:
+            return p
+    raise ReproError(f"no builtin prime exceeds {minimum}")
+
+
+@dataclass(frozen=True)
+class KWiseHash:
+    """A single hash function drawn from a c-wise independent family.
+
+    Evaluates ``h(x) = poly(x) mod p mod range_size``.  The coefficient
+    vector has length ``c`` (degree c-1 polynomial), which yields c-wise
+    independence (Definition A.3 of the paper).
+    """
+
+    coefficients: tuple[int, ...]
+    prime: int
+    range_size: int
+
+    def __call__(self, x: int) -> int:
+        if self.range_size <= 0:
+            raise ReproError("hash range must be positive")
+        # Horner evaluation of the polynomial modulo the prime.
+        acc = 0
+        for coeff in reversed(self.coefficients):
+            acc = (acc * x + coeff) % self.prime
+        return acc % self.range_size
+
+    def eval_many(self, values):
+        """Vectorized evaluation over a sequence of keys.
+
+        Uses numpy's uint64 fast path when the field fits in 31 bits
+        (products stay below 2^62); falls back to the scalar loop
+        otherwise.  Returns a list of ints.
+        """
+        if self.prime < (1 << 32):
+            import numpy as np
+
+            xs = np.asarray(list(values), dtype=np.uint64)
+            acc = np.zeros_like(xs)
+            p = np.uint64(self.prime)
+            for coeff in reversed(self.coefficients):
+                acc = (acc * xs + np.uint64(coeff)) % p
+            return [int(v) % self.range_size for v in acc]
+        return [self(x) for x in values]
+
+    @property
+    def independence(self) -> int:
+        """The independence parameter c of the family this was drawn from."""
+        return len(self.coefficients)
+
+    def with_range(self, range_size: int) -> "KWiseHash":
+        """The same polynomial reduced into a different output range."""
+        return KWiseHash(self.coefficients, self.prime, range_size)
+
+
+class KWiseHashFamily:
+    """A c-wise independent family H = {h : [N] -> [L]} (Definition A.3).
+
+    Parameters
+    ----------
+    domain_size:
+        Upper bound N on hashed keys (IDs are drawn from a poly(n) space).
+    range_size:
+        Output range L.
+    independence:
+        The parameter c; any c distinct keys hash independently/uniformly.
+    """
+
+    def __init__(self, domain_size: int, range_size: int, independence: int):
+        if domain_size <= 0 or range_size <= 0:
+            raise ReproError("domain and range must be positive")
+        if independence < 1:
+            raise ReproError("independence must be >= 1")
+        self.domain_size = domain_size
+        self.range_size = range_size
+        self.independence = independence
+        # The polynomial construction needs p >= N for exact c-wise
+        # independence over [p]; reducing mod L then carries a bias of at
+        # most L/p, so we also require p >= 1024 * L to keep that bias
+        # below 0.1%.  (Tests quantify the bias directly.)
+        self.prime = _choose_prime(max(domain_size, 1024 * range_size))
+
+    @property
+    def bits_needed(self) -> int:
+        """Random bits required to draw one function (Lemma A.4)."""
+        return self.independence * self.prime.bit_length()
+
+    def sample_from_bits(self, bits: Sequence[int]) -> KWiseHash:
+        """Draw a hash function deterministically from a bit sequence.
+
+        This is the interface network protocols use: a leader broadcasts a
+        random bit string and every node derives the *same* hash function
+        locally (Section 3.1, Step 2 of the paper).
+        """
+        needed = self.bits_needed
+        if len(bits) < needed:
+            raise ReproError(
+                f"need {needed} bits to sample from this family, got {len(bits)}"
+            )
+        word = self.prime.bit_length()
+        coefficients = []
+        for i in range(self.independence):
+            chunk = bits[i * word : (i + 1) * word]
+            value = 0
+            for b in chunk:
+                value = (value << 1) | (b & 1)
+            coefficients.append(value % self.prime)
+        return KWiseHash(tuple(coefficients), self.prime, self.range_size)
+
+    def sample(self, rng) -> KWiseHash:
+        """Draw a hash function from a ``random.Random``-like source."""
+        bits = [rng.getrandbits(1) for _ in range(self.bits_needed)]
+        return self.sample_from_bits(bits)
+
+
+def hash_family_from_bits(
+    bits: Sequence[int],
+    offset: int,
+    domain_size: int,
+    range_size: int,
+    independence: int,
+) -> tuple[KWiseHash, int]:
+    """Derive one hash function from ``bits[offset:]``.
+
+    Returns the function together with the new offset, so several hash
+    functions (h_L, h, h_c, ... in Algorithm 1) can be peeled off a single
+    broadcast string.
+    """
+    family = KWiseHashFamily(domain_size, range_size, independence)
+    end = offset + family.bits_needed
+    return family.sample_from_bits(bits[offset:end]), end

@@ -1,0 +1,70 @@
+"""Chernoff–Hoeffding bounds under limited independence (paper Appendix A.1).
+
+These implement the *numeric* versions of:
+
+* Lemma A.1 (Schmidt–Siegel–Srinivasan): for c-wise independent Z_i in
+  [0, 1] with Z = sum Z_i and mu = E[Z],
+      Pr[|Z - mu| >= lam] <= 2 * (c * t / lam^2)^(c/2).
+
+* Lemma A.2: for a sum X of n c-wise independent 0/1 variables and
+  mu >= E[X],
+      Pr[X >= (1 + delta) mu] <= exp(-min(c, delta^2 * mu)).
+
+The experiment harness uses them to check that measured deviations of the
+partitioning step (Lemma 3.1) stay within the analytic envelope, and the
+algorithms use :func:`required_independence` to size their hash families.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+
+
+def kwise_concentration_bound(c: int, t: int, lam: float) -> float:
+    """Lemma A.1 bound on Pr[|Z - mu| >= lam] for c-wise independent Z_i.
+
+    ``c`` must be an even integer >= 4 (as in the lemma); ``t`` is the
+    number of summands.
+    """
+    if c < 4 or c % 2 != 0:
+        raise ReproError("Lemma A.1 requires an even independence c >= 4")
+    if lam <= 0:
+        return 1.0
+    bound = 2.0 * (c * t / (lam * lam)) ** (c / 2.0)
+    return min(1.0, bound)
+
+
+def kwise_chernoff_upper(c: int, mu: float, delta: float) -> float:
+    """Lemma A.2 bound on Pr[X >= (1 + delta) mu].
+
+    ``mu`` must satisfy mu >= E[X]; ``delta`` > 0.
+    """
+    if c < 1:
+        raise ReproError("independence must be >= 1")
+    if delta <= 0 or mu <= 0:
+        return 1.0
+    exponent = min(float(c), delta * delta * mu)
+    return min(1.0, math.exp(-exponent))
+
+
+def required_independence(n: int, constant: float = 2.0) -> int:
+    """The Theta(log n)-wise independence the paper's algorithms use.
+
+    Returns an even integer c = Theta(log n), large enough that the
+    exp(-min(c, .)) term of Lemma A.2 is at most n^{-constant}.
+    """
+    if n < 2:
+        return 4
+    c = int(math.ceil(constant * math.log(n))) + 1
+    if c % 2 == 1:
+        c += 1
+    return max(4, c)
+
+
+def whp_failure_budget(n: int, constant: float = 1.0) -> float:
+    """The paper's 'with high probability' budget: n^{-constant}."""
+    if n < 2:
+        return 0.5
+    return float(n) ** (-constant)

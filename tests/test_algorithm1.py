@@ -1,0 +1,130 @@
+"""End-to-end tests for Algorithm 1 (Theorem 3.3)."""
+
+import pytest
+
+from repro.congest.network import SyncNetwork
+from repro.coloring.algorithm1 import run_algorithm1
+from repro.coloring.baselines import run_baseline_coloring
+from repro.coloring.verify import check_color_bound, check_proper_coloring
+from repro.errors import ProtocolError
+from repro.graphs.generators import connected_gnp_graph, power_law_graph
+
+from tests.conftest import connected_families
+
+
+@pytest.mark.parametrize("name,graph", connected_families(seed=400))
+def test_proper_coloring_on_family(name, graph):
+    net = SyncNetwork(graph, seed=1)
+    result = run_algorithm1(net, seed=2)
+    check_proper_coloring(graph, result.colors)
+    check_color_bound(result.colors, graph.max_degree() + 1)
+
+
+def test_colors_respect_degree_lists(gnp_medium):
+    """(deg+1)-list flavor: v's color lies in {0..deg(v)}."""
+    net = SyncNetwork(gnp_medium, seed=3)
+    result = run_algorithm1(net, seed=4)
+    for v in range(gnp_medium.n):
+        assert 0 <= result.colors[v] <= gnp_medium.degree(v)
+
+
+def test_power_law_workload():
+    g = power_law_graph(200, attachment=4, seed=5)
+    net = SyncNetwork(g, seed=6)
+    result = run_algorithm1(net, seed=7)
+    check_proper_coloring(g, result.colors)
+
+
+def test_constant_levels(gnp_dense):
+    """Lemma 3.2: O(1) recursion levels."""
+    net = SyncNetwork(gnp_dense, seed=8)
+    result = run_algorithm1(net, seed=9)
+    assert result.num_levels <= 5
+
+
+def test_level_reports_populated(gnp_dense):
+    net = SyncNetwork(gnp_dense, seed=10)
+    result = run_algorithm1(net, seed=11)
+    assert result.levels[-1].base_case
+    total = sum(r.colored for r in result.levels)
+    assert total == gnp_dense.n - result.deferred_total or total == gnp_dense.n
+
+
+def test_sublinear_messages_on_dense_graph():
+    """The o(m) headline: messages well below the baseline on dense G."""
+    g = connected_gnp_graph(400, 0.5, seed=12)     # m ~ 40k
+    net = SyncNetwork(g, seed=13)
+    result = run_algorithm1(net, seed=14)
+    check_proper_coloring(g, result.colors)
+
+    base_net = SyncNetwork(g, seed=15)
+    run_baseline_coloring(base_net, "trial")
+    assert result.messages < 0.7 * base_net.stats.messages
+
+
+def test_danner_reused_not_rebuilt(gnp_medium):
+    net = SyncNetwork(gnp_medium, seed=16)
+    result = run_algorithm1(net, seed=17)
+    danner_stages = [s for s in net.stats.stages if "danner-local" in s.name]
+    assert len(danner_stages) == 1
+    assert result.danner_edges > 0
+
+
+def test_random_bits_accounted(gnp_medium):
+    net = SyncNetwork(gnp_medium, seed=18)
+    result = run_algorithm1(net, seed=19)
+    # one partition level consumed => bits > 0; all levels base-case-only
+    # consume none.
+    partition_levels = [r for r in result.levels if not r.base_case]
+    assert result.random_bits == len(partition_levels) * (
+        result.random_bits // max(len(partition_levels), 1)
+    )
+
+
+def test_comparison_network_rejected(gnp_small):
+    net = SyncNetwork(gnp_small, seed=20, comparison_based=True)
+    with pytest.raises(ProtocolError):
+        run_algorithm1(net, seed=21)
+
+
+def test_deterministic_given_seed(gnp_small):
+    r1 = run_algorithm1(SyncNetwork(gnp_small, seed=22), seed=23)
+    r2 = run_algorithm1(SyncNetwork(gnp_small, seed=22), seed=23)
+    assert r1.colors == r2.colors
+    assert r1.messages == r2.messages
+
+
+def test_seed_changes_coloring(gnp_medium):
+    r1 = run_algorithm1(SyncNetwork(gnp_medium, seed=24), seed=25)
+    r2 = run_algorithm1(SyncNetwork(gnp_medium, seed=26), seed=27)
+    assert r1.colors != r2.colors
+
+
+def test_single_vertex():
+    from repro.graphs.core import Graph
+
+    net = SyncNetwork(Graph(1, []), seed=28)
+    result = run_algorithm1(net, seed=29)
+    assert result.colors == [0]
+
+
+def test_two_vertices():
+    from repro.graphs.core import Graph
+
+    net = SyncNetwork(Graph(2, [(0, 1)]), seed=30)
+    result = run_algorithm1(net, seed=31)
+    check_proper_coloring(Graph(2, [(0, 1)]), result.colors)
+
+
+def test_sparse_graph_goes_straight_to_base(gnp_small):
+    """m = O(n log n) graphs skip partitioning entirely."""
+    net = SyncNetwork(gnp_small, seed=32)
+    result = run_algorithm1(net, seed=33)
+    assert result.levels[0].base_case
+
+
+def test_stage_breakdown_sums(gnp_medium):
+    net = SyncNetwork(gnp_medium, seed=34)
+    result = run_algorithm1(net, seed=35)
+    total = sum(s.messages for s in net.stats.stages)
+    assert total == net.stats.messages == result.messages

@@ -1,0 +1,94 @@
+"""End-to-end tests for Algorithm 2 ((1+eps)Delta coloring, Theorem 3.8)."""
+
+import pytest
+
+from repro.congest.network import SyncNetwork
+from repro.coloring.algorithm2 import phase_budget, run_algorithm2
+from repro.coloring.verify import check_color_bound, check_proper_coloring
+from repro.errors import ProtocolError
+from repro.graphs.generators import connected_gnp_graph, random_regular_graph
+
+from tests.conftest import connected_families
+
+
+@pytest.mark.parametrize("name,graph", connected_families(seed=500))
+def test_proper_on_family(name, graph):
+    net = SyncNetwork(graph, seed=1)
+    result = run_algorithm2(net, epsilon=0.5, seed=2)
+    check_proper_coloring(graph, result.colors)
+    check_color_bound(result.colors, result.palette_size)
+
+
+def test_palette_size_formula(gnp_medium):
+    net = SyncNetwork(gnp_medium, seed=3)
+    result = run_algorithm2(net, epsilon=0.25, seed=4)
+    delta = gnp_medium.max_degree()
+    assert result.max_degree == delta
+    assert result.palette_size == max(delta + 1, int((1.25) * delta) + 1)
+
+
+def test_epsilon_must_be_positive(gnp_small):
+    net = SyncNetwork(gnp_small, seed=5)
+    with pytest.raises(ProtocolError):
+        run_algorithm2(net, epsilon=0.0)
+
+
+def test_comparison_network_rejected(gnp_small):
+    net = SyncNetwork(gnp_small, seed=6, comparison_based=True)
+    with pytest.raises(ProtocolError):
+        run_algorithm2(net, epsilon=0.5)
+
+
+def test_phase_budget_scaling():
+    assert phase_budget(1000, 0.1) > phase_budget(1000, 1.0)
+    assert phase_budget(10_000, 0.5) > phase_budget(100, 0.5)
+
+
+def test_query_messages_small():
+    """Lemma 3.7's consequence: query traffic is tiny compared to m."""
+    g = random_regular_graph(200, 30, seed=7)
+    net = SyncNetwork(g, seed=8)
+    result = run_algorithm2(net, epsilon=0.5, seed=9)
+    check_proper_coloring(g, result.colors)
+    # queries+replies stay well below one message per edge
+    assert result.query_messages < g.m
+
+
+def test_total_messages_scale_with_n_not_m():
+    """Õ(n/eps^2): denser graphs should NOT cost proportionally more."""
+    sparse = connected_gnp_graph(150, 0.1, seed=10)
+    dense = connected_gnp_graph(150, 0.5, seed=11)
+    msgs = {}
+    for tag, g in (("sparse", sparse), ("dense", dense)):
+        net = SyncNetwork(g, seed=12)
+        msgs[tag] = run_algorithm2(net, epsilon=0.5, seed=13).messages
+    # m grew ~5x; messages should grow by far less than 2x
+    assert msgs["dense"] < 2.0 * msgs["sparse"]
+
+
+def test_smaller_epsilon_more_phases(gnp_small):
+    r_loose = run_algorithm2(SyncNetwork(gnp_small, seed=14),
+                             epsilon=1.0, seed=15)
+    r_tight = run_algorithm2(SyncNetwork(gnp_small, seed=16),
+                             epsilon=0.2, seed=17)
+    assert r_tight.phases > r_loose.phases
+    check_proper_coloring(gnp_small, r_tight.colors)
+
+
+def test_num_colors_within_palette(gnp_medium):
+    net = SyncNetwork(gnp_medium, seed=18)
+    result = run_algorithm2(net, epsilon=0.5, seed=19)
+    used = {c for c in result.colors}
+    assert max(used) < result.palette_size
+
+
+def test_deterministic_given_seed(gnp_small):
+    r1 = run_algorithm2(SyncNetwork(gnp_small, seed=20), epsilon=0.5, seed=21)
+    r2 = run_algorithm2(SyncNetwork(gnp_small, seed=20), epsilon=0.5, seed=21)
+    assert r1.colors == r2.colors
+
+
+def test_broadcast_bits_match_phase_budget(gnp_small):
+    net = SyncNetwork(gnp_small, seed=22)
+    result = run_algorithm2(net, epsilon=0.5, seed=23)
+    assert result.broadcast_bits % result.phases == 0

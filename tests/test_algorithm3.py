@@ -1,0 +1,117 @@
+"""End-to-end tests for Algorithm 3 (KT-2 MIS, Theorem 4.1)."""
+
+import math
+
+import pytest
+
+from repro.congest.network import SyncNetwork
+from repro.errors import ProtocolError
+from repro.graphs.generators import connected_gnp_graph, power_law_graph
+from repro.mis.algorithm3 import run_algorithm3
+from repro.mis.luby import run_luby
+from repro.mis.verify import check_mis, remnant_max_degree
+
+from tests.conftest import connected_families
+
+
+@pytest.mark.parametrize("name,graph", connected_families(seed=900))
+def test_valid_mis_on_family(name, graph):
+    net = SyncNetwork(graph, rho=2, seed=1)
+    result = run_algorithm3(net, seed=2)
+    check_mis(graph, result.in_mis)
+
+
+def test_comparison_based_discipline(gnp_medium):
+    """Figure 1 classifies Algorithm 3 '(C)': it must run under opaque
+    IDs without tripping the machine check."""
+    net = SyncNetwork(gnp_medium, rho=2, seed=3, comparison_based=True)
+    result = run_algorithm3(net, seed=4)
+    check_mis(gnp_medium, result.in_mis)
+
+
+def test_requires_kt2(gnp_small):
+    net = SyncNetwork(gnp_small, rho=1, seed=5)
+    with pytest.raises(ProtocolError):
+        run_algorithm3(net, seed=6)
+
+
+def test_sample_size_theta_sqrt_n():
+    g = connected_gnp_graph(500, 0.05, seed=7)
+    net = SyncNetwork(g, rho=2, seed=8)
+    result = run_algorithm3(net, seed=9)
+    expected = math.sqrt(g.n)
+    assert result.sampled <= 4 * expected + 8
+    check_mis(g, result.in_mis)
+
+
+def test_greedy_members_kept_in_final(gnp_medium):
+    net = SyncNetwork(gnp_medium, rho=2, seed=10)
+    result = run_algorithm3(net, seed=11)
+    assert result.greedy_joined + result.luby_joined == sum(result.in_mis)
+
+
+def test_remnant_degree_crushed():
+    """Konrad Lemma 1: remnant max degree = Õ(sqrt n) after the prefix."""
+    g = connected_gnp_graph(600, 0.15, seed=12)   # Delta ~ 90
+    net = SyncNetwork(g, rho=2, seed=13)
+    result = run_algorithm3(net, seed=14, sample_constant=2.0)
+    bound = 4 * math.sqrt(g.n) * math.log(g.n) + 16
+    assert result.remnant_max_degree_local <= bound
+    check_mis(g, result.in_mis)
+
+
+def test_fewer_messages_than_luby_on_dense_graph():
+    """The Theorem 4.1 separation: Õ(n^1.5) vs Õ(m)."""
+    g = connected_gnp_graph(400, 0.3, seed=15)   # m ~ 24k >> n^1.5 = 8k
+    net = SyncNetwork(g, rho=2, seed=16)
+    result = run_algorithm3(net, seed=17)
+    check_mis(g, result.in_mis)
+
+    luby_net = SyncNetwork(g, rho=1, seed=18)
+    run_luby(luby_net)
+    assert result.messages < 0.6 * luby_net.stats.messages
+
+
+def test_rounds_sublinear():
+    g = connected_gnp_graph(400, 0.2, seed=19)
+    net = SyncNetwork(g, rho=2, seed=20)
+    result = run_algorithm3(net, seed=21)
+    assert result.rounds <= 6 * math.sqrt(g.n) + 10 * g.n.bit_length()
+
+
+def test_stage_messages_recorded(gnp_medium):
+    net = SyncNetwork(gnp_medium, rho=2, seed=22)
+    result = run_algorithm3(net, seed=23)
+    assert set(result.stage_messages) == {"greedy", "inform", "luby"}
+    assert sum(result.stage_messages.values()) == result.messages
+
+
+def test_power_law_workload():
+    g = power_law_graph(300, attachment=3, seed=24)
+    net = SyncNetwork(g, rho=2, seed=25)
+    result = run_algorithm3(net, seed=26)
+    check_mis(g, result.in_mis)
+
+
+def test_deterministic_given_seed(gnp_small):
+    r1 = run_algorithm3(SyncNetwork(gnp_small, rho=2, seed=27), seed=28)
+    r2 = run_algorithm3(SyncNetwork(gnp_small, rho=2, seed=27), seed=28)
+    assert r1.in_mis == r2.in_mis
+
+
+def test_empty_sample_still_correct():
+    """If S happens to be empty (tiny n), Luby finishes the whole graph."""
+    from repro.graphs.core import Graph
+
+    g = Graph(3, [(0, 1), (1, 2)])
+    net = SyncNetwork(g, rho=2, seed=29)
+    result = run_algorithm3(net, seed=30, sample_constant=0.0)
+    assert result.sampled == 0
+    check_mis(g, result.in_mis)
+
+
+def test_kt3_also_works(gnp_small):
+    """More knowledge than needed is harmless."""
+    net = SyncNetwork(gnp_small, rho=3, seed=31)
+    result = run_algorithm3(net, seed=32)
+    check_mis(gnp_small, result.in_mis)

@@ -1,0 +1,88 @@
+"""Tests for graph analysis helpers."""
+
+import pytest
+
+from repro.graphs.analysis import (
+    bfs_distances,
+    connected_components,
+    degeneracy,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    is_connected,
+    max_degree,
+)
+from repro.graphs.core import Graph
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    disjoint_cycles,
+)
+
+
+def test_bfs_distances_path(path4):
+    assert bfs_distances(path4, 0) == [0, 1, 2, 3]
+
+
+def test_bfs_unreachable():
+    g = Graph(4, [(0, 1)])
+    dist = bfs_distances(g, 0)
+    assert dist[2] == -1 and dist[3] == -1
+
+
+def test_connected_components_counts(cycles_graph):
+    comps = connected_components(cycles_graph)
+    assert len(comps) == 6
+
+
+def test_is_connected(path4, cycles_graph):
+    assert is_connected(path4)
+    assert not is_connected(cycles_graph)
+
+
+def test_empty_graph_connected():
+    assert is_connected(Graph(0, []))
+
+
+def test_eccentricity_cycle():
+    g = cycle_graph(10)
+    assert eccentricity(g, 0) == 5
+
+
+def test_diameter_exact_small():
+    assert diameter(cycle_graph(12)) == 6
+    assert diameter(complete_graph(8)) == 1
+    assert diameter(barbell_graph(5, 4)) == 7
+
+
+def test_diameter_disconnected_raises(cycles_graph):
+    with pytest.raises(ValueError):
+        diameter(cycles_graph)
+
+
+def test_diameter_large_uses_sweeps():
+    g = barbell_graph(400, 10)
+    # double sweep finds the true diameter of a barbell
+    assert diameter(g, exact_threshold=10) == 13
+
+
+def test_max_degree(star6):
+    assert max_degree(star6) == 5
+
+
+def test_degree_histogram(star6):
+    hist = degree_histogram(star6)
+    assert hist == {5: 1, 1: 5}
+
+
+def test_degeneracy_values():
+    assert degeneracy(complete_graph(6)) == 5
+    assert degeneracy(cycle_graph(9)) == 2
+    assert degeneracy(Graph(5, [])) == 0
+
+
+def test_degeneracy_gnp_bounded():
+    g = connected_gnp_graph(80, 0.1, seed=1)
+    assert degeneracy(g) <= max_degree(g)

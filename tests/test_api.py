@@ -1,0 +1,97 @@
+"""Tests for the one-call API facade."""
+
+import pytest
+
+from repro import api
+from repro.errors import ReproError
+from repro.graphs.generators import connected_gnp_graph
+
+from tests.conftest import connected_families
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return connected_gnp_graph(120, 0.2, seed=42)
+
+
+def test_color_graph_default(workload):
+    result = api.color_graph(workload, seed=1)
+    assert result.valid
+    assert result.num_colors <= result.palette_bound
+    assert result.report.n == workload.n
+    assert result.messages > 0
+
+
+def test_color_graph_eps_delta(workload):
+    result = api.color_graph(workload, method="kt1-eps-delta",
+                             epsilon=0.5, seed=2)
+    assert result.valid
+    assert result.palette_bound >= workload.max_degree() + 1
+
+
+def test_color_graph_baselines(workload):
+    trial = api.color_graph(workload, method="baseline-trial", seed=3)
+    greedy = api.color_graph(workload, method="baseline-rank-greedy", seed=4)
+    assert trial.valid and greedy.valid
+    # rank-greedy is deterministic 2m messages
+    assert greedy.report.messages == 2 * workload.m \
+        or greedy.report.messages == pytest.approx(2 * workload.m, rel=0.2)
+
+
+def test_color_graph_async(workload):
+    result = api.color_graph(workload, seed=5, asynchronous=True)
+    assert result.valid
+
+
+def test_async_eps_delta_rejected(workload):
+    with pytest.raises(ReproError):
+        api.color_graph(workload, method="kt1-eps-delta", asynchronous=True)
+
+
+def test_unknown_coloring_method(workload):
+    with pytest.raises(ReproError):
+        api.color_graph(workload, method="nope")
+
+
+def test_find_mis_default(workload):
+    result = api.find_mis(workload, seed=6)
+    assert result.valid
+    assert 0 < result.size < workload.n
+
+
+def test_find_mis_luby_and_greedy(workload):
+    for method in ("luby", "rank-greedy"):
+        result = api.find_mis(workload, method=method, seed=7)
+        assert result.valid, method
+
+
+def test_unknown_mis_method(workload):
+    with pytest.raises(ReproError):
+        api.find_mis(workload, method="nope")
+
+
+def test_report_stage_breakdown(workload):
+    result = api.color_graph(workload, seed=8)
+    assert sum(result.report.stage_messages.values()) == result.messages
+    assert result.report.utilized_edges <= workload.m
+
+
+def test_messages_per_edge(workload):
+    result = api.find_mis(workload, method="luby", seed=9)
+    assert result.report.messages_per_edge == (
+        result.messages / workload.m
+    )
+
+
+@pytest.mark.parametrize("name,graph", connected_families(seed=1000)[:5])
+def test_api_on_families(name, graph):
+    coloring = api.color_graph(graph, seed=10)
+    mis = api.find_mis(graph, seed=11)
+    assert coloring.valid and mis.valid
+
+
+def test_mis_non_comparison_flag(workload):
+    """comparison_based=False must give the same validity (the flag only
+    switches the discipline checker)."""
+    result = api.find_mis(workload, seed=12, comparison_based=False)
+    assert result.valid

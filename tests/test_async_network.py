@@ -1,0 +1,133 @@
+"""Tests for the asynchronous engine (Section 3.1.1)."""
+
+import pytest
+
+from repro.congest.async_network import AsyncNetwork
+from repro.congest.node import NodeAlgorithm
+from repro.coloring.algorithm1 import run_algorithm1
+from repro.coloring.johansson import johansson_color
+from repro.coloring.verify import check_proper_coloring
+from repro.errors import ConvergenceError, ProtocolError
+from repro.graphs.generators import connected_gnp_graph
+from repro.mis.luby import run_luby
+from repro.mis.verify import check_mis
+from repro.substrates.spanning_tree import build_spanning_tree
+
+
+class EchoOnce(NodeAlgorithm):
+    passive_when_idle = True
+
+    def setup(self, ctx):
+        self.heard = 0
+
+    def on_round(self, ctx, inbox):
+        self.heard += len(inbox)
+        if ctx.round == 0:
+            for u in ctx.neighbor_ids:
+                ctx.send(u, "hi")
+        ctx.done(self.heard)
+
+
+def test_all_messages_delivered(gnp_small):
+    anet = AsyncNetwork(gnp_small, seed=1)
+    res = anet.run(EchoOnce)
+    assert res.outputs == [gnp_small.degree(v) for v in range(gnp_small.n)]
+
+
+def test_time_metric_positive(gnp_small):
+    anet = AsyncNetwork(gnp_small, seed=2)
+    res = anet.run(EchoOnce)
+    assert res.rounds >= 1
+    assert anet.stats.rounds == res.rounds
+
+
+def test_message_accounting_matches_sync(gnp_small):
+    from repro.congest.network import SyncNetwork
+
+    anet = AsyncNetwork(gnp_small, seed=3)
+    anet.run(EchoOnce)
+    snet = SyncNetwork(gnp_small, seed=3)
+    snet.run(EchoOnce)
+    assert anet.stats.messages == snet.stats.messages
+
+
+def test_round_cadence_algorithms_rejected(gnp_small):
+    anet = AsyncNetwork(gnp_small, seed=4)
+
+    class Cadence(NodeAlgorithm):
+        passive_when_idle = False
+
+        def on_round(self, ctx, inbox):
+            ctx.done(None)
+
+    with pytest.raises(ProtocolError):
+        anet.run(Cadence)
+
+
+def test_unfinished_quiescence_is_error(gnp_small):
+    anet = AsyncNetwork(gnp_small, seed=5)
+
+    class Mute(NodeAlgorithm):
+        passive_when_idle = True
+
+        def on_round(self, ctx, inbox):
+            pass
+
+    with pytest.raises(ConvergenceError):
+        anet.run(Mute)
+
+
+def test_trace_recording_rejected(gnp_small):
+    with pytest.raises(ProtocolError):
+        AsyncNetwork(gnp_small, seed=6, record_trace=True)
+
+
+def test_johansson_is_delay_insensitive():
+    """The count-based lockstep survives adversarial delays."""
+    g = connected_gnp_graph(60, 0.15, seed=7)
+    for seed in (8, 9, 10):
+        anet = AsyncNetwork(g, seed=seed)
+        palettes = [frozenset(range(g.degree(v) + 1)) for v in range(g.n)]
+        res = johansson_color(anet, [None] * g.n, palettes)
+        colors = [o["color"] for o in res.outputs]
+        check_proper_coloring(g, colors)
+
+
+def test_luby_async():
+    g = connected_gnp_graph(60, 0.15, seed=11)
+    anet = AsyncNetwork(g, seed=12)
+    in_mis, _ = run_luby(anet)
+    check_mis(g, in_mis)
+
+
+def test_spanning_tree_async():
+    g = connected_gnp_graph(50, 0.2, seed=13)
+    anet = AsyncNetwork(g, seed=14)
+    st = build_spanning_tree(anet, seed=15)
+    from repro.graphs.analysis import is_connected
+    from repro.graphs.core import Graph
+
+    assert is_connected(Graph(g.n, st.tree_edges))
+    assert len(st.tree_edges) == g.n - 1
+
+
+def test_algorithm1_async_theorem_3_4():
+    """Theorem 3.4: the full pipeline under the async engine."""
+    g = connected_gnp_graph(120, 0.25, seed=16)
+    anet = AsyncNetwork(g, seed=17)
+    result = run_algorithm1(anet, seed=18)
+    check_proper_coloring(g, result.colors)
+    # async time is Õ(n)-ish, certainly far below message count
+    assert result.rounds < result.messages
+
+
+def test_delay_seed_changes_schedule_not_correctness():
+    g = connected_gnp_graph(40, 0.2, seed=19)
+    outs = []
+    for seed in (20, 21):
+        anet = AsyncNetwork(g, seed=seed)
+        in_mis, _ = run_luby(anet)
+        check_mis(g, in_mis)
+        outs.append(in_mis)
+    # different delays may change the MIS; both must be valid (checked)
+    assert len(outs) == 2

@@ -1,0 +1,76 @@
+"""Tests for BitString and word accounting."""
+
+import random
+
+import pytest
+
+from repro.util.bitstrings import BitString, bits_from_ints, random_bitstring
+
+
+def test_construction_validates():
+    with pytest.raises(ValueError):
+        BitString((0, 2, 1))
+
+
+def test_len_iter_index():
+    b = BitString((1, 0, 1, 1))
+    assert len(b) == 4
+    assert list(b) == [1, 0, 1, 1]
+    assert b[0] == 1
+    assert b[1] == 0
+
+
+def test_slice_returns_bitstring():
+    b = BitString((1, 0, 1, 1, 0))
+    assert isinstance(b[1:3], BitString)
+    assert b[1:3].bits == (0, 1)
+
+
+def test_words_rounding():
+    b = BitString(tuple([1] * 33))
+    assert b.words(32) == 2
+    assert b.words(33) == 1
+    assert BitString(()).words(16) == 1
+
+
+def test_words_bad_size():
+    with pytest.raises(ValueError):
+        BitString((1,)).words(0)
+
+
+def test_int_roundtrip():
+    b = BitString((1, 0, 1, 1, 0, 1))
+    assert BitString.from_int(b.to_int(), 6) == b
+
+
+def test_from_int_zero_padding():
+    b = BitString.from_int(5, 8)
+    assert b.bits == (0, 0, 0, 0, 0, 1, 0, 1)
+
+
+def test_concat():
+    a = BitString((1, 0))
+    b = BitString((0, 1, 1))
+    assert a.concat(b).bits == (1, 0, 0, 1, 1)
+
+
+def test_random_bitstring_deterministic():
+    a = random_bitstring(random.Random(5), 64)
+    b = random_bitstring(random.Random(5), 64)
+    assert a == b
+    assert len(a) == 64
+
+
+def test_random_bitstring_not_constant():
+    a = random_bitstring(random.Random(6), 128)
+    assert 10 < sum(a.bits) < 118
+
+
+def test_bits_from_ints():
+    b = bits_from_ints([3, 1], 4)
+    assert b.bits == (0, 0, 1, 1, 0, 0, 0, 1)
+
+
+def test_bits_from_ints_overflow():
+    with pytest.raises(ValueError):
+        bits_from_ints([16], 4)

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_color_default(capsys):
+    code, out = run(capsys, "color", "--n", "80", "--p", "0.2",
+                    "--seed", "1")
+    assert code == 0
+    assert "valid" in out and "True" in out
+    assert "messages" in out
+
+
+def test_color_json(capsys):
+    code, out = run(capsys, "color", "--n", "60", "--p", "0.2",
+                    "--json", "--seed", "2")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["valid"] is True
+    assert payload["messages"] > 0
+
+
+def test_color_methods(capsys):
+    for method in ("baseline-trial", "baseline-rank-greedy"):
+        code, out = run(capsys, "color", "--n", "50", "--p", "0.25",
+                        "--method", method, "--seed", "3")
+        assert code == 0, method
+
+
+def test_color_eps_delta(capsys):
+    code, out = run(capsys, "color", "--n", "60", "--p", "0.3",
+                    "--method", "kt1-eps-delta", "--epsilon", "0.8",
+                    "--seed", "4")
+    assert code == 0
+
+
+def test_color_async(capsys):
+    code, out = run(capsys, "color", "--n", "60", "--p", "0.25",
+                    "--asynchronous", "--seed", "5")
+    assert code == 0
+
+
+def test_mis_default(capsys):
+    code, out = run(capsys, "mis", "--n", "80", "--p", "0.2", "--seed", "6")
+    assert code == 0
+    assert "MIS size" in out
+
+
+def test_mis_methods(capsys):
+    for method in ("luby", "rank-greedy"):
+        code, out = run(capsys, "mis", "--n", "50", "--p", "0.25",
+                        "--method", method, "--seed", "7")
+        assert code == 0, method
+
+
+def test_lowerbound_silent(capsys):
+    code, out = run(capsys, "lowerbound", "--t", "4", "--budget", "0",
+                    "--sample", "5", "--seed", "8")
+    assert code == 0
+    assert "dichotomy holds: True" in out
+    assert "correct on crossed: 0.0" in out
+
+
+def test_lowerbound_mis_json(capsys):
+    code, out = run(capsys, "lowerbound", "--t", "4", "--problem", "mis",
+                    "--budget", "20", "--sample", "5", "--json",
+                    "--seed", "9")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["dichotomy holds"] is True
+
+
+def test_cycles(capsys):
+    code, out = run(capsys, "cycles", "--cycles", "6", "--k", "9",
+                    "--fractions", "0.0", "1.0", "--trials", "2",
+                    "--seed", "10")
+    assert code == 0
+    assert "success" in out
+
+
+def test_info(capsys):
+    code, out = run(capsys, "info", "--n", "100", "--p", "0.3")
+    assert code == 0
+    assert "word bits" in out
+
+
+def test_graph_families(capsys):
+    for family in ("gnp", "regular", "powerlaw", "barbell"):
+        code, out = run(capsys, "info", "--n", "60", "--p", "0.2",
+                        "--family", family)
+        assert code == 0, family
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "info", "--n", "40"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "word bits" in proc.stdout

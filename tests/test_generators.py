@@ -1,0 +1,167 @@
+"""Unit + property tests for the graph generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.graphs.analysis import connected_components, is_connected
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_bipartite,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    disjoint_cycles,
+    gnp_random_graph,
+    power_law_graph,
+    random_regular_graph,
+    random_spanning_subgraph,
+    relabelled,
+    tiered_bipartite,
+)
+
+
+def test_gnp_determinism():
+    a = gnp_random_graph(50, 0.2, seed=5)
+    b = gnp_random_graph(50, 0.2, seed=5)
+    assert a == b
+
+
+def test_gnp_seed_sensitivity():
+    a = gnp_random_graph(50, 0.2, seed=5)
+    b = gnp_random_graph(50, 0.2, seed=6)
+    assert a != b
+
+
+def test_gnp_extremes():
+    assert gnp_random_graph(20, 0.0, seed=1).m == 0
+    assert gnp_random_graph(20, 1.0, seed=1).m == 190
+
+
+def test_gnp_bad_p():
+    with pytest.raises(ReproError):
+        gnp_random_graph(10, 1.5)
+
+
+def test_gnp_density_plausible():
+    g = gnp_random_graph(200, 0.1, seed=3)
+    expected = 0.1 * 199 * 100
+    assert 0.7 * expected < g.m < 1.3 * expected
+
+
+def test_connected_gnp_is_connected():
+    for seed in range(5):
+        g = connected_gnp_graph(60, 0.05, seed=seed)
+        assert is_connected(g)
+
+
+def test_regular_graph_degrees():
+    g = random_regular_graph(30, 4, seed=2)
+    assert all(g.degree(v) == 4 for v in range(30))
+
+
+def test_regular_graph_parity_rejected():
+    with pytest.raises(ReproError):
+        random_regular_graph(5, 3)
+
+
+def test_regular_graph_too_dense_rejected():
+    with pytest.raises(ReproError):
+        random_regular_graph(4, 4)
+
+
+def test_power_law_connected_and_skewed():
+    g = power_law_graph(150, attachment=2, seed=4)
+    assert is_connected(g)
+    degrees = sorted((g.degree(v) for v in range(g.n)), reverse=True)
+    assert degrees[0] > 3 * degrees[len(degrees) // 2]
+
+
+def test_complete_graph():
+    g = complete_graph(6)
+    assert g.m == 15
+    assert g.max_degree() == 5
+
+
+def test_complete_bipartite_structure():
+    g = complete_bipartite(3, 4)
+    assert g.n == 7
+    assert g.m == 12
+    for u in range(3):
+        for v in range(3):
+            if u != v:
+                assert not g.has_edge(u, v)
+
+
+def test_cycle_graph():
+    g = cycle_graph(8)
+    assert g.m == 8
+    assert all(g.degree(v) == 2 for v in range(8))
+
+
+def test_cycle_too_short():
+    with pytest.raises(ReproError):
+        cycle_graph(2)
+
+
+def test_disjoint_cycles_components():
+    g = disjoint_cycles(4, 5)
+    comps = connected_components(g)
+    assert len(comps) == 4
+    assert all(len(c) == 5 for c in comps)
+
+
+def test_barbell_structure():
+    g = barbell_graph(5, 3)
+    assert g.n == 13
+    assert is_connected(g)
+    # bridge path endpoints have degree clique-1 + 1
+    assert g.degree(4) == 5
+
+
+def test_tiered_bipartite_matches_paper():
+    g, parts = tiered_bipartite(4)
+    t = 4
+    assert g.n == 3 * t
+    assert g.m == 2 * t * t
+    for x in parts["X"]:
+        for z in parts["Z"]:
+            assert not g.has_edge(x, z)
+    for y in parts["Y"]:
+        assert g.degree(y) == 2 * t
+
+
+def test_random_spanning_subgraph_keeps_subset():
+    g = complete_graph(12)
+    h = random_spanning_subgraph(g, 0.5, seed=9)
+    assert h.n == g.n
+    assert set(h.edges()) <= set(g.edges())
+
+
+def test_relabelled_preserves_structure():
+    g = cycle_graph(6)
+    perm = [3, 4, 5, 0, 1, 2]
+    h = relabelled(g, perm)
+    assert h.m == g.m
+    assert all(h.degree(v) == 2 for v in range(6))
+
+
+def test_relabelled_bad_permutation():
+    with pytest.raises(ReproError):
+        relabelled(cycle_graph(4), [0, 0, 1, 2])
+
+
+@given(st.integers(2, 40), st.floats(0.05, 0.9))
+@settings(max_examples=25, deadline=None)
+def test_gnp_simple_graph_property(n, p):
+    g = gnp_random_graph(n, p, seed=11)
+    assert all(v not in g.neighbors(v) for v in range(n))
+    assert g.m <= n * (n - 1) // 2
+
+
+@given(st.integers(1, 8), st.integers(3, 10))
+@settings(max_examples=20, deadline=None)
+def test_disjoint_cycles_edge_count(c, k):
+    g = disjoint_cycles(c, k)
+    assert g.n == c * k
+    assert g.m == c * k

@@ -1,0 +1,114 @@
+"""Tests for randomized greedy MIS: sequential/parallel equivalence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congest.network import SyncNetwork
+from repro.graphs.generators import gnp_random_graph
+from repro.mis.greedy import (
+    greedy_by_rank,
+    run_parallel_greedy,
+    sequential_greedy_mis,
+)
+from repro.mis.verify import check_mis
+
+from tests.conftest import connected_families
+
+
+def test_sequential_greedy_is_mis(gnp_small):
+    order = list(range(gnp_small.n))
+    mis = sequential_greedy_mis(gnp_small, order)
+    check_mis(gnp_small, [v in mis for v in range(gnp_small.n)])
+
+
+def test_sequential_greedy_respects_order():
+    from repro.graphs.core import Graph
+
+    g = Graph(3, [(0, 1), (1, 2)])
+    assert sequential_greedy_mis(g, [1, 0, 2]) == {1}
+    assert sequential_greedy_mis(g, [0, 1, 2]) == {0, 2}
+
+
+@pytest.mark.parametrize("name,graph", connected_families(seed=800))
+def test_parallel_equals_sequential_on_family(name, graph):
+    rng = random.Random(hash(name) & 0xFFFF)
+    ranks = [rng.randrange(10**9) for _ in range(graph.n)]
+    net = SyncNetwork(graph, seed=3)
+    stage = run_parallel_greedy(net, [True] * graph.n, ranks, rank_space=10**9)
+    par = {v for v in range(graph.n) if stage.outputs[v]["joined"]}
+    keys = [(ranks[v], net.assignment.value_of(v)) for v in range(graph.n)]
+    seq = greedy_by_rank(graph, range(graph.n), keys)
+    assert par == seq, name
+
+
+def test_parallel_on_subset_matches_induced(gnp_medium):
+    rng = random.Random(4)
+    members = [v for v in range(gnp_medium.n) if rng.random() < 0.4]
+    ranks = [rng.randrange(10**9) for _ in range(gnp_medium.n)]
+    in_s = [v in set(members) for v in range(gnp_medium.n)]
+    net = SyncNetwork(gnp_medium, seed=5)
+    stage = run_parallel_greedy(net, in_s, ranks, rank_space=10**9)
+    par = {v for v in range(gnp_medium.n) if stage.outputs[v]["joined"]}
+    keys = [(ranks[v], net.assignment.value_of(v))
+            for v in range(gnp_medium.n)]
+    seq = greedy_by_rank(gnp_medium, members, keys)
+    assert par == seq
+
+
+def test_greedy_mis_of_members_is_maximal_in_induced(gnp_small):
+    rng = random.Random(6)
+    members = sorted(v for v in range(gnp_small.n) if rng.random() < 0.5)
+    keys = [rng.randrange(10**9) for _ in range(gnp_small.n)]
+    mis = greedy_by_rank(gnp_small, members, keys)
+    sub, mapping = gnp_small.subgraph_with_mapping(members)
+    flags = [False] * sub.n
+    for v in mis:
+        flags[mapping[v]] = True
+    check_mis(sub, flags)
+
+
+def test_non_members_never_join(gnp_small):
+    net = SyncNetwork(gnp_small, seed=7)
+    in_s = [v % 3 == 0 for v in range(gnp_small.n)]
+    ranks = [v for v in range(gnp_small.n)]
+    stage = run_parallel_greedy(net, in_s, ranks, rank_space=10**9)
+    for v in range(gnp_small.n):
+        if not in_s[v]:
+            assert not stage.outputs[v]["joined"]
+
+
+def test_outputs_record_join_knowledge(gnp_small):
+    net = SyncNetwork(gnp_small, seed=8)
+    ranks = [v for v in range(gnp_small.n)]
+    stage = run_parallel_greedy(net, [True] * gnp_small.n, ranks, rank_space=10**9)
+    joined = {v for v in range(gnp_small.n) if stage.outputs[v]["joined"]}
+    for v in range(gnp_small.n):
+        expected = {
+            net.id_of(u) for u in gnp_small.neighbors(v) if u in joined
+        }
+        assert set(stage.outputs[v]["joined_neighbors"]) == expected
+
+
+def test_message_cost_tracks_s_size(gnp_medium):
+    """Announcements cost |S| * deg-ish, not m, for small S."""
+    rng = random.Random(9)
+    sparse_s = [rng.random() < 0.05 for _ in range(gnp_medium.n)]
+    ranks = [rng.randrange(10**9) for _ in range(gnp_medium.n)]
+    net = SyncNetwork(gnp_medium, seed=10)
+    run_parallel_greedy(net, sparse_s, ranks, rank_space=10**9)
+    assert net.stats.messages < 1.2 * gnp_medium.m
+
+
+@given(st.integers(4, 30), st.floats(0.1, 0.6), st.integers(0, 10**6))
+@settings(max_examples=15, deadline=None)
+def test_property_equivalence(n, p, seed):
+    g = gnp_random_graph(n, p, seed=seed)
+    rng = random.Random(seed + 1)
+    ranks = [rng.randrange(10**6) for _ in range(n)]
+    net = SyncNetwork(g, seed=seed)
+    stage = run_parallel_greedy(net, [True] * n, ranks, rank_space=10**6)
+    par = {v for v in range(n) if stage.outputs[v]["joined"]}
+    keys = [(ranks[v], net.assignment.value_of(v)) for v in range(n)]
+    assert par == greedy_by_rank(g, range(n), keys)

@@ -1,0 +1,147 @@
+"""Tests for the c-wise independent hash families (Lemma A.4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.util.hashing import (
+    KWiseHash,
+    KWiseHashFamily,
+    hash_family_from_bits,
+)
+
+
+def test_family_rejects_bad_params():
+    with pytest.raises(ReproError):
+        KWiseHashFamily(0, 10, 4)
+    with pytest.raises(ReproError):
+        KWiseHashFamily(10, 0, 4)
+    with pytest.raises(ReproError):
+        KWiseHashFamily(10, 10, 0)
+
+
+def test_bits_needed_formula():
+    fam = KWiseHashFamily(1000, 16, 5)
+    assert fam.bits_needed == 5 * fam.prime.bit_length()
+
+
+def test_sample_from_bits_deterministic():
+    fam = KWiseHashFamily(10_000, 64, 4)
+    rng = random.Random(1)
+    bits = [rng.getrandbits(1) for _ in range(fam.bits_needed)]
+    h1 = fam.sample_from_bits(bits)
+    h2 = fam.sample_from_bits(bits)
+    assert [h1(x) for x in range(50)] == [h2(x) for x in range(50)]
+
+
+def test_sample_from_bits_insufficient():
+    fam = KWiseHashFamily(100, 10, 4)
+    with pytest.raises(ReproError):
+        fam.sample_from_bits([0, 1, 0])
+
+
+def test_different_bits_different_function():
+    fam = KWiseHashFamily(10_000, 1024, 4)
+    rng = random.Random(2)
+    h1 = fam.sample(rng)
+    h2 = fam.sample(rng)
+    assert any(h1(x) != h2(x) for x in range(100))
+
+
+def test_range_respected():
+    fam = KWiseHashFamily(100_000, 7, 6)
+    h = fam.sample(random.Random(3))
+    assert all(0 <= h(x) < 7 for x in range(1000))
+
+
+def test_with_range():
+    fam = KWiseHashFamily(1000, 100, 4)
+    h = fam.sample(random.Random(4))
+    h2 = h.with_range(5)
+    assert all(0 <= h2(x) < 5 for x in range(200))
+    # Same polynomial underneath.
+    assert h2.coefficients == h.coefficients
+
+
+def test_eval_many_matches_scalar():
+    fam = KWiseHashFamily(50_000, 97, 8)
+    h = fam.sample(random.Random(5))
+    xs = list(range(0, 5000, 7))
+    assert h.eval_many(xs) == [h(x) for x in xs]
+
+
+def test_eval_many_large_prime_fallback():
+    # Force a domain that needs a > 32-bit prime.
+    fam = KWiseHashFamily(2**40, 100, 4)
+    assert fam.prime >= 2**40
+    h = fam.sample(random.Random(6))
+    xs = [2**39 + i for i in range(20)]
+    assert h.eval_many(xs) == [h(x) for x in xs]
+
+
+def test_uniformity_chi_squared_ish():
+    """Empirical uniformity: bucket counts within 5 sigma."""
+    fam = KWiseHashFamily(1_000_000, 16, 8)
+    h = fam.sample(random.Random(7))
+    counts = [0] * 16
+    trials = 16_000
+    for x in range(trials):
+        counts[h(x)] += 1
+    mean = trials / 16
+    sigma = (mean * (1 - 1 / 16)) ** 0.5
+    assert all(abs(c - mean) < 5 * sigma for c in counts)
+
+
+def test_pairwise_independence_statistics():
+    """Pr[h(a)=i and h(b)=j] ~ 1/L^2 over random functions."""
+    fam = KWiseHashFamily(10_000, 4, 4)
+    rng = random.Random(8)
+    hits = 0
+    trials = 4000
+    for _ in range(trials):
+        h = fam.sample(rng)
+        if h(123) == 1 and h(456) == 2:
+            hits += 1
+    expected = trials / 16
+    assert abs(hits - expected) < 6 * (expected ** 0.5) + 8
+
+
+def test_hash_of_distinct_keys_decorrelated():
+    """Sampling the family, h(x) should not determine h(y)."""
+    fam = KWiseHashFamily(10_000, 256, 4)
+    rng = random.Random(9)
+    agreement = 0
+    trials = 2000
+    for _ in range(trials):
+        h = fam.sample(rng)
+        if h(1) == h(2):
+            agreement += 1
+    # ~ trials/256 expected.
+    assert agreement < trials / 256 * 4 + 10
+
+
+def test_hash_family_from_bits_offsets():
+    rng = random.Random(10)
+    bits = [rng.getrandbits(1) for _ in range(20_000)]
+    h1, off1 = hash_family_from_bits(bits, 0, 1000, 16, 4)
+    h2, off2 = hash_family_from_bits(bits, off1, 1000, 16, 4)
+    assert off2 == 2 * off1
+    assert isinstance(h1, KWiseHash) and isinstance(h2, KWiseHash)
+    assert any(h1(x) != h2(x) for x in range(64))
+
+
+def test_mod_bias_small():
+    """The mod-L bias is bounded by L/p (we require p >= 1024 L)."""
+    fam = KWiseHashFamily(1000, 100, 4)
+    assert fam.prime >= 1024 * 100
+
+
+@given(st.integers(2, 2**20), st.integers(2, 512), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_family_always_in_range(domain, range_size, c):
+    fam = KWiseHashFamily(domain, range_size, c)
+    h = fam.sample(random.Random(0))
+    for x in (0, 1, domain - 1, domain // 2):
+        assert 0 <= h(x) < range_size

@@ -1,0 +1,134 @@
+"""Tests for NodeId / OpaqueId and the comparison-based discipline."""
+
+import pytest
+
+from repro.congest.ids import IdAssignment, NodeId, OpaqueId, id_value
+from repro.errors import ComparisonDisciplineError, ReproError
+
+
+def test_nodeid_comparisons():
+    a, b = NodeId(3), NodeId(7)
+    assert a < b and b > a and a <= b and b >= a
+    assert a != b
+    assert NodeId(3) == NodeId(3)
+
+
+def test_nodeid_value_access():
+    assert NodeId(42).value == 42
+
+
+def test_nodeid_rejects_arithmetic():
+    with pytest.raises(TypeError):
+        NodeId(1) + NodeId(2)
+    with pytest.raises(TypeError):
+        int(NodeId(1))
+
+
+def test_nodeid_hashable():
+    s = {NodeId(1), NodeId(2), NodeId(1)}
+    assert len(s) == 2
+
+
+def test_nodeid_sortable():
+    ids = [NodeId(5), NodeId(1), NodeId(3)]
+    assert [id_value(x) for x in sorted(ids)] == [1, 3, 5]
+
+
+def test_opaque_comparisons_allowed():
+    a, b = OpaqueId(3, salt=1), OpaqueId(7, salt=1)
+    assert a < b
+    assert a == OpaqueId(3, salt=1)
+    assert max(a, b) is b
+
+
+def test_opaque_value_forbidden():
+    with pytest.raises(ComparisonDisciplineError):
+        OpaqueId(3).value
+
+
+def test_opaque_arithmetic_forbidden():
+    with pytest.raises(ComparisonDisciplineError):
+        OpaqueId(3) + OpaqueId(4)
+    with pytest.raises(ComparisonDisciplineError):
+        int(OpaqueId(3))
+    with pytest.raises(ComparisonDisciplineError):
+        [10, 20][OpaqueId(1)]
+
+
+def test_opaque_format_forbidden():
+    with pytest.raises(ComparisonDisciplineError):
+        format(OpaqueId(3), "d")
+    # repr (no spec) is fine for debugging
+    assert "OpaqueId" in repr(OpaqueId(3))
+
+
+def test_opaque_hash_usable_but_salted():
+    a = OpaqueId(5, salt=1)
+    b = OpaqueId(5, salt=2)
+    assert {a: "x"}[OpaqueId(5, salt=1)] == "x"
+    assert hash(a) != hash(b) or True  # salts make collisions unlikely
+
+
+def test_engine_backdoor():
+    assert id_value(OpaqueId(9)) == 9
+
+
+def test_mixed_opaque_plain_equality():
+    # Equality across flavors is by value (engine compares both kinds).
+    assert OpaqueId(4) == NodeId(4)
+
+
+def test_assignment_distinct_required():
+    with pytest.raises(ReproError):
+        IdAssignment([1, 1, 2])
+
+
+def test_assignment_nonnegative_required():
+    with pytest.raises(ReproError):
+        IdAssignment([-1, 0])
+
+
+def test_assignment_random_poly_space():
+    a = IdAssignment.random(100, seed=3)
+    assert len(a) == 100
+    assert len(set(a.values())) == 100
+    assert max(a.values()) < 100 * 100
+
+
+def test_assignment_random_space_too_small():
+    with pytest.raises(ReproError):
+        IdAssignment.random(10, seed=0, space=5)
+
+
+def test_assignment_identity_and_lookup():
+    a = IdAssignment.identity(5)
+    assert a.value_of(3) == 3
+    assert a.vertex_of_value(4) == 4
+
+
+def test_assignment_from_mapping():
+    a = IdAssignment.from_mapping({0: 10, 1: 20, 2: 5}, 3)
+    assert a.value_of(2) == 5
+    with pytest.raises(ReproError):
+        IdAssignment.from_mapping({0: 1, 2: 3}, 3)
+
+
+def test_assignment_with_swapped():
+    a = IdAssignment([10, 20, 30])
+    b = a.with_swapped(0, 2)
+    assert b.value_of(0) == 30 and b.value_of(2) == 10
+    assert a.value_of(0) == 10  # original untouched
+
+
+def test_order_isomorphic():
+    a = IdAssignment([1, 5, 9])
+    b = IdAssignment([2, 6, 10])
+    pairs = [(0, 0), (1, 1), (2, 2)]
+    assert a.order_isomorphic_to(b, pairs)
+    c = IdAssignment([2, 10, 6])
+    assert not a.order_isomorphic_to(c, pairs)
+
+
+def test_space_bound():
+    a = IdAssignment([3, 17, 8])
+    assert a.space_bound() == 18

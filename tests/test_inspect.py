@@ -1,0 +1,76 @@
+"""Tests for the observability layer (per-tag accounting + inspector)."""
+
+from repro.congest.inspect import NetworkInspector
+from repro.congest.network import SyncNetwork
+from repro.coloring.algorithm1 import run_algorithm1
+from repro.graphs.generators import connected_gnp_graph
+from repro.mis.luby import run_luby
+
+
+def run_pipeline(n=80, seed=5):
+    g = connected_gnp_graph(n, 0.2, seed=seed)
+    net = SyncNetwork(g, seed=seed)
+    run_algorithm1(net, seed=seed + 1)
+    return net
+
+
+def test_by_tag_accounting_totals():
+    net = run_pipeline()
+    assert sum(net.stats.by_tag.values()) == net.stats.messages
+    assert all(v > 0 for v in net.stats.by_tag.values())
+
+
+def test_by_sender_accounting_totals():
+    net = run_pipeline()
+    assert sum(net.stats.by_sender.values()) == net.stats.messages
+    assert all(0 <= s < net.graph.n for s in net.stats.by_sender)
+
+
+def test_luby_tags_expected():
+    g = connected_gnp_graph(60, 0.2, seed=6)
+    net = SyncNetwork(g, seed=7)
+    run_luby(net)
+    assert set(net.stats.by_tag) == {"prio", "join", "fate"}
+    # one of each per active edge direction per phase
+    assert net.stats.by_tag["join"] == net.stats.by_tag["fate"]
+
+
+def test_stage_groups_cover_everything():
+    net = run_pipeline()
+    inspector = NetworkInspector(net)
+    groups = inspector.stage_groups()
+    assert sum(g["messages"] for g in groups.values()) == net.stats.messages
+    assert any(k.startswith("alg1") for k in groups)
+
+
+def test_top_tags_sorted():
+    net = run_pipeline()
+    top = NetworkInspector(net).top_tags(limit=5)
+    counts = [c for _t, c in top]
+    assert counts == sorted(counts, reverse=True)
+    assert len(top) <= 5
+
+
+def test_load_profile_sane():
+    net = run_pipeline()
+    profile = NetworkInspector(net).load_profile()
+    assert profile["total"] == net.stats.messages
+    assert profile["max"] >= profile["median"]
+    assert 0.0 <= profile["gini"] <= 1.0
+
+
+def test_load_profile_empty_network():
+    from repro.graphs.core import Graph
+
+    net = SyncNetwork(Graph(3, [(0, 1), (1, 2)]), seed=8)
+    profile = NetworkInspector(net).load_profile()
+    assert profile == {"total": 0, "max": 0, "median": 0, "gini": 0.0}
+
+
+def test_report_renders():
+    net = run_pipeline()
+    text = NetworkInspector(net).report(title="pipeline")
+    assert "== pipeline ==" in text
+    assert "by pipeline phase:" in text
+    assert "by message tag:" in text
+    assert str(net.stats.messages) in text

@@ -1,0 +1,95 @@
+"""Tests for KT-rho initial knowledge (paper Section 1.4.1)."""
+
+import pytest
+
+from repro.congest.ids import NodeId
+from repro.congest.knowledge import build_knowledge
+from repro.errors import ModelViolationError, ReproError
+from repro.graphs.core import Graph
+
+
+def make(graph, rho):
+    ids = [NodeId(100 + v) for v in range(graph.n)]
+    return build_knowledge(graph, rho, lambda v: ids[v]), ids
+
+
+def test_kt1_neighbor_ids(path4):
+    know, ids = make(path4, 1)
+    assert set(know[1].neighbor_ids) == {ids[0], ids[2]}
+    assert know[0].degree == 1
+    assert know[1].my_id == ids[1]
+
+
+def test_kt1_no_two_hop(path4):
+    know, _ = make(path4, 1)
+    with pytest.raises(ModelViolationError):
+        know[0].ids_within(2)
+
+
+def test_kt1_own_neighborhood_known(path4):
+    know, ids = make(path4, 1)
+    # distance <= rho-1 = 0: only own neighborhood.
+    assert know[1].neighborhood_of(ids[1]) == frozenset({ids[0], ids[2]})
+    assert not know[1].knows_neighborhood_of(ids[0])
+    with pytest.raises(ModelViolationError):
+        know[1].neighborhood_of(ids[0])
+
+
+def test_kt2_neighbor_neighborhoods(path4):
+    know, ids = make(path4, 2)
+    assert know[0].neighborhood_of(ids[1]) == frozenset({ids[0], ids[2]})
+    assert know[0].ids_at(2) == frozenset({ids[2]})
+    assert know[0].ids_within(2) == frozenset({ids[1], ids[2]})
+
+
+def test_kt2_does_not_leak_three_hops(path4):
+    know, ids = make(path4, 2)
+    # vertex 3 is at distance 3 from vertex 0.
+    assert ids[3] not in know[0].ids_within(2)
+    with pytest.raises(ModelViolationError):
+        know[0].neighborhood_of(ids[2])
+
+
+def test_kt3_reaches_whole_path(path4):
+    know, ids = make(path4, 3)
+    assert ids[3] in know[0].ids_within(3)
+    assert know[0].knows_neighborhood_of(ids[2])
+
+
+def test_rho_zero_rejected(path4):
+    with pytest.raises(ReproError):
+        make(path4, 0)
+
+
+def test_neighbor_ids_sorted_by_value(star6):
+    know, ids = make(star6, 1)
+    values = [100 + v for v in range(1, 6)]
+    assert [u for u in know[0].neighbor_ids] == [NodeId(v) for v in values]
+
+
+def test_n_exposed(triangle):
+    know, _ = make(triangle, 1)
+    assert all(k.n == 3 for k in know)
+
+
+def test_isolated_vertex():
+    g = Graph(3, [(0, 1)])
+    know, ids = make(g, 2)
+    assert know[2].neighbor_ids == ()
+    assert know[2].ids_within(2) == frozenset()
+
+
+def test_kt2_two_hop_excludes_self_and_neighbors(k5):
+    know, ids = make(k5, 2)
+    # complete graph: everything is at distance 1.
+    assert know[0].ids_at(2) == frozenset()
+    assert len(know[0].ids_within(2)) == 4
+
+
+def test_knowledge_layers_complete_bipartite():
+    from repro.graphs.generators import complete_bipartite
+
+    g = complete_bipartite(3, 3)
+    know, ids = make(g, 2)
+    # 2-hop set of a left vertex = other left vertices.
+    assert know[0].ids_at(2) == frozenset({ids[1], ids[2]})

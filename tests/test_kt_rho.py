@@ -1,0 +1,69 @@
+"""Tests for the Theorem 2.17 cycle experiments."""
+
+from repro.lowerbounds.kt_rho import (
+    cycle_tradeoff_sweep,
+    run_cycle_experiment,
+)
+
+
+def test_fully_active_succeeds():
+    res = run_cycle_experiment(10, 9, active_fraction=1.0, seed=1)
+    assert res.success
+    assert res.failed_cycles == 0
+    assert res.messages > 0
+
+
+def test_fully_mute_fails():
+    res = run_cycle_experiment(12, 12, active_fraction=0.0, seed=2)
+    assert res.messages == 0
+    assert not res.success
+    assert res.failed_cycles >= 8   # (2/3)^12 survival is negligible
+
+
+def test_partial_activation_partial_failure():
+    res = run_cycle_experiment(20, 12, active_fraction=0.5, seed=3)
+    assert 4 <= res.failed_cycles <= 16
+
+
+def test_messages_linear_in_active_nodes():
+    r_half = run_cycle_experiment(20, 10, 0.5, seed=4)
+    r_full = run_cycle_experiment(20, 10, 1.0, seed=4)
+    assert r_full.messages >= 1.8 * r_half.messages
+    # 3-coloring a cycle costs Theta(1) messages per node
+    assert r_full.messages <= 6 * r_full.n
+
+
+def test_sweep_shape():
+    """The Theorem 2.17 curve: success requires Theta(n) messages."""
+    rows = cycle_tradeoff_sweep(15, 10, fractions=(0.0, 0.5, 1.0),
+                                trials=3, seed=5)
+    assert rows[0]["success_rate"] == 0.0
+    assert rows[-1]["success_rate"] == 1.0
+    assert rows[0]["mean_messages"] == 0.0
+    assert rows[-1]["mean_messages"] > rows[1]["mean_messages"]
+
+
+def test_active_coloring_always_proper_on_active_cycles():
+    res = run_cycle_experiment(8, 15, 1.0, seed=6)
+    assert res.failed_cycles == 0
+
+
+def test_result_metadata():
+    res = run_cycle_experiment(7, 9, 0.3, seed=7)
+    assert res.n == 63
+    assert res.num_cycles == 7
+    assert res.cycle_length == 9
+    assert res.active_cycles == round(0.3 * 7)
+
+
+def test_rho_does_not_rescue_mute_cycles():
+    """Theorem 2.17 holds for every constant rho: mute cycles fail the
+    same way under KT-2 and KT-3 knowledge (the silent rule only sees
+    its own ID; extra hops of knowledge change nothing for it, and the
+    message cost of the active protocol is unchanged)."""
+    baseline = run_cycle_experiment(12, 12, 0.5, seed=9, rho=1)
+    for rho in (2, 3):
+        res = run_cycle_experiment(12, 12, 0.5, seed=9, rho=rho)
+        assert res.failed_cycles == baseline.failed_cycles
+        assert res.messages == baseline.messages
+        assert not res.success

@@ -1,0 +1,138 @@
+"""Tests for the Section 2.2 lower-bound construction (Figure 2)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graphs.analysis import connected_components
+from repro.lowerbounds.construction import (
+    build_base_graph,
+    crossing_instance,
+    enumerate_family,
+    family_size,
+    phi_values,
+    sample_family,
+    verify_id_properties,
+)
+
+
+def test_base_graph_shape():
+    g, parts = build_base_graph(4)
+    t = 4
+    assert g.n == 6 * t
+    assert g.m == 4 * t * t           # 2t^2 per copy
+    assert len(connected_components(g)) == 2
+
+
+def test_base_graph_part_adjacency():
+    g, parts = build_base_graph(3)
+    for x in parts["X"]:
+        for y in parts["Y"]:
+            assert g.has_edge(x, y)
+        for z in parts["Z"]:
+            assert not g.has_edge(x, z)
+    # no edges between the two copies
+    for v in parts["X"] + parts["Y"] + parts["Z"]:
+        for w in parts["X'"] + parts["Y'"] + parts["Z'"]:
+            assert not g.has_edge(v, w)
+
+
+def test_phi_windows():
+    t = 5
+    vals = phi_values(t)
+    assert all(v % 2 == 0 for v in vals)
+    assert all(0 <= vals[i] < 2 * t for i in range(t))
+    assert all(10 * t <= vals[t + i] < 12 * t for i in range(t))
+    assert all(20 * t <= vals[2 * t + i] < 22 * t for i in range(t))
+
+
+def test_crossing_indices_validated():
+    with pytest.raises(ReproError):
+        crossing_instance(3, 3, 0, 0)
+    with pytest.raises(ReproError):
+        crossing_instance(0, 0, 0, 0)
+
+
+def test_crossed_graph_edge_swap():
+    inst = crossing_instance(4, 1, 2, 3)
+    base, crossed = inst.base, inst.crossed
+    assert base.m == crossed.m
+    assert base.has_edge(*inst.e)
+    assert base.has_edge(*inst.e_prime)
+    assert not crossed.has_edge(*inst.e)
+    assert not crossed.has_edge(*inst.e_prime)
+    assert crossed.has_edge(inst.y, inst.y_prime)
+    assert crossed.has_edge(inst.x_prime, inst.z)
+
+
+def test_crossed_graph_connected():
+    inst = crossing_instance(4, 0, 0, 0)
+    assert len(connected_components(inst.crossed)) == 1
+
+
+def test_distinguished_vertices():
+    t = 5
+    inst = crossing_instance(t, 2, 3, 4)
+    assert inst.y == t + 2
+    assert inst.z == 2 * t + 3
+    assert inst.x_prime == 3 * t + 4
+    assert inst.y_prime == 3 * t + inst.y
+    assert inst.copy_map()[inst.y] == inst.y_prime
+
+
+def test_psi_adjacency_facts():
+    """The Lemma 2.5 hinges: psi(x') = phi(y)+1 and psi(y') = phi(z)+1."""
+    for (yi, zi, xi) in [(0, 0, 0), (2, 1, 3), (4, 4, 4)]:
+        inst = crossing_instance(5, yi, zi, xi)
+        props = verify_id_properties(inst)
+        assert props["x_prime_adjacent_to_y"]
+        assert props["y_prime_adjacent_to_z"]
+
+
+def test_id_properties_across_family():
+    """Observations (i)-(iii) hold for every member (t small: exhaustive)."""
+    t = 3
+    for inst in enumerate_family(t):
+        props = verify_id_properties(inst)
+        assert all(props.values()), (inst.y_index, inst.z_index, inst.x_index)
+
+
+def test_swap_assignments():
+    inst = crossing_instance(4, 1, 2, 3)
+    # psi_x swaps y and x'
+    assert inst.psi_x.value_of(inst.y) == inst.psi.value_of(inst.x_prime)
+    assert inst.psi_x.value_of(inst.x_prime) == inst.psi.value_of(inst.y)
+    # psi_z swaps z and y'
+    assert inst.psi_z.value_of(inst.z) == inst.psi.value_of(inst.y_prime)
+    assert inst.psi_z.value_of(inst.y_prime) == inst.psi.value_of(inst.z)
+
+
+def test_swaps_preserve_global_order():
+    """The swapped IDs are order-adjacent, so relative order is unchanged
+    for every other pair — the heart of Lemma 2.5."""
+    inst = crossing_instance(4, 1, 2, 3)
+    for swapped, pair in ((inst.psi_x, {inst.y, inst.x_prime}),
+                          (inst.psi_z, {inst.z, inst.y_prime})):
+        others = [v for v in range(inst.base.n) if v not in pair]
+        for v in others:
+            for w in others:
+                if v == w:
+                    continue
+                assert ((inst.psi.value_of(v) < inst.psi.value_of(w))
+                        == (swapped.value_of(v) < swapped.value_of(w)))
+        # and the swapped pair's order vs everyone else is also unchanged
+        for v in pair:
+            for w in others:
+                assert ((inst.psi.value_of(v) < inst.psi.value_of(w))
+                        == (swapped.value_of(v) < swapped.value_of(w)))
+
+
+def test_family_size_and_sampling():
+    assert family_size(5) == 125
+    sample = sample_family(5, 10, seed=1)
+    assert len(sample) == 10
+    assert all(s.t == 5 for s in sample)
+
+
+def test_id_space_polynomial():
+    inst = crossing_instance(6, 0, 0, 0)
+    assert inst.psi.space_bound() <= 40 * 6

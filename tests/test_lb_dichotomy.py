@@ -1,0 +1,158 @@
+"""The Section 2 lower-bound experiments: similarity and dichotomy.
+
+These tests execute the *proof machinery*: Lemma 2.5 (swap similarity),
+Lemma 2.8 (copy similarity), Corollary 2.7 (crossing similarity when the
+pair is not utilized), Lemmas 2.9/2.13 (wrong output on the crossed
+graph), and the Lemma 2.11-style utilization/correctness trade-off.
+"""
+
+import pytest
+
+from repro.congest.network import SyncNetwork
+from repro.congest.trace import remap_trace, restrict_trace, traces_similar
+from repro.coloring.baselines import RankGreedyColoring
+from repro.lowerbounds.algorithms import (
+    ProbedCountColoring,
+    ProbedExtremaMIS,
+    SilentCountColoring,
+    SilentExtremaMIS,
+)
+from repro.lowerbounds.construction import crossing_instance
+from repro.lowerbounds.crossing_experiment import (
+    dichotomy_experiment,
+    run_crossing_trial,
+    summarize_records,
+)
+from repro.mis.baselines import RankGreedyMIS
+
+
+def run_traced(graph, assignment, factory, seed=0):
+    net = SyncNetwork(graph, rho=1, assignment=assignment, seed=seed,
+                      comparison_based=True, record_trace=True)
+    net.run(factory, name="lb")
+    return net
+
+
+@pytest.mark.parametrize("factory", [
+    SilentCountColoring,
+    RankGreedyColoring,
+    SilentExtremaMIS,
+    RankGreedyMIS,
+])
+def test_lemma_2_5_swap_similarity(factory):
+    """EX, EX_{e,e',x} and EX_{e,e',z} are similar: same graph, and the
+    swapped IDs are order-adjacent, so any comparison-based algorithm
+    behaves identically."""
+    inst = crossing_instance(4, 1, 2, 3)
+    base = run_traced(inst.base, inst.psi, factory, seed=1)
+    swap_x = run_traced(inst.base, inst.psi_x, factory, seed=1)
+    swap_z = run_traced(inst.base, inst.psi_z, factory, seed=1)
+    assert traces_similar(base.trace, swap_x.trace)
+    assert traces_similar(base.trace, swap_z.trace)
+
+
+@pytest.mark.parametrize("factory", [
+    SilentCountColoring,
+    RankGreedyColoring,
+    SilentExtremaMIS,
+])
+def test_lemma_2_8_copy_similarity(factory):
+    """On the disconnected G ∪ G', the execution restricted to V mirrors
+    the execution restricted to V' under v -> v'."""
+    inst = crossing_instance(4, 0, 1, 2)
+    net = run_traced(inst.base, inst.psi, factory, seed=2)
+    side_a = restrict_trace(net.trace, set(range(3 * inst.t)))
+    side_b = restrict_trace(net.trace, set(range(3 * inst.t, 6 * inst.t)))
+    mapped = remap_trace(side_a, inst.copy_map())
+    assert traces_similar(mapped, side_b)
+
+
+def test_corollary_2_7_silent_coloring():
+    """Unutilized pair => similar executions on base and crossed graphs
+    => monochromatic {y, y'} (Lemma 2.9)."""
+    inst = crossing_instance(5, 2, 1, 3)
+    rec = run_crossing_trial(inst, SilentCountColoring, "coloring", seed=3)
+    assert not rec.pair_utilized
+    assert rec.executions_similar
+    assert rec.correct_on_base
+    assert not rec.correct_on_crossed
+    assert rec.violation_witness == (inst.y, inst.y_prime) or \
+        rec.violation_witness == (inst.y_prime, inst.y)
+
+
+def test_lemma_2_13_mis_witness():
+    """The MIS failure is the adjacent pair {x', z} joining together."""
+    inst = crossing_instance(5, 0, 4, 2)
+    rec = run_crossing_trial(inst, SilentExtremaMIS, "mis", seed=4)
+    assert not rec.pair_utilized
+    assert rec.executions_similar
+    assert rec.correct_on_base and not rec.correct_on_crossed
+    kind, u, v = rec.violation_witness
+    assert kind == "independence"
+    assert {u, v} == {inst.x_prime, inst.z}
+
+
+def test_correct_baselines_utilize_every_pair():
+    """Theorems 2.10/2.14's flip side: the correct comparison-based
+    algorithms utilize (e, e') on every sampled crossing."""
+    for factory, problem in ((RankGreedyColoring, "coloring"),
+                             (RankGreedyMIS, "mis")):
+        recs = dichotomy_experiment(4, factory, problem, sample=8, seed=5)
+        s = summarize_records(recs)
+        assert s["pair_utilized_fraction"] == 1.0
+        assert s["crossed_correct_fraction"] == 1.0
+        # Omega(n^2)-scale utilization: a constant fraction of all edges.
+        assert s["mean_utilized_edges"] >= 0.5 * recs[0].base_messages ** 0
+
+
+def test_rank_greedy_utilizes_quadratically():
+    """Utilized edges = Theta(m) = Theta(n^2) on the family."""
+    for t in (3, 5):
+        inst = crossing_instance(t, 0, 0, 0)
+        net = run_traced(inst.base, inst.psi, RankGreedyColoring, seed=6)
+        assert net.stats.utilized_count == inst.base.m  # = 4 t^2
+
+
+def test_probed_tradeoff_monotone():
+    """Lemma 2.11's quantitative shape: correctness on crossed instances
+    rises with the probe budget (more utilized edges)."""
+    fractions = []
+    for k in (0, 2, 6, 12):
+        recs = dichotomy_experiment(
+            6, lambda k=k: ProbedCountColoring(k), "coloring",
+            sample=12, seed=7,
+        )
+        s = summarize_records(recs)
+        assert s["dichotomy_holds"]
+        fractions.append(s["crossed_correct_fraction"])
+    assert fractions[0] == 0.0
+    assert fractions == sorted(fractions)
+    assert fractions[-1] >= 0.9
+
+
+def test_probed_mis_tradeoff():
+    fractions = []
+    for k in (0, 4, 12):
+        recs = dichotomy_experiment(
+            6, lambda k=k: ProbedExtremaMIS(k), "mis", sample=12, seed=8,
+        )
+        s = summarize_records(recs)
+        assert s["dichotomy_holds"]
+        fractions.append(s["crossed_correct_fraction"])
+    assert fractions == sorted(fractions)
+
+
+def test_silent_algorithms_zero_messages():
+    recs = dichotomy_experiment(4, SilentCountColoring, "coloring",
+                                sample=4, seed=9)
+    assert all(r.base_messages == 0 for r in recs)
+    assert all(r.base_utilized_edges == 0 for r in recs)
+
+
+def test_summary_fields():
+    recs = dichotomy_experiment(4, SilentExtremaMIS, "mis", sample=5,
+                                seed=10)
+    s = summarize_records(recs)
+    assert s["trials"] == 5
+    assert s["unutilized_trials"] == 5
+    assert 0.0 <= s["base_correct_fraction"] <= 1.0

@@ -1,0 +1,87 @@
+"""Tests for Luby's MIS (the Õ(m) baseline)."""
+
+import pytest
+
+from repro.congest.network import SyncNetwork
+from repro.graphs.core import Graph
+from repro.mis.luby import run_luby
+from repro.mis.verify import check_mis
+
+from tests.conftest import connected_families
+
+
+@pytest.mark.parametrize("name,graph", connected_families(seed=700))
+def test_valid_mis_on_family(name, graph):
+    net = SyncNetwork(graph, seed=1)
+    in_mis, _ = run_luby(net)
+    check_mis(graph, in_mis)
+
+
+def test_runs_under_comparison_discipline(gnp_small):
+    """Luby is comparison-based (Figure 1 classifies it '(C)')."""
+    net = SyncNetwork(gnp_small, seed=2, comparison_based=True)
+    in_mis, _ = run_luby(net)
+    check_mis(gnp_small, in_mis)
+
+
+def test_isolated_vertices_join():
+    g = Graph(5, [(0, 1)])
+    net = SyncNetwork(g, seed=3)
+    in_mis, _ = run_luby(net)
+    assert in_mis[2] and in_mis[3] and in_mis[4]
+    assert in_mis[0] != in_mis[1]
+
+
+def test_active_subgraph_restriction():
+    """Luby inside an active subgraph ignores other edges."""
+    g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])  # 4-cycle
+    net = SyncNetwork(g, seed=4)
+    # restrict to the path 0-1-2 (drop edges (2,3),(0,3)); 3 is a bystander
+    active = [
+        frozenset({net.id_of(1)}),
+        frozenset({net.id_of(0), net.id_of(2)}),
+        frozenset({net.id_of(1)}),
+        frozenset(),
+    ]
+    participate = [True, True, True, False]
+    in_mis, _ = run_luby(net, active_sets=active, participate=participate)
+    # MIS of the path among participants
+    sub = Graph(3, [(0, 1), (1, 2)])
+    check_mis(sub, in_mis[:3])
+    assert in_mis[3] is False
+
+
+def test_messages_theta_m_per_phase(gnp_medium):
+    net = SyncNetwork(gnp_medium, seed=5)
+    _, stage = run_luby(net)
+    # at least one full phase of 3 subphases over every edge direction
+    assert net.stats.messages >= 3 * 2 * gnp_medium.m * 0.4
+    # and not absurdly more than m log n
+    assert net.stats.messages <= 40 * gnp_medium.m
+
+
+def test_rounds_logarithmic(gnp_medium):
+    net = SyncNetwork(gnp_medium, seed=6)
+    run_luby(net)
+    assert net.stats.rounds <= 30 * max(4, gnp_medium.n.bit_length())
+
+
+def test_deterministic_given_seed(gnp_small):
+    a, _ = run_luby(SyncNetwork(gnp_small, seed=7))
+    b, _ = run_luby(SyncNetwork(gnp_small, seed=7))
+    assert a == b
+
+
+def test_different_seeds_different_mis(gnp_medium):
+    a, _ = run_luby(SyncNetwork(gnp_medium, seed=8))
+    b, _ = run_luby(SyncNetwork(gnp_medium, seed=9))
+    assert a != b
+
+
+def test_complete_graph_single_winner():
+    from repro.graphs.generators import complete_graph
+
+    g = complete_graph(15)
+    net = SyncNetwork(g, seed=10)
+    in_mis, _ = run_luby(net)
+    assert sum(in_mis) == 1

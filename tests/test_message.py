@@ -1,0 +1,74 @@
+"""Tests for payload word accounting and ID scanning."""
+
+import pytest
+
+from repro.congest.ids import NodeId, OpaqueId
+from repro.congest.message import Msg, iter_node_ids, payload_words
+from repro.errors import ModelViolationError
+from repro.util.bitstrings import BitString
+
+
+def test_empty_payload_one_word():
+    assert payload_words((), 16) == 1
+
+
+def test_small_int_one_word():
+    assert payload_words((5,), 16) == 1
+    assert payload_words((0,), 16) == 1
+
+
+def test_large_int_multiple_words():
+    assert payload_words((1 << 40,), 16) == 3
+
+
+def test_negative_int():
+    assert payload_words((-3,), 16) == 1
+
+
+def test_bool_and_none_one_word():
+    assert payload_words((True, None), 16) == 2
+
+
+def test_node_id_one_word():
+    assert payload_words((NodeId(10**9),), 16) == 1
+    assert payload_words((OpaqueId(10**9),), 16) == 1
+
+
+def test_string_tagging():
+    assert payload_words(("ok",), 16) == 1
+    with pytest.raises(ModelViolationError):
+        payload_words(("x" * 100,), 16)
+
+
+def test_bitstring_words():
+    b = BitString(tuple([1] * 40))
+    assert payload_words((b,), 16) == 3
+
+
+def test_tuple_recursion():
+    assert payload_words(((1, 2, 3),), 16) == 3
+    assert payload_words((frozenset({1, 2}),), 16) == 2
+
+
+def test_unencodable_rejected():
+    with pytest.raises(ModelViolationError):
+        payload_words(({"a": 1},), 16)
+    with pytest.raises(ModelViolationError):
+        payload_words((3.14,), 16)
+
+
+def test_iter_node_ids_nested():
+    a, b = NodeId(1), NodeId(2)
+    fields = (5, (a, ("x", b)), frozenset({a}))
+    found = list(iter_node_ids(fields))
+    assert found.count(a) == 2
+    assert found.count(b) == 1
+
+
+def test_iter_node_ids_none():
+    assert list(iter_node_ids((1, "x", None))) == []
+
+
+def test_msg_repr():
+    m = Msg(NodeId(3), "hello", (1,))
+    assert "hello" in repr(m)

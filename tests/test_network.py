@@ -1,0 +1,299 @@
+"""Tests for the synchronous engine: delivery, congestion, accounting.
+
+Includes the machine-checked model rules: Definition 2.3 utilization,
+Lemma 2.4's utilized-edges = O(messages) invariant, the one-message-per-
+link-per-round discipline, and the comparison-based enforcement.
+"""
+
+import pytest
+
+from repro.congest.ids import IdAssignment, NodeId, OpaqueId
+from repro.congest.network import SyncNetwork
+from repro.congest.node import Context, FunctionAlgorithm, NodeAlgorithm
+from repro.errors import (
+    ComparisonDisciplineError,
+    ConvergenceError,
+    ModelViolationError,
+    ReproError,
+    UnknownNeighborError,
+)
+from repro.graphs.core import Graph
+
+
+class PingOnce(NodeAlgorithm):
+    """Everyone sends one ping to every neighbor, then counts receipts."""
+
+    def setup(self, ctx):
+        self.got = 0
+
+    def on_round(self, ctx, inbox):
+        self.got += len(inbox)
+        if ctx.round == 0:
+            for u in ctx.neighbor_ids:
+                ctx.send(u, "ping")
+        ctx.done(self.got)
+
+
+class Burst(NodeAlgorithm):
+    """Node 'source' sends k messages to one neighbor in round 0."""
+
+    def __init__(self, k):
+        self.k = k
+
+    def setup(self, ctx):
+        self.arrival_rounds = []
+
+    def on_round(self, ctx, inbox):
+        for _ in inbox:
+            self.arrival_rounds.append(ctx.round)
+        if ctx.round == 0 and ctx.my_id == min(
+                (ctx.my_id,) + ctx.neighbor_ids):
+            target = ctx.neighbor_ids[0]
+            for _ in range(self.k):
+                ctx.send(target, "burst", 1)
+        ctx.done(tuple(self.arrival_rounds))
+
+
+def test_ping_delivery(path4):
+    net = SyncNetwork(path4, seed=1)
+    res = net.run(PingOnce, name="ping")
+    # each node receives deg messages
+    assert res.outputs == [1, 2, 2, 1]
+    assert net.stats.sends == 6
+    assert net.stats.messages == 6
+
+
+def test_rounds_counted(path4):
+    net = SyncNetwork(path4, seed=1)
+    res = net.run(PingOnce)
+    assert res.rounds >= 2
+    assert net.stats.rounds == res.rounds
+
+
+def test_link_congestion_serializes():
+    g = Graph(2, [(0, 1)])
+    net = SyncNetwork(g, seed=2)
+    res = net.run(lambda: Burst(4), name="burst")
+    receiver = 0 if net.id_of(0) > net.id_of(1) else 1
+    arrivals = res.outputs[receiver]
+    assert len(arrivals) == 4
+    # one message per round on the link
+    assert sorted(arrivals) == list(range(arrivals[0], arrivals[0] + 4))
+
+
+def test_multiword_payload_charged():
+    g = Graph(2, [(0, 1)])
+    net = SyncNetwork(g, seed=3, words_per_message=2)
+
+    def fn(ctx, inbox):
+        if ctx.round == 0 and ctx.neighbor_ids:
+            ctx.send(ctx.neighbor_ids[0], "big", (1, 2, 3, 4, 5, 6))
+        ctx.done(None)
+
+    net.run(lambda: FunctionAlgorithm(fn))
+    assert net.stats.sends == 2
+    assert net.stats.messages == 2 * 3  # 6 words -> 3 charged each
+
+
+def test_send_to_non_neighbor_rejected(path4):
+    net = SyncNetwork(path4, seed=4)
+
+    def fn(ctx, inbox):
+        if ctx.round == 0:
+            far = net.id_of(3) if ctx.my_id == net.id_of(0) else None
+            if far is not None:
+                ctx.send(far, "x")
+        ctx.done(None)
+
+    with pytest.raises(ModelViolationError):
+        net.run(lambda: FunctionAlgorithm(fn))
+
+
+def test_send_to_unknown_id_rejected(path4):
+    net = SyncNetwork(path4, seed=5)
+
+    def fn(ctx, inbox):
+        if ctx.round == 0:
+            ctx.send(NodeId(99_999_999), "x")
+        ctx.done(None)
+
+    with pytest.raises(UnknownNeighborError):
+        net.run(lambda: FunctionAlgorithm(fn))
+
+
+def test_send_in_setup_rejected(path4):
+    net = SyncNetwork(path4, seed=6)
+
+    class Bad(NodeAlgorithm):
+        def setup(self, ctx):
+            if ctx.neighbor_ids:
+                ctx.send(ctx.neighbor_ids[0], "early")
+
+        def on_round(self, ctx, inbox):
+            ctx.done(None)
+
+    with pytest.raises(ModelViolationError):
+        net.run(Bad)
+
+
+def test_round_budget_enforced(path4):
+    net = SyncNetwork(path4, seed=7)
+
+    class Chatter(NodeAlgorithm):
+        def on_round(self, ctx, inbox):
+            for u in ctx.neighbor_ids:
+                ctx.send(u, "again")
+
+    with pytest.raises(ConvergenceError):
+        net.run(Chatter, max_rounds=25)
+
+
+def test_passive_deadlock_detected(path4):
+    net = SyncNetwork(path4, seed=8)
+
+    class Stuck(NodeAlgorithm):
+        passive_when_idle = True
+
+        def on_round(self, ctx, inbox):
+            pass  # never done, never sends
+
+    with pytest.raises(ConvergenceError):
+        net.run(Stuck)
+
+
+def test_utilization_transport_edges(path4):
+    net = SyncNetwork(path4, seed=9)
+    net.run(PingOnce)
+    assert net.stats.utilized == {(0, 1), (1, 2), (2, 3)}
+
+
+def test_utilization_id_in_payload():
+    """Definition 2.3(ii): u sends phi(v) over some edge -> {u, v} utilized."""
+    g = Graph(3, [(0, 1), (0, 2)])  # star at 0
+    net = SyncNetwork(g, seed=10)
+
+    def fn(ctx, inbox):
+        # vertex 0 ships its *other* neighbor's ID to each neighbor.
+        if ctx.round == 0 and ctx.degree == 2:
+            a, b = ctx.neighbor_ids
+            ctx.send(a, "ref", b)
+        ctx.done(None)
+
+    net.run(lambda: FunctionAlgorithm(fn))
+    # transport edge (0, a) plus rule-(ii) edge (0, b): both utilized;
+    # edge set of the star is fully utilized with a single message.
+    assert net.stats.utilized == {(0, 1), (0, 2)}
+    assert net.stats.messages == 1
+
+
+def test_utilization_receive_side():
+    """Definition 2.3: the receiver holding edge {recv, w} utilizes it."""
+    g = Graph(3, [(0, 1), (1, 2)])  # path; 1 in the middle
+    net = SyncNetwork(g, seed=11)
+
+    def fn(ctx, inbox):
+        # endpoint with the middle as single neighbor ships the middle's
+        # OWN id back (no new info, but exercises the scan): middle
+        # receives phi(middle)... instead ship an id of the *other* end.
+        ctx.done(None)
+
+    # Construct directly: 0 sends id(2)?? 0 doesn't know it in KT-1 —
+    # engine doesn't police payload provenance (that is the algorithm
+    # author's obligation); we use it here to test the accounting rule.
+    def fn2(ctx, inbox):
+        if ctx.round == 0 and ctx.my_id == net.id_of(0):
+            ctx.send(net.id_of(1), "ref", net.id_of(2))
+        ctx.done(None)
+
+    net.run(lambda: FunctionAlgorithm(fn2))
+    # transport (0,1); receiver 1 receives phi(2) and {1,2} is an edge.
+    assert net.stats.utilized == {(0, 1), (1, 2)}
+
+
+def test_lemma_2_4_invariant(gnp_small):
+    """Utilized edges <= constant * charged messages (Lemma 2.4)."""
+    net = SyncNetwork(gnp_small, seed=12)
+    net.run(PingOnce)
+    assert net.stats.utilized_count <= 4 * net.stats.messages
+
+
+def test_comparison_network_hands_out_opaque_ids(path4):
+    net = SyncNetwork(path4, seed=13, comparison_based=True)
+
+    seen = []
+
+    def fn(ctx, inbox):
+        seen.append(ctx.my_id)
+        ctx.done(None)
+
+    net.run(lambda: FunctionAlgorithm(fn))
+    assert all(isinstance(x, OpaqueId) for x in seen)
+
+
+def test_comparison_discipline_enforced_at_runtime(path4):
+    net = SyncNetwork(path4, seed=14, comparison_based=True)
+
+    def fn(ctx, inbox):
+        _ = ctx.my_id.value  # forbidden
+        ctx.done(None)
+
+    with pytest.raises(ComparisonDisciplineError):
+        net.run(lambda: FunctionAlgorithm(fn))
+
+
+def test_explicit_assignment_used(path4):
+    assignment = IdAssignment([40, 30, 20, 10])
+    net = SyncNetwork(path4, assignment=assignment, seed=15)
+    assert net.id_of(0) == NodeId(40)
+    assert net.vertex_of(NodeId(10)) == 3
+
+
+def test_assignment_size_mismatch(path4):
+    with pytest.raises(ReproError):
+        SyncNetwork(path4, assignment=IdAssignment([1, 2]), seed=0)
+
+
+def test_stage_inputs_delivered(path4):
+    net = SyncNetwork(path4, seed=16)
+
+    def fn(ctx, inbox):
+        ctx.done(ctx.input * 2)
+
+    res = net.run(lambda: FunctionAlgorithm(fn), inputs=[1, 2, 3, 4])
+    assert res.outputs == [2, 4, 6, 8]
+
+
+def test_stage_stats_isolated(path4):
+    net = SyncNetwork(path4, seed=17)
+    net.run(PingOnce, name="first")
+    first_msgs = net.stats.stage_named("first").messages
+    net.run(PingOnce, name="second")
+    assert net.stats.stage_named("second").messages == first_msgs
+    assert net.stats.messages == 2 * first_msgs
+
+
+def test_trace_recording(path4):
+    net = SyncNetwork(path4, seed=18, record_trace=True)
+    net.run(PingOnce)
+    assert len(net.trace.events) == 6
+    ev = net.trace.events[0]
+    assert ev.tag == "ping"
+
+
+def test_private_randomness_deterministic(path4):
+    def fn(ctx, inbox):
+        ctx.done(ctx.rng.randrange(10**9))
+
+    a = SyncNetwork(path4, seed=19).run(lambda: FunctionAlgorithm(fn))
+    b = SyncNetwork(path4, seed=19).run(lambda: FunctionAlgorithm(fn))
+    c = SyncNetwork(path4, seed=20).run(lambda: FunctionAlgorithm(fn))
+    assert a.outputs == b.outputs
+    assert a.outputs != c.outputs
+
+
+def test_outputs_by_id_value(path4):
+    net = SyncNetwork(path4, seed=21)
+    res = net.run(lambda: FunctionAlgorithm(lambda c, i: c.done("v")))
+    by_id = net.outputs_by_id_value(res.outputs)
+    assert set(by_id.values()) == {"v"}
+    assert len(by_id) == 4

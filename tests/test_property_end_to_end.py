@@ -1,0 +1,117 @@
+"""End-to-end property tests: the paper's algorithms on random inputs.
+
+Hypothesis drives graph shape, density and seeds; every run must produce
+a verified-correct output.  These are the highest-leverage tests in the
+suite: they exercise the full pipelines (danner, broadcast, hashing,
+partitioning, coloring / sampling, relaying, pruning, Luby) against
+inputs nobody hand-picked.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.congest.async_network import AsyncNetwork
+from repro.congest.network import SyncNetwork
+from repro.coloring.algorithm1 import run_algorithm1
+from repro.coloring.algorithm2 import run_algorithm2
+from repro.coloring.verify import check_color_bound, check_proper_coloring
+from repro.graphs.generators import connected_gnp_graph
+from repro.mis.algorithm3 import run_algorithm3
+from repro.mis.verify import check_mis
+
+SETTINGS = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(
+    n=st.integers(8, 60),
+    p=st.floats(0.08, 0.6),
+    seed=st.integers(0, 10**6),
+)
+@settings(**SETTINGS)
+def test_algorithm1_always_proper(n, p, seed):
+    g = connected_gnp_graph(n, p, seed=seed)
+    net = SyncNetwork(g, seed=seed)
+    result = run_algorithm1(net, seed=seed + 1)
+    check_proper_coloring(g, result.colors)
+    check_color_bound(result.colors, g.max_degree() + 1)
+    for v in range(g.n):
+        assert result.colors[v] <= g.degree(v)
+
+
+@given(
+    n=st.integers(8, 50),
+    p=st.floats(0.1, 0.6),
+    eps=st.floats(0.2, 1.5),
+    seed=st.integers(0, 10**6),
+)
+@settings(**SETTINGS)
+def test_algorithm2_always_proper(n, p, eps, seed):
+    g = connected_gnp_graph(n, p, seed=seed)
+    net = SyncNetwork(g, seed=seed)
+    result = run_algorithm2(net, epsilon=eps, seed=seed + 1)
+    check_proper_coloring(g, result.colors)
+    check_color_bound(result.colors, result.palette_size)
+
+
+@given(
+    n=st.integers(8, 60),
+    p=st.floats(0.08, 0.6),
+    c=st.floats(0.0, 4.0),
+    seed=st.integers(0, 10**6),
+)
+@settings(**SETTINGS)
+def test_algorithm3_always_valid_mis(n, p, c, seed):
+    g = connected_gnp_graph(n, p, seed=seed)
+    net = SyncNetwork(g, rho=2, seed=seed, comparison_based=True)
+    result = run_algorithm3(net, seed=seed + 1, sample_constant=c)
+    check_mis(g, result.in_mis)
+
+
+@given(
+    n=st.integers(8, 40),
+    p=st.floats(0.1, 0.5),
+    seed=st.integers(0, 10**6),
+)
+@settings(**SETTINGS)
+def test_algorithm1_async_always_proper(n, p, seed):
+    g = connected_gnp_graph(n, p, seed=seed)
+    anet = AsyncNetwork(g, seed=seed)
+    result = run_algorithm1(anet, seed=seed + 1)
+    check_proper_coloring(g, result.colors)
+
+
+@given(
+    t=st.integers(2, 7),
+    yi=st.integers(0, 6),
+    zi=st.integers(0, 6),
+    xi=st.integers(0, 6),
+)
+@settings(max_examples=25, deadline=None)
+def test_crossing_construction_properties(t, yi, zi, xi):
+    from repro.lowerbounds.construction import (
+        crossing_instance,
+        verify_id_properties,
+    )
+
+    inst = crossing_instance(t, yi % t, zi % t, xi % t)
+    props = verify_id_properties(inst)
+    assert all(props.values())
+    assert inst.base.m == inst.crossed.m == 4 * t * t
+
+
+@given(
+    n=st.integers(6, 50),
+    p=st.floats(0.1, 0.6),
+    seed=st.integers(0, 10**6),
+)
+@settings(**SETTINGS)
+def test_utilization_invariant_lemma_2_4(n, p, seed):
+    """Every run of every protocol keeps utilized = O(messages)."""
+    g = connected_gnp_graph(n, p, seed=seed)
+    net = SyncNetwork(g, seed=seed)
+    run_algorithm1(net, seed=seed + 1)
+    assert net.stats.utilized_count <= max(4 * net.stats.messages, 4)
+    assert net.stats.utilized_count <= g.m

@@ -1,0 +1,87 @@
+"""Coverage for remaining helpers: conversions, result objects, exports."""
+
+import networkx as nx
+
+from repro.congest.network import SyncNetwork
+from repro.graphs.generators import graph_from_networkx
+from repro.substrates.boruvka import ForestState, run_boruvka
+from repro.substrates.spanning_tree import build_spanning_tree
+
+
+def test_graph_from_networkx_roundtrip():
+    nxg = nx.path_graph(6)
+    g = graph_from_networkx(nxg)
+    assert g.n == 6
+    assert g.m == 5
+    assert g.has_edge(0, 1)
+
+
+def test_graph_from_networkx_relabels():
+    nxg = nx.Graph()
+    nxg.add_edge(10, 20)
+    nxg.add_edge(20, 30)
+    g = graph_from_networkx(nxg)
+    assert g.n == 3 and g.m == 2
+
+
+def test_forest_state_from_tree(gnp_small):
+    net = SyncNetwork(gnp_small, seed=1)
+    st = build_spanning_tree(net, seed=2)
+    forest = ForestState.from_tree(st.parents, st.children)
+    assert forest.roots() == [st.root]
+    assert len(forest.tree_edges(net)) == gnp_small.n - 1
+
+
+def test_boruvka_result_leader_vertices(gnp_small):
+    net = SyncNetwork(gnp_small, seed=3)
+    result = run_boruvka(net, ForestState.singletons(gnp_small.n), seed=4)
+    assert result.leader_vertices == result.forest.roots()
+    assert len(result.leader_vertices) == 1
+    assert len(result.new_edges) == gnp_small.n - 1
+
+
+def test_api_detail_objects(gnp_small):
+    from repro import api
+
+    coloring = api.color_graph(gnp_small, seed=5)
+    assert coloring.detail is not None
+    assert coloring.detail.num_levels >= 1
+
+    mis = api.find_mis(gnp_small, seed=6)
+    assert mis.detail is not None
+    assert mis.detail.sampled >= 0
+
+
+def test_spanning_tree_result_tree_inputs(gnp_small):
+    net = SyncNetwork(gnp_small, seed=7)
+    st = build_spanning_tree(net, seed=8)
+    inputs = st.tree_inputs()
+    assert len(inputs) == gnp_small.n
+    assert inputs[st.root]["parent"] is None
+
+
+def test_congest_package_exports():
+    import repro.congest as c
+
+    for name in c.__all__:
+        assert hasattr(c, name), name
+
+
+def test_all_packages_importable():
+    import importlib
+
+    for mod in (
+        "repro", "repro.api", "repro.cli", "repro.errors",
+        "repro.util", "repro.graphs", "repro.congest",
+        "repro.congest.inspect", "repro.congest.synchronizer",
+        "repro.congest.async_network",
+        "repro.substrates", "repro.coloring", "repro.mis",
+        "repro.lowerbounds",
+    ):
+        importlib.import_module(mod)
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,149 @@
+"""Tests for the XOR edge-fingerprint sketches (FindAny primitive)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.substrates.sketches import (
+    SketchParams,
+    decode_token,
+    default_levels,
+    edge_level,
+    edge_token,
+    find_outgoing,
+    local_sketch_vector,
+    vector_indicates_no_outgoing,
+    xor_vectors,
+)
+
+PARAMS = SketchParams(word_bits=20, levels=16, nonce=12345)
+
+
+def test_token_roundtrip():
+    token = edge_token(17, 99, PARAMS)
+    assert decode_token(token, 0, PARAMS) == (17, 99)
+
+
+def test_token_symmetric():
+    assert edge_token(5, 9, PARAMS) == edge_token(9, 5, PARAMS)
+
+
+def test_token_overflow_rejected():
+    with pytest.raises(ReproError):
+        edge_token(1, 2**25, PARAMS)
+
+
+def test_decode_rejects_zero():
+    assert decode_token(0, 0, PARAMS) is None
+
+
+def test_decode_rejects_corrupt_checksum():
+    token = edge_token(17, 99, PARAMS)
+    assert decode_token(token ^ (1 << 50), 0, PARAMS) is None
+
+
+def test_decode_rejects_wrong_level():
+    token = edge_token(3, 4, PARAMS)
+    lvl = edge_level(3, 4, PARAMS.nonce)
+    assert decode_token(token, lvl + 1, PARAMS) is None
+
+
+def test_decode_rejects_collision_of_two():
+    a = edge_token(1, 2, PARAMS)
+    b = edge_token(3, 4, PARAMS)
+    # XOR of two tokens should fail the checksum whp.
+    assert decode_token(a ^ b, 0, PARAMS) is None
+
+
+def test_level_distribution_geometric():
+    nonce = 7
+    counts = [0] * 8
+    for a in range(400):
+        lvl = min(edge_level(a, a + 1000, nonce), 7)
+        counts[lvl] += 1
+    # level 0 (exactly 0 trailing zeros) should hold about half.
+    assert 120 < counts[0] < 280
+
+
+def test_internal_edges_cancel():
+    """The KKT identity: XOR over all incident vectors of a vertex set
+    leaves exactly the outgoing edges."""
+    # Triangle {0,1,2} plus an outgoing edge (2, 5).
+    values = {0: 10, 1: 11, 2: 12, 5: 15}
+    adj = {0: [1, 2], 1: [0, 2], 2: [0, 1, 5], 5: [2]}
+    acc = [0] * PARAMS.levels
+    for v in (0, 1, 2):  # the fragment
+        vec = local_sketch_vector(
+            values[v], [values[u] for u in adj[v]], PARAMS
+        )
+        xor_vectors(acc, vec)
+    assert decode_token(acc[0], 0, PARAMS) == (12, 15)
+
+
+def test_no_outgoing_vector_zero():
+    values = {0: 10, 1: 11, 2: 12}
+    adj = {0: [1, 2], 1: [0, 2], 2: [0, 1]}
+    acc = [0] * PARAMS.levels
+    for v in (0, 1, 2):
+        vec = local_sketch_vector(
+            values[v], [values[u] for u in adj[v]], PARAMS
+        )
+        xor_vectors(acc, vec)
+    assert vector_indicates_no_outgoing(acc)
+    assert find_outgoing(acc, PARAMS) is None
+
+
+def test_find_outgoing_single_edge():
+    vec = [0] * PARAMS.levels
+    token = edge_token(100, 200, PARAMS)
+    top = min(edge_level(100, 200, PARAMS.nonce), PARAMS.levels - 1)
+    for j in range(top + 1):
+        vec[j] ^= token
+    found = find_outgoing(vec, PARAMS)
+    assert found is not None
+    assert (found[0], found[1]) == (100, 200)
+
+
+def test_find_outgoing_among_many():
+    """Across fresh nonces, some level isolates one edge quickly.
+
+    A single nonce can fail (that is why Boruvka retries per phase); the
+    protocol-level guarantee is success within a few retries.
+    """
+    edges = [(i, 500 + i) for i in range(60)]
+    successes = 0
+    for nonce in range(6):
+        params = SketchParams(word_bits=20, levels=16, nonce=nonce)
+        vec = [0] * params.levels
+        for a, b in edges:
+            token = edge_token(a, b, params)
+            top = min(edge_level(a, b, params.nonce), params.levels - 1)
+            for j in range(top + 1):
+                vec[j] ^= token
+        found = find_outgoing(vec, params)
+        if found is not None:
+            assert (found[0], found[1]) in edges
+            successes += 1
+    assert successes >= 3
+
+
+def test_default_levels_scale():
+    assert default_levels(10) < default_levels(10_000)
+    assert default_levels(2) >= 4
+
+
+def test_token_words():
+    p = SketchParams(word_bits=20, levels=8, nonce=1)
+    assert p.token_bits == 72
+    assert p.token_words(20) == 4
+
+
+@given(st.integers(0, 2**19), st.integers(0, 2**19), st.integers(0, 2**30))
+@settings(max_examples=60, deadline=None)
+def test_token_roundtrip_property(a, b, nonce):
+    if a == b:
+        return
+    params = SketchParams(word_bits=20, levels=8, nonce=nonce)
+    token = edge_token(a, b, params)
+    lo, hi = min(a, b), max(a, b)
+    assert decode_token(token, 0, params) == (lo, hi)

@@ -1,0 +1,106 @@
+"""Tests for sketch-Boruvka spanning trees (the [19]-style substrate)."""
+
+import pytest
+
+from repro.congest.network import SyncNetwork
+from repro.errors import ProtocolError
+from repro.graphs.core import Graph
+from repro.graphs.generators import disjoint_cycles
+from repro.substrates.boruvka import ForestState, run_boruvka
+from repro.substrates.spanning_tree import build_spanning_tree
+
+from tests.conftest import connected_families
+
+
+def is_spanning_tree(graph, edges):
+    if len(edges) != graph.n - 1:
+        return False
+    t = Graph(graph.n, edges)
+    from repro.graphs.analysis import is_connected
+
+    return is_connected(t) and all(graph.has_edge(u, v) for u, v in edges)
+
+
+@pytest.mark.parametrize("name,graph", connected_families(seed=100))
+def test_spanning_tree_on_family(name, graph):
+    net = SyncNetwork(graph, seed=5)
+    st = build_spanning_tree(net, seed=6)
+    assert is_spanning_tree(graph, st.tree_edges), name
+    assert st.parents[st.root] is None
+
+
+def test_single_vertex():
+    net = SyncNetwork(Graph(1, []), seed=1)
+    st = build_spanning_tree(net)
+    assert st.tree_edges == []
+    assert st.root == 0
+
+
+def test_two_vertices():
+    net = SyncNetwork(Graph(2, [(0, 1)]), seed=2)
+    st = build_spanning_tree(net)
+    assert st.tree_edges == [(0, 1)]
+
+
+def test_disconnected_detected():
+    net = SyncNetwork(disjoint_cycles(2, 5), seed=3)
+    with pytest.raises(ProtocolError):
+        build_spanning_tree(net)
+
+
+def test_boruvka_on_disconnected_leaves_roots():
+    g = disjoint_cycles(3, 4)
+    net = SyncNetwork(g, seed=4)
+    result = run_boruvka(net, ForestState.singletons(g.n), seed=5)
+    assert len(result.forest.roots()) == 3
+
+
+def test_children_consistent_with_parents(gnp_small):
+    net = SyncNetwork(gnp_small, seed=7)
+    st = build_spanning_tree(net)
+    for v in range(gnp_small.n):
+        p = st.parents[v]
+        if p is not None:
+            pv = net.vertex_of(p)
+            assert net.id_of(v) in st.children[pv]
+    # no vertex is its own ancestor
+    for v in range(gnp_small.n):
+        cur, seen = v, set()
+        while st.parents[cur] is not None:
+            assert cur not in seen
+            seen.add(cur)
+            cur = net.vertex_of(st.parents[cur])
+
+
+def test_message_cost_near_linear():
+    """Õ(n): messages grow far slower than m on dense graphs."""
+    from repro.graphs.generators import connected_gnp_graph
+
+    small = connected_gnp_graph(60, 0.5, seed=8)
+    big = connected_gnp_graph(120, 0.5, seed=9)
+    msgs = []
+    for g in (small, big):
+        net = SyncNetwork(g, seed=10)
+        build_spanning_tree(net, seed=11)
+        msgs.append(net.stats.messages)
+    # m grows 4x; ST messages should grow far less than 3x
+    assert msgs[1] < 3.0 * msgs[0]
+
+
+def test_phase_count_logarithmic(gnp_medium):
+    net = SyncNetwork(gnp_medium, seed=12)
+    st = build_spanning_tree(net, seed=13)
+    assert st.phases <= 8 * max(4, gnp_medium.n.bit_length())
+
+
+def test_deterministic_given_seed(gnp_small):
+    nets = [SyncNetwork(gnp_small, seed=14) for _ in range(2)]
+    trees = [build_spanning_tree(n, seed=15).tree_edges for n in nets]
+    assert trees[0] == trees[1]
+
+
+def test_forest_state_tree_edges(gnp_small):
+    net = SyncNetwork(gnp_small, seed=16)
+    st = build_spanning_tree(net, seed=17)
+    forest = ForestState(parents=st.parents, children=st.children)
+    assert sorted(forest.tree_edges(net)) == sorted(st.tree_edges)

@@ -1,0 +1,74 @@
+"""Tests for limited-independence tail bounds (Lemmas A.1, A.2)."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.util.tail_bounds import (
+    kwise_chernoff_upper,
+    kwise_concentration_bound,
+    required_independence,
+    whp_failure_budget,
+)
+
+
+def test_concentration_requires_even_c():
+    with pytest.raises(ReproError):
+        kwise_concentration_bound(5, 100, 10.0)
+    with pytest.raises(ReproError):
+        kwise_concentration_bound(2, 100, 10.0)
+
+
+def test_concentration_trivial_for_nonpositive_lambda():
+    assert kwise_concentration_bound(4, 100, 0.0) == 1.0
+
+
+def test_concentration_decreases_in_lambda():
+    b1 = kwise_concentration_bound(8, 1000, 100.0)
+    b2 = kwise_concentration_bound(8, 1000, 300.0)
+    assert b2 < b1
+
+
+def test_concentration_capped_at_one():
+    assert kwise_concentration_bound(4, 10**6, 1.0) == 1.0
+
+
+def test_chernoff_upper_monotone_in_c():
+    # Larger independence can only sharpen (until delta^2 mu caps it).
+    weak = kwise_chernoff_upper(2, 100.0, 0.1)
+    strong = kwise_chernoff_upper(50, 100.0, 0.1)
+    assert strong <= weak
+
+
+def test_chernoff_upper_matches_exponent():
+    mu, delta, c = 100.0, 0.5, 1000
+    expected = math.exp(-min(c, delta * delta * mu))
+    assert kwise_chernoff_upper(c, mu, delta) == pytest.approx(expected)
+
+
+def test_chernoff_trivial_cases():
+    assert kwise_chernoff_upper(4, 0.0, 0.5) == 1.0
+    assert kwise_chernoff_upper(4, 10.0, 0.0) == 1.0
+
+
+def test_chernoff_rejects_bad_c():
+    with pytest.raises(ReproError):
+        kwise_chernoff_upper(0, 10.0, 0.5)
+
+
+def test_required_independence_even_and_logarithmic():
+    for n in (10, 100, 10_000, 10**6):
+        c = required_independence(n)
+        assert c % 2 == 0
+        assert c >= 4
+    assert required_independence(10**6) > required_independence(100)
+
+
+def test_required_independence_small_n():
+    assert required_independence(1) == 4
+
+
+def test_whp_budget():
+    assert whp_failure_budget(1000) == pytest.approx(0.001)
+    assert whp_failure_budget(1000, 2.0) == pytest.approx(1e-6)

@@ -1,0 +1,116 @@
+"""Tests for execution traces and similarity (Definitions 2.1-2.2)."""
+
+from repro.congest.ids import NodeId
+from repro.congest.trace import (
+    ExecutionTrace,
+    decode_value,
+    first_divergence,
+    remap_trace,
+    restrict_trace,
+    traces_similar,
+)
+
+
+def vmap(value):
+    # id value 100+v belongs to vertex v
+    return value - 100
+
+
+def make_trace(events, outputs=None):
+    t = ExecutionTrace()
+    for (r, s, rcv, tag, fields) in events:
+        t.record(r, s, rcv, tag, fields, vmap)
+    for v, o in (outputs or {}).items():
+        t.record_output(v, o, vmap)
+    return t
+
+
+def test_decode_replaces_ids():
+    out = decode_value((1, NodeId(103), "x"), vmap)
+    assert out == (1, ("vertex", 3), "x")
+
+
+def test_decode_nested_structures():
+    out = decode_value(frozenset({NodeId(101)}), vmap)
+    assert out == frozenset({("vertex", 1)})
+    out = decode_value([NodeId(102), 7], vmap)
+    assert out == (("vertex", 2), 7)
+
+
+def test_similarity_identical():
+    a = make_trace([(0, 0, 1, "t", (5,))], {0: 1})
+    b = make_trace([(0, 0, 1, "t", (5,))], {0: 1})
+    assert traces_similar(a, b)
+
+
+def test_similarity_order_insensitive_within_round():
+    a = make_trace([(0, 0, 1, "t", (5,)), (0, 2, 1, "t", (6,))])
+    b = make_trace([(0, 2, 1, "t", (6,)), (0, 0, 1, "t", (5,))])
+    assert traces_similar(a, b)
+
+
+def test_similarity_round_sensitive():
+    a = make_trace([(0, 0, 1, "t", (5,))])
+    b = make_trace([(1, 0, 1, "t", (5,))])
+    assert not traces_similar(a, b)
+
+
+def test_similarity_payload_sensitive():
+    a = make_trace([(0, 0, 1, "t", (NodeId(102),))])
+    b = make_trace([(0, 0, 1, "t", (NodeId(103),))])
+    assert not traces_similar(a, b)
+
+
+def test_similarity_decodes_ids():
+    # Same decoded vertex referenced by different ID values in two runs.
+    t1 = ExecutionTrace()
+    t1.record(0, 0, 1, "t", (NodeId(102),), lambda v: v - 100)
+    t2 = ExecutionTrace()
+    t2.record(0, 0, 1, "t", (NodeId(202),), lambda v: v - 200)
+    assert traces_similar(t1, t2)
+
+
+def test_similarity_outputs_checked():
+    a = make_trace([], {0: 1})
+    b = make_trace([], {0: 2})
+    assert not traces_similar(a, b)
+    assert traces_similar(a, b, compare_outputs=False)
+
+
+def test_first_divergence():
+    a = make_trace([(0, 0, 1, "t", (5,))])
+    b = make_trace([(0, 0, 1, "t", (6,))])
+    div = first_divergence(a, b)
+    assert div is not None
+    assert first_divergence(a, a) is None
+
+
+def test_first_divergence_length_mismatch():
+    a = make_trace([(0, 0, 1, "t", (5,)), (1, 0, 1, "t", (5,))])
+    b = make_trace([(0, 0, 1, "t", (5,))])
+    assert first_divergence(a, b) is not None
+
+
+def test_restrict_trace():
+    a = make_trace(
+        [(0, 0, 1, "t", (1,)), (0, 4, 5, "t", (2,))],
+        {0: "a", 4: "b"},
+    )
+    sub = restrict_trace(a, {0, 1})
+    assert len(sub.events) == 1
+    assert sub.decoded_outputs == {0: "a"}
+
+
+def test_remap_trace():
+    a = make_trace([(0, 0, 1, "t", (NodeId(100),))], {0: ("vertex", 0)})
+    b = remap_trace(a, {0: 10, 1: 11})
+    assert b.events[0].sender == 10
+    assert b.events[0].receiver == 11
+    assert b.events[0].decoded_fields == (("vertex", 10),)
+    assert b.decoded_outputs == {10: ("vertex", 10)}
+
+
+def test_events_in_round():
+    a = make_trace([(0, 0, 1, "t", ()), (1, 1, 0, "u", ())])
+    assert len(a.events_in_round(0)) == 1
+    assert a.events_in_round(1)[0].tag == "u"
