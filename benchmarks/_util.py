@@ -1,25 +1,15 @@
-"""Shared helpers for the benchmark harness."""
+"""Shared helpers for the benchmark harness.
+
+``fit_exponent`` lives in the library now
+(:mod:`repro.experiments.stats`, with guards against degenerate inputs);
+benchmarks import it from here for convenience.
+"""
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
-
-def fit_exponent(points: Sequence[tuple[float, float]]) -> float:
-    """Least-squares slope of log(y) against log(x).
-
-    For message counts y measured at sizes x, this is the empirical
-    growth exponent ("messages ~ x^alpha").
-    """
-    xs = [math.log(x) for x, _ in points]
-    ys = [math.log(max(y, 1e-9)) for _, y in points]
-    n = len(xs)
-    mean_x = sum(xs) / n
-    mean_y = sum(ys) / n
-    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
-    den = sum((x - mean_x) ** 2 for x in xs)
-    return num / den if den else 0.0
+from repro.experiments.stats import fit_exponent  # noqa: F401 - re-export
 
 
 def print_table(title: str, headers: Sequence[str],

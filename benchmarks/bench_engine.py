@@ -1,0 +1,78 @@
+"""ENGINE — the experiment-sweep subsystem as a perf benchmark.
+
+Runs a reference multi-family, multi-seed sweep through
+:mod:`repro.experiments` (worker pool, stats-lite engine mode) and writes
+``BENCH_engine.json`` at the repo root: message counts, fitted growth
+exponents, and wall-clock per cell.  Future PRs diff this artifact to see
+whether the engine got faster or the algorithms chattier.
+
+Run directly (no pytest needed):
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.experiments import (
+    SweepSpec,
+    bench_payload,
+    render_report,
+    run_sweep,
+    summarize,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+REFERENCE_SPEC = SweepSpec(
+    families=("gnp", "regular"),
+    sizes=(80, 140, 220),
+    seeds=(0, 1, 2),
+    methods=("kt1-delta-plus-one", "baseline-trial",
+             "kt2-sampled-greedy", "luby"),
+    density=0.25,
+)
+
+
+def run(workers: int = 4, out: str | None = None) -> dict:
+    t0 = time.perf_counter()
+    records = run_sweep(REFERENCE_SPEC, store=None, workers=workers)
+    wall = time.perf_counter() - t0
+    summary = summarize(records)
+    payload = bench_payload(records, summary, wall_s=wall)
+    print(render_report(summary))
+    print(f"\n{len(records)} cells in {wall:.1f}s "
+          f"({workers} workers)")
+    path = out or os.path.join(REPO_ROOT, "BENCH_engine.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return payload
+
+
+def test_engine_sweep_benchmark(benchmark):
+    """Pytest-benchmark entry: the sweep, serially, for timing stability."""
+    payload = benchmark.pedantic(
+        lambda: run(workers=0), rounds=1, iterations=1
+    )
+    # Every algorithm cell must have produced a verified-valid output.
+    assert payload["runs"] == REFERENCE_SPEC.size
+    # Alg 1 must beat the Omega(m) baseline's growth on dense families.
+    exps = {(e["family"], e["method"]): e["messages_exponent"]
+            for e in payload["exponents"]}
+    for family in ("gnp", "regular"):
+        assert exps[(family, "kt1-delta-plus-one")] < \
+            exps[(family, "baseline-trial")]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args()
+    run(workers=args.workers, out=args.out)

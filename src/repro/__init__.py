@@ -15,7 +15,12 @@ The package provides:
   baselines (:mod:`repro.coloring`, :mod:`repro.mis`);
 * the lower-bound constructions and experiments of Section 2
   (:mod:`repro.lowerbounds`);
-* a one-call facade (:mod:`repro.api`).
+* a one-call facade (:mod:`repro.api`);
+* a parallel, resumable experiment-sweep subsystem for the scaling
+  claims — declarative family x n x seed x method matrices, a
+  multiprocessing worker pool, JSON-lines result stores, and growth-
+  exponent aggregation (:mod:`repro.experiments`; CLI: ``repro sweep``
+  and ``repro report``).
 
 Quickstart::
 

@@ -87,9 +87,12 @@ class MISResult:
 
 
 def _report(method: str, net) -> RunReport:
-    per_stage = {}
+    # Aggregate with += : a driver may legally reuse a stage name (e.g. a
+    # retry loop), and assignment would silently drop the earlier stages
+    # from the breakdown, breaking sum(stage_messages) == messages.
+    per_stage: dict = {}
     for s in net.stats.stages:
-        per_stage[s.name] = s.messages
+        per_stage[s.name] = per_stage.get(s.name, 0) + s.messages
     return RunReport(
         method=method,
         n=net.graph.n,
@@ -107,23 +110,30 @@ def color_graph(
     seed: int = 0,
     epsilon: float = 0.5,
     asynchronous: bool = False,
+    collect_utilization: bool = True,
     **kwargs,
 ) -> ColoringResult:
     """Color a connected graph with one of the paper's algorithms.
 
     ``asynchronous=True`` reruns Algorithm 1 under the event-driven
     engine (Theorem 3.4); other methods are synchronous.
+
+    ``collect_utilization=False`` runs the engine in stats-lite mode
+    (identical message/word/round counts, no utilized-edge or per-tag
+    breakdowns) — the mode bulk experiment sweeps use.
     """
     engine = AsyncNetwork if asynchronous else SyncNetwork
     if method == "kt1-delta-plus-one":
-        net = engine(graph, rho=1, seed=seed)
+        net = engine(graph, rho=1, seed=seed,
+                     collect_utilization=collect_utilization)
         detail = run_algorithm1(net, seed=seed, **kwargs)
         colors = detail.colors
         bound = graph.max_degree() + 1
     elif method == "kt1-eps-delta":
         if asynchronous:
             raise ReproError("Algorithm 2 is synchronous in the paper")
-        net = engine(graph, rho=1, seed=seed)
+        net = engine(graph, rho=1, seed=seed,
+                     collect_utilization=collect_utilization)
         detail = run_algorithm2(net, epsilon=epsilon, seed=seed, **kwargs)
         colors = detail.colors
         bound = detail.palette_size
@@ -132,6 +142,7 @@ def color_graph(
         net = engine(
             graph, rho=1, seed=seed,
             comparison_based=(kind == "rank-greedy"),
+            collect_utilization=collect_utilization,
         )
         colors, detail = run_baseline_coloring(net, kind)
         bound = graph.max_degree() + 1
@@ -156,21 +167,29 @@ def find_mis(
     method: str = "kt2-sampled-greedy",
     seed: int = 0,
     comparison_based: bool = True,
+    collect_utilization: bool = True,
     **kwargs,
 ) -> MISResult:
-    """Compute an MIS of a connected graph."""
+    """Compute an MIS of a connected graph.
+
+    ``collect_utilization=False`` selects the engine's stats-lite mode
+    (see :func:`color_graph`).
+    """
     if method == "kt2-sampled-greedy":
         net = SyncNetwork(graph, rho=2, seed=seed,
-                          comparison_based=comparison_based)
+                          comparison_based=comparison_based,
+                          collect_utilization=collect_utilization)
         detail = run_algorithm3(net, seed=seed, **kwargs)
         in_mis = detail.in_mis
     elif method == "luby":
         net = SyncNetwork(graph, rho=1, seed=seed,
-                          comparison_based=comparison_based)
+                          comparison_based=comparison_based,
+                          collect_utilization=collect_utilization)
         in_mis, detail = run_luby(net)
     elif method == "rank-greedy":
         net = SyncNetwork(graph, rho=1, seed=seed,
-                          comparison_based=comparison_based)
+                          comparison_based=comparison_based,
+                          collect_utilization=collect_utilization)
         in_mis, detail = run_rank_greedy_mis(net)
     else:
         raise ReproError(f"unknown MIS method {method!r}")

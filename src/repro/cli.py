@@ -4,13 +4,17 @@ Commands
 --------
 color       run a coloring algorithm on a generated graph
 mis         run an MIS algorithm on a generated graph
+sweep       run a declarative experiment matrix under a worker pool
+report      aggregate a sweep's JSON-lines results (growth exponents)
 lowerbound  run the Section 2 crossing experiment
 cycles      run the Theorem 2.17 mute-cycle sweep
 info        print the model/engine constants for a given n
 
 All graphs are generated from a seed, so every invocation is
 reproducible; results print as a small report with message/round
-accounting and verification status.
+accounting and verification status.  ``sweep`` appends one JSON line
+per completed cell and skips cells already present in ``--out``, so an
+interrupted sweep resumes where it stopped.
 """
 
 from __future__ import annotations
@@ -18,39 +22,29 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro import api
+from repro.errors import ReproError
 from repro.graphs.core import Graph
-from repro.graphs.generators import (
-    barbell_graph,
-    connected_gnp_graph,
-    power_law_graph,
-    random_regular_graph,
-)
+from repro.graphs.generators import family_graph
+
+GRAPH_FAMILIES = ("gnp", "regular", "powerlaw", "barbell")
 
 
 def _build_graph(args) -> Graph:
-    if args.family == "gnp":
-        return connected_gnp_graph(args.n, args.p, seed=args.graph_seed)
-    if args.family == "regular":
-        d = max(2, int(args.p * args.n))
-        if (d * args.n) % 2:
-            d += 1
-        return random_regular_graph(args.n, d, seed=args.graph_seed)
-    if args.family == "powerlaw":
-        return power_law_graph(args.n, attachment=max(2, int(args.p * 10)),
-                               seed=args.graph_seed)
-    if args.family == "barbell":
-        return barbell_graph(args.n // 2, max(1, args.n // 10))
-    raise SystemExit(f"unknown graph family {args.family!r}")
+    try:
+        return family_graph(args.family, args.n, p=args.p,
+                            seed=args.graph_seed)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
 
 
 def _graph_args(sub) -> None:
     sub.add_argument("--n", type=int, default=300, help="vertex count")
     sub.add_argument("--p", type=float, default=0.2,
                      help="density knob (edge probability for gnp)")
-    sub.add_argument("--family", default="gnp",
-                     choices=("gnp", "regular", "powerlaw", "barbell"))
+    sub.add_argument("--family", default="gnp", choices=GRAPH_FAMILIES)
     sub.add_argument("--graph-seed", type=int, default=0)
     sub.add_argument("--seed", type=int, default=0,
                      help="algorithm randomness seed")
@@ -99,6 +93,96 @@ def cmd_mis(args) -> int:
         "rounds": result.report.rounds,
     })
     return 0 if result.valid else 1
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments import ResultStore, SweepSpec, run_sweep
+
+    try:
+        spec = SweepSpec(
+            families=tuple(args.families),
+            sizes=tuple(args.sizes),
+            seeds=tuple(args.seeds),
+            methods=tuple(args.methods),
+            engine=args.engine,
+            density=args.p,
+            epsilon=args.epsilon,
+            collect_utilization=args.full_stats,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+
+    store = ResultStore(args.out)
+
+    def progress(rec, done, total):
+        print(
+            f"[{done}/{total}] {rec['key']}: {rec['messages']} msgs, "
+            f"{rec['rounds']} rounds, {rec['wall_s']:.2f}s",
+            flush=True,
+        )
+
+    t0 = time.perf_counter()
+    with store:
+        fresh = run_sweep(
+            spec,
+            store=store,
+            workers=args.workers,
+            progress=None if args.json else progress,
+        )
+    wall = time.perf_counter() - t0
+    payload = {
+        "cells": spec.size,
+        "ran": len(fresh),
+        # run_sweep executes exactly the cells absent from the store.
+        "resumed (skipped)": spec.size - len(fresh),
+        "workers": args.workers,
+        "wall seconds": round(wall, 2),
+        "results": args.out,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>18}: {value}")
+    # Exit nonzero if ANY of this spec's cells is invalid — including ones
+    # resumed from the store, so re-running a failed sweep stays red.
+    spec_keys = {c.key() for c in spec.cells()}
+    invalid = [
+        r["key"] for r in store.load()
+        if r.get("key") in spec_keys and not r.get("valid", True)
+    ]
+    if invalid:
+        print(f"INVALID outputs in {len(invalid)} cells: {invalid[:5]}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments import (
+        ResultStore,
+        bench_payload,
+        render_report,
+        summarize,
+    )
+
+    records = ResultStore(args.results).load()
+    if not records:
+        print(f"no records found in {args.results}", file=sys.stderr)
+        return 1
+    summary = summarize(records)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_report(summary))
+    if args.bench_out:
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(bench_payload(records, summary), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        if not args.json:
+            print(f"\nwrote {args.bench_out}")
+    return 0
 
 
 def cmd_lowerbound(args) -> int:
@@ -191,6 +275,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="kt2-sampled-greedy",
                    choices=("kt2-sampled-greedy", "luby", "rank-greedy"))
     p.set_defaults(fn=cmd_mis)
+
+    p = subs.add_parser(
+        "sweep",
+        help="run an experiment matrix (family x n x seed x method) "
+             "under a multiprocessing pool; JSON-lines output, resumable",
+    )
+    p.add_argument("--families", nargs="+", default=["gnp"],
+                   choices=GRAPH_FAMILIES, metavar="FAMILY")
+    p.add_argument("--sizes", type=int, nargs="+", default=[100, 160, 240],
+                   metavar="N")
+    p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
+                   metavar="SEED")
+    p.add_argument("--methods", nargs="+", default=["kt1-delta-plus-one"],
+                   metavar="METHOD",
+                   help="coloring: kt1-delta-plus-one, kt1-eps-delta, "
+                        "baseline-trial, baseline-rank-greedy; "
+                        "MIS: kt2-sampled-greedy, luby, rank-greedy")
+    p.add_argument("--engine", default="sync", choices=("sync", "async"))
+    p.add_argument("--p", type=float, default=0.2,
+                   help="density knob (edge probability for gnp)")
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0/1 = serial)")
+    p.add_argument("--out", default="results.jsonl",
+                   help="JSON-lines result store (appended; completed "
+                        "cells are skipped on re-run)")
+    p.add_argument("--full-stats", action="store_true",
+                   help="full accounting (utilized edges, per-tag) "
+                        "instead of the default stats-lite mode")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary")
+    p.set_defaults(fn=cmd_sweep)
+
+    p = subs.add_parser(
+        "report",
+        help="aggregate sweep results: mean ± CI per size and fitted "
+             "messages-vs-n growth exponents per (family, method)",
+    )
+    p.add_argument("--results", default="results.jsonl",
+                   help="JSON-lines store written by 'repro sweep'")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--bench-out", default=None, metavar="PATH",
+                   help="also write a BENCH_engine.json perf artifact")
+    p.set_defaults(fn=cmd_report)
 
     p = subs.add_parser("lowerbound",
                         help="Section 2 crossing experiment")

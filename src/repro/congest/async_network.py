@@ -125,7 +125,8 @@ class AsyncNetwork(SyncNetwork):
             activations[v] += 1
             ctx = contexts[v]
             ctx.round = activations[v]
-            self._register_received_ids(v, [env])
+            if self.collect_utilization and env.ids:
+                self._register_received_ids(v, (env,))
             ctx._send_allowed = True
             algorithms[v].on_round(
                 ctx, [Msg(self._ids[env.sender], env.tag, env.fields)]

@@ -33,10 +33,13 @@ from repro.errors import ComparisonDisciplineError, ReproError
 class NodeId:
     """An ID-type value.  Supports comparison, hashing, and ``.value``."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_hash")
 
     def __init__(self, value: int):
         self._value = int(value)
+        # IDs key every knowledge set and routing table in the engine, so
+        # the (immutable) hash is computed once instead of per lookup.
+        self._hash = hash(("NodeId", self._value))
 
     @property
     def value(self) -> int:
@@ -76,7 +79,7 @@ class NodeId:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(("NodeId", self._value))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Id({self._value})"
@@ -107,6 +110,7 @@ class OpaqueId(NodeId):
         super().__init__(value)
         # object.__setattr__ not needed; __slots__ assignment is fine.
         self._salt = salt
+        self._hash = hash(("OpaqueId", salt, self._value))
 
     @property
     def value(self) -> int:
@@ -117,7 +121,7 @@ class OpaqueId(NodeId):
 
     def __hash__(self) -> int:
         # Salted so the hash cannot be used as a stand-in for the value.
-        return hash(("OpaqueId", self._salt, self._value))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"OpaqueId(#{self._value})"

@@ -125,22 +125,36 @@ def build_knowledge(
     if rho < 1:
         raise ReproError("this simulator supports KT-rho for rho >= 1")
     n = graph.n
+    # Memoize per-vertex artifacts that are identical from every observer's
+    # point of view.  Under KT-2 a high-degree vertex u appears in the
+    # <= rho-1 ball of every neighbor, so without the cache its neighbor-ID
+    # frozenset would be rebuilt deg(u) times.
+    id_of = [make_id(v) for v in range(n)]
+    nbhd_set: list = [None] * n
+
+    def neighborhood_set(u: int):
+        s = nbhd_set[u]
+        if s is None:
+            s = nbhd_set[u] = frozenset(id_of[w] for w in graph.neighbors(u))
+        return s
+
     knowledge: list[KTKnowledge] = []
     for v in range(n):
         layers = _bfs_within(graph, v, rho)
+        # Distance-1 is exactly v's neighborhood; share the cached set.
         ids_by_distance = tuple(
-            frozenset(make_id(u) for u in layer) for layer in layers
+            neighborhood_set(v) if d == 1
+            else frozenset(id_of[u] for u in layer)
+            for d, layer in enumerate(layers)
         )
         neighbor_ids = tuple(
-            sorted((make_id(u) for u in graph.neighbors(v)),
+            sorted((id_of[u] for u in graph.neighbors(v)),
                    key=lambda x: x._value)  # noqa: SLF001 - engine-side sort
         )
         neighborhoods: dict[NodeId, frozenset[NodeId]] = {}
         for d in range(0, rho):  # nodes at distance <= rho - 1
             for u in layers[d]:
-                neighborhoods[make_id(u)] = frozenset(
-                    make_id(w) for w in graph.neighbors(u)
-                )
+                neighborhoods[id_of[u]] = neighborhood_set(u)
         knowledge.append(
             KTKnowledge(
                 rho=rho,

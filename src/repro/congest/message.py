@@ -53,6 +53,9 @@ class Envelope:
     fields: tuple
     round_sent: int
     words: int
+    #: NodeIds embedded in ``fields``, extracted once at send time so the
+    #: receive side never rescans the payload (Definition 2.3 accounting).
+    ids: tuple = ()
 
     def __repr__(self) -> str:
         return (
@@ -61,10 +64,21 @@ class Envelope:
         )
 
 
-def _field_words(field: Any, word_bits: int) -> int:
+#: The container types a payload may nest.  Both the word-accounting scan
+#: and the Definition 2.3 ID scan recurse into exactly this set, so a
+#: field is either encodable AND scanned for IDs, or rejected outright —
+#: there is no type (``list`` was one) that one scan honors and the other
+#: rejects.
+ENCODABLE_CONTAINERS = (tuple, frozenset)
+
+
+def _scan_field(field: Any, word_bits: int, ids: list) -> int:
+    """One-pass field scan: returns the word count and appends every
+    :class:`NodeId` encountered to ``ids`` (Definition 2.3 accounting)."""
     if field is None or isinstance(field, bool):
         return 1
     if isinstance(field, NodeId):
+        ids.append(field)
         return 1
     if isinstance(field, int):
         bits = max(1, field.bit_length() + (1 if field < 0 else 0))
@@ -75,12 +89,29 @@ def _field_words(field: Any, word_bits: int) -> int:
         return max(1, -(-(8 * len(field)) // word_bits))
     if isinstance(field, BitString):
         return field.words(word_bits)
-    if isinstance(field, (tuple, frozenset)):
-        return sum(_field_words(f, word_bits) for f in field)
+    if isinstance(field, ENCODABLE_CONTAINERS):
+        return sum(_scan_field(f, word_bits, ids) for f in field)
     raise ModelViolationError(
         f"payload field of type {type(field).__name__} is not encodable; "
         "allowed: int, bool, None, str, NodeId, BitString, tuple, frozenset"
     )
+
+
+def analyze_payload(fields: tuple, word_bits: int) -> tuple[int, tuple]:
+    """Word count plus every embedded NodeId, in a single recursive pass.
+
+    The engine calls this once per send and carries the extracted IDs on
+    the :class:`Envelope`, so neither the word accounting nor the
+    utilized-edge bookkeeping (send- or receive-side) ever rescans the
+    payload.
+    """
+    if not fields:
+        return 1, ()
+    ids: list = []
+    words = 0
+    for f in fields:
+        words += _scan_field(f, word_bits, ids)
+    return words, tuple(ids)
 
 
 def payload_words(fields: tuple, word_bits: int) -> int:
@@ -88,13 +119,18 @@ def payload_words(fields: tuple, word_bits: int) -> int:
     a tag is O(1) protocol-constant bits, absorbed in the word slack)."""
     if not fields:
         return 1
-    return sum(_field_words(f, word_bits) for f in fields)
+    ids: list = []
+    return sum(_scan_field(f, word_bits, ids) for f in fields)
 
 
 def iter_node_ids(fields: Any) -> Iterator[NodeId]:
-    """Yield every NodeId appearing (recursively) in a payload."""
+    """Yield every NodeId appearing (recursively) in a payload.
+
+    Recurses into exactly :data:`ENCODABLE_CONTAINERS` — the same set the
+    word accounting accepts — so the two scans agree on what a payload is.
+    """
     if isinstance(fields, NodeId):
         yield fields
-    elif isinstance(fields, (tuple, frozenset, list)):
+    elif isinstance(fields, ENCODABLE_CONTAINERS):
         for f in fields:
             yield from iter_node_ids(f)

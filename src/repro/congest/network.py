@@ -23,7 +23,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.congest.ids import IdAssignment, NodeId, OpaqueId, id_value
 from repro.congest.knowledge import KTKnowledge, build_knowledge
-from repro.congest.message import Envelope, Msg, iter_node_ids, payload_words
+from repro.congest.message import Envelope, Msg, analyze_payload
 from repro.congest.metrics import MessageStats, StageStats
 from repro.congest.node import Context, NodeAlgorithm
 from repro.congest.trace import ExecutionTrace
@@ -59,6 +59,7 @@ class SyncNetwork:
         comparison_based: bool = False,
         words_per_message: int = 4,
         record_trace: bool = False,
+        collect_utilization: bool = True,
     ):
         if rho < 1:
             raise ReproError("SyncNetwork supports KT-rho for rho >= 1")
@@ -67,6 +68,11 @@ class SyncNetwork:
         self.seed = seed
         self.comparison_based = comparison_based
         self.words_per_message = words_per_message
+        #: Stats-lite switch for bulk sweeps: when False the engine skips
+        #: the Definition 2.3 utilized-edge bookkeeping and the per-tag /
+        #: per-sender breakdowns.  Message, word, send, and round counts
+        #: are unaffected (they use the identical accounting path).
+        self.collect_utilization = collect_utilization
         self.assignment = assignment or IdAssignment.random(graph.n, seed=seed)
         if len(self.assignment) != graph.n:
             raise ReproError("assignment size does not match graph size")
@@ -148,30 +154,62 @@ class SyncNetwork:
         self._link_free: dict[tuple[int, int], int] = {}
         round_index = 0
         converged = False
+        collect = self.collect_utilization
+        ids = self._ids
 
-        while round_index <= max_rounds:
+        # Persistent per-vertex inbox buffers, cleared and refilled each
+        # round instead of rebuilding a dict-of-lists; ``touched`` lists
+        # the vertices with a non-empty buffer in first-arrival order.
+        inbox_buffers: list[list[Envelope]] = [[] for _ in range(n)]
+        touched: list[int] = []
+
+        # The round budget counts rounds in which the engine does work
+        # (delivers messages / activates nodes).  Rounds a passive stage
+        # fast-forwards over are free: a multi-word payload may legally be
+        # *scheduled* past ``max_rounds`` and still be delivered, so the
+        # budget cannot simply compare the round index (which would declare
+        # non-convergence while a delivery is imminent and the stage is
+        # about to quiesce).  For round-cadence stages every round is a
+        # work round, so this is the same budget as before.
+        work_rounds = 0
+        while True:
+            work_rounds += 1
+            if work_rounds > max_rounds + 1:
+                raise ConvergenceError(
+                    f"stage '{stage_name}' exceeded {max_rounds} rounds"
+                )
             self._current_round = round_index
-            arriving = self._pending.pop(round_index, [])
-            inboxes: dict[int, list[Envelope]] = {}
-            for env in arriving:
-                inboxes.setdefault(env.receiver, []).append(env)
+            arriving = self._pending.pop(round_index, None)
+            if arriving is not None:
+                for env in arriving:
+                    buf = inbox_buffers[env.receiver]
+                    if not buf:
+                        touched.append(env.receiver)
+                    buf.append(env)
             active_vertices = (
                 range(n)
                 if (round_index == 0 or not passive)
-                else list(inboxes.keys())
+                else touched
             )
             for v in active_vertices:
                 ctx = contexts[v]
                 ctx.round = round_index
                 ctx._send_allowed = True
-                envelopes = inboxes.get(v, ())
-                self._register_received_ids(v, envelopes)
-                inbox = [
-                    Msg(self._ids[e.sender], e.tag, e.fields)
-                    for e in envelopes
-                ]
+                envelopes = inbox_buffers[v]
+                if envelopes:
+                    if collect:
+                        self._register_received_ids(v, envelopes)
+                    inbox = [
+                        Msg(ids[e.sender], e.tag, e.fields)
+                        for e in envelopes
+                    ]
+                else:
+                    inbox = []
                 algorithms[v].on_round(ctx, inbox)
                 ctx._send_allowed = False
+            for v in touched:
+                inbox_buffers[v].clear()
+            touched.clear()
             all_done = all(c._finished for c in contexts)
             if not self._pending:
                 if all_done:
@@ -192,10 +230,6 @@ class SyncNetwork:
                 round_index = min(self._pending)
             else:
                 round_index += 1
-        else:
-            raise ConvergenceError(
-                f"stage '{stage_name}' exceeded {max_rounds} rounds"
-            )
 
         self.stats.charge_rounds(round_index)
         outputs = [contexts[v]._output for v in range(n)]
@@ -225,16 +259,25 @@ class SyncNetwork:
                 f"vertex {sender} tried to send to non-neighbor {receiver}; "
                 "CONGEST only delivers over edges"
             )
-        words = payload_words(fields, self.word_bits)
+        # One pass over the payload computes the word count AND extracts
+        # the embedded NodeIds (previously: one payload_words scan plus two
+        # iter_node_ids scans, one per side).
+        words, payload_ids = analyze_payload(fields, self.word_bits)
         charged = max(1, -(-words // self.words_per_message))
-        self.stats.charge_send(words, charged, tag=tag, sender=sender)
-        # Utilization, Definition 2.3: the transport edge ...
-        self.stats.mark_utilized(sender, receiver)
-        # ... plus every edge {sender, w} for an ID phi(w) the sender ships.
-        for nid in iter_node_ids(fields):
-            w = self._vertex_by_value.get(id_value(nid))
-            if w is not None and w != sender and self.graph.has_edge(sender, w):
-                self.stats.mark_utilized(sender, w)
+        if self.collect_utilization:
+            self.stats.charge_send(words, charged, tag=tag, sender=sender)
+            # Utilization, Definition 2.3: the transport edge ...
+            self.stats.mark_utilized(sender, receiver)
+            # ... plus every edge {sender, w} for an ID phi(w) it ships.
+            for nid in payload_ids:
+                w = self._vertex_by_value.get(id_value(nid))
+                if w is not None and w != sender \
+                        and self.graph.has_edge(sender, w):
+                    self.stats.mark_utilized(sender, w)
+        else:
+            # Stats-lite: identical message/word/send counts, no per-tag /
+            # per-sender / utilized-edge breakdowns.
+            self.stats.charge_send(words, charged)
         env = Envelope(
             sender=sender,
             receiver=receiver,
@@ -242,6 +285,7 @@ class SyncNetwork:
             fields=fields,
             round_sent=self._current_round,
             words=words,
+            ids=payload_ids,
         )
         self._schedule(env, charged)
         if self.trace is not None:
@@ -265,9 +309,13 @@ class SyncNetwork:
 
     def _register_received_ids(self, receiver: int,
                                inbox: list[Envelope]) -> None:
-        """Definition 2.3 receive-side utilization."""
+        """Definition 2.3 receive-side utilization.
+
+        Uses the NodeIds extracted at send time (``Envelope.ids``); ID-free
+        payloads cost nothing here.
+        """
         for env in inbox:
-            for nid in iter_node_ids(env.fields):
+            for nid in env.ids:
                 w = self._vertex_by_value.get(id_value(nid))
                 if w is not None and w != receiver \
                         and self.graph.has_edge(receiver, w):

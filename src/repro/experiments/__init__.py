@@ -1,0 +1,54 @@
+"""Parallel experiment sweeps over the paper's algorithm matrix.
+
+The paper's headline results are *scaling* claims — Algorithm 1 sends
+Õ(n^1.5) messages while the Ω(m) baselines send ~m — so demonstrating
+them takes multi-seed sweeps across graph families, not single runs.
+This subsystem makes those sweeps declarative, parallel, and resumable:
+
+* :class:`SweepSpec` — the experiment matrix (family x n x seed x
+  method x engine), expanded to picklable :class:`Cell` units;
+* :func:`run_cell` / :func:`run_sweep` — execute cells, optionally under
+  a ``multiprocessing`` pool, in the engine's stats-lite mode by default
+  (identical message/round counts, no utilized-edge bookkeeping);
+* :class:`ResultStore` — append-only JSON-lines storage; completed cell
+  keys are skipped on re-run, so interrupted sweeps resume for free;
+* :func:`fit_exponent` / :func:`mean_ci` / :func:`growth_exponents` /
+  :func:`summarize` — aggregation: mean ± CI per size and the empirical
+  growth exponent per (family, method).
+
+Surfaced on the command line as ``repro sweep`` and ``repro report``:
+
+    python -m repro sweep --families gnp regular --sizes 80 120 180 \\
+        --seeds 0 1 2 --methods kt1-delta-plus-one luby \\
+        --workers 4 --out results.jsonl
+    python -m repro report --results results.jsonl
+"""
+
+from repro.experiments.report import bench_payload, render_report, summarize
+from repro.experiments.runner import run_cell, run_sweep
+from repro.experiments.spec import (
+    ALL_METHODS,
+    COLORING_METHODS,
+    MIS_METHODS,
+    Cell,
+    SweepSpec,
+)
+from repro.experiments.stats import fit_exponent, growth_exponents, mean_ci
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "ALL_METHODS",
+    "COLORING_METHODS",
+    "MIS_METHODS",
+    "Cell",
+    "ResultStore",
+    "SweepSpec",
+    "bench_payload",
+    "fit_exponent",
+    "growth_exponents",
+    "mean_ci",
+    "render_report",
+    "run_cell",
+    "run_sweep",
+    "summarize",
+]

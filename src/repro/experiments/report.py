@@ -1,0 +1,114 @@
+"""Turning stored sweep records into human- and machine-readable reports.
+
+``summarize`` computes, per (family, method), the mean message count at
+each size with a 95% CI across seeds and the fitted messages-vs-n and
+rounds-vs-n growth exponents — the quantities the paper's claims are
+stated in (Theorem 3.3: messages ~ n^1.5; the Omega(m) baselines: ~ m).
+``render_report`` prints that as an aligned table; ``bench_payload``
+shapes it for the ``BENCH_engine.json`` perf-trajectory artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.stats import (
+    WORKLOAD_KEYS,
+    fit_exponent,
+    growth_exponents,
+)
+
+
+def _workload_key(row: dict) -> tuple:
+    return tuple(row.get(k) for k in WORKLOAD_KEYS)
+
+
+def summarize(records: Sequence[dict]) -> list[dict]:
+    """Per-workload scaling summary over a sweep's records.
+
+    One row per (family, method, engine, density, epsilon) population —
+    records from sweeps with different knobs appended to the same store
+    are reported separately, never pooled into one fit.
+    """
+    message_rows = growth_exponents(records, y_field="messages")
+    round_rows = {
+        _workload_key(r): r["exponent"]
+        for r in growth_exponents(records, y_field="rounds")
+    }
+    for row in message_rows:
+        key = _workload_key(row)
+        row["rounds_exponent"] = round_rows.get(key, 0.0)
+        # m grows on the same sizes: the reference slope o(m) is beaten by.
+        m_points = sorted(
+            {(rec["n"], rec["m"]) for rec in records
+             if tuple(rec.get(k) for k in WORKLOAD_KEYS) == key}
+        )
+        row["m_exponent"] = fit_exponent([(n, m) for n, m in m_points])
+    return message_rows
+
+
+def render_report(summary: Sequence[dict]) -> str:
+    """An aligned text table of the per-workload summaries."""
+    lines = []
+    header = (
+        f"{'family':>9}  {'method':>22}  {'eng':>5}  {'p':>5}  "
+        f"{'n-range':>11}  {'runs':>4}  "
+        f"{'mean msgs (max n)':>18}  {'msg exp':>7}  {'m exp':>6}  "
+        f"{'rnd exp':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in summary:
+        sizes = sorted(row["points"])
+        runs = sum(p["runs"] for p in row["points"].values())
+        top = row["points"][sizes[-1]]
+        span = (f"{sizes[0]}-{sizes[-1]}" if len(sizes) > 1
+                else f"{sizes[0]}")
+        mean_str = f"{top['mean']:.0f} ±{top['ci95']:.0f}"
+        density = row.get("density")
+        lines.append(
+            f"{row['family']:>9}  {row['method']:>22}  "
+            f"{row.get('engine') or '?':>5}  "
+            f"{('%g' % density) if density is not None else '?':>5}  "
+            f"{span:>11}  "
+            f"{runs:>4}  {mean_str:>18}  {row['exponent']:>7.2f}  "
+            f"{row['m_exponent']:>6.2f}  {row['rounds_exponent']:>7.2f}"
+        )
+    return "\n".join(lines)
+
+
+def bench_payload(records: Sequence[dict],
+                  summary: Optional[Sequence[dict]] = None,
+                  wall_s: Optional[float] = None) -> dict:
+    """The ``BENCH_engine.json`` artifact: a perf trajectory data point.
+
+    Future PRs diff this against their own sweep to see whether the
+    engine got faster or the algorithms chattier.
+    """
+    if summary is None:
+        summary = summarize(records)
+    return {
+        "schema": "repro-bench-engine/1",
+        "runs": len(records),
+        "total_messages": sum(r["messages"] for r in records),
+        "total_wall_s": round(
+            wall_s if wall_s is not None
+            else sum(r.get("wall_s", 0.0) for r in records), 3),
+        "exponents": [
+            {
+                "family": row["family"],
+                "method": row["method"],
+                "engine": row.get("engine"),
+                "density": row.get("density"),
+                "messages_exponent": round(row["exponent"], 4),
+                "m_exponent": round(row["m_exponent"], 4),
+                "rounds_exponent": round(row["rounds_exponent"], 4),
+            }
+            for row in summary
+        ],
+        "cells": [
+            {k: rec[k] for k in
+             ("key", "messages", "rounds", "wall_s") if k in rec}
+            for rec in sorted(records, key=lambda r: r.get("key", ""))
+        ],
+    }

@@ -1,0 +1,117 @@
+"""Cell execution and the multiprocessing worker pool.
+
+``run_cell`` is the unit of work: build the cell's graph, run its method
+under the requested engine, and return a flat JSON-serializable record.
+``run_sweep`` drives a whole :class:`~repro.experiments.spec.SweepSpec`
+through a ``multiprocessing`` pool (or serially for ``workers <= 1``),
+appending each record to a :class:`~repro.experiments.store.ResultStore`
+as it completes and skipping cells the store already holds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable, Optional
+
+from repro import api
+from repro.errors import ReproError
+from repro.experiments.spec import ASYNC_METHODS, Cell, SweepSpec
+from repro.experiments.store import ResultStore
+from repro.graphs.generators import family_graph
+
+
+def run_cell(cell: Cell) -> dict:
+    """Execute one sweep cell and return its result record.
+
+    The record is flat and JSON-serializable: identity fields (key,
+    family, n, seed, method, engine), the graph's m, the accounting
+    (messages, words, rounds, utilized — ``None`` in stats-lite mode),
+    validity, and wall-clock seconds.
+    """
+    if cell.engine == "async" and cell.method not in ASYNC_METHODS:
+        # SweepSpec rejects these at construction; a hand-built Cell gets
+        # the same answer instead of a silently-synchronous "async" record.
+        raise ReproError(
+            f"method {cell.method!r} cannot run on the async engine"
+        )
+    t0 = time.perf_counter()
+    graph = family_graph(cell.family, cell.n, p=cell.density,
+                         seed=cell.seed)
+    if cell.problem == "coloring":
+        result = api.color_graph(
+            graph,
+            method=cell.method,
+            seed=cell.seed,
+            epsilon=cell.epsilon,
+            asynchronous=(cell.engine == "async"),
+            collect_utilization=cell.collect_utilization,
+        )
+        extra = {"colors": result.num_colors,
+                 "palette_bound": result.palette_bound}
+    else:
+        result = api.find_mis(
+            graph,
+            method=cell.method,
+            seed=cell.seed,
+            collect_utilization=cell.collect_utilization,
+        )
+        extra = {"mis_size": result.size}
+    report = result.report
+    record = {
+        "key": cell.key(),
+        "family": cell.family,
+        "n": cell.n,
+        "m": graph.m,
+        "seed": cell.seed,
+        "method": cell.method,
+        "engine": cell.engine,
+        "density": cell.density,
+        "epsilon": cell.epsilon,
+        "messages": report.messages,
+        "rounds": report.rounds,
+        "utilized": (report.utilized_edges
+                     if cell.collect_utilization else None),
+        "valid": result.valid,
+        "wall_s": round(time.perf_counter() - t0, 6),
+    }
+    record.update(extra)
+    return record
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: Optional[ResultStore] = None,
+    workers: int = 0,
+    progress: Optional[Callable[[dict, int, int], None]] = None,
+) -> list[dict]:
+    """Run every cell of ``spec`` not already present in ``store``.
+
+    ``workers <= 1`` runs serially in-process; otherwise a
+    ``multiprocessing.Pool`` of that many workers executes cells
+    concurrently (cells are independent fixed-seed runs, so completion
+    order does not affect the stored results beyond line order).
+    Returns the newly produced records; previously stored cells are
+    skipped, which is what makes an interrupted sweep resumable.
+    """
+    done = store.completed_keys() if store is not None else set()
+    cells = [c for c in spec.cells() if c.key() not in done]
+    total = len(cells)
+    fresh: list[dict] = []
+
+    def _record(rec: dict) -> None:
+        fresh.append(rec)
+        if store is not None:
+            store.append(rec)
+        if progress is not None:
+            progress(rec, len(fresh), total)
+
+    if workers <= 1 or total <= 1:
+        for cell in cells:
+            _record(run_cell(cell))
+        return fresh
+
+    with multiprocessing.Pool(processes=min(workers, total)) as pool:
+        for rec in pool.imap_unordered(run_cell, cells):
+            _record(rec)
+    return fresh

@@ -1,0 +1,140 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` is the cross product
+
+    graph family x size n x seed x method (x engine)
+
+and expands to a list of :class:`Cell` objects, each a single
+self-contained run (picklable, so the worker pool can ship it to another
+process).  Every cell has a stable string :meth:`Cell.key` used by the
+JSON-lines store for resume: a completed key is never re-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.errors import ReproError
+
+#: Methods dispatched to :func:`repro.api.color_graph`.
+COLORING_METHODS = (
+    "kt1-delta-plus-one",
+    "kt1-eps-delta",
+    "baseline-trial",
+    "baseline-rank-greedy",
+)
+
+#: Methods dispatched to :func:`repro.api.find_mis`.
+MIS_METHODS = (
+    "kt2-sampled-greedy",
+    "luby",
+    "rank-greedy",
+)
+
+ALL_METHODS = COLORING_METHODS + MIS_METHODS
+
+ENGINES = ("sync", "async")
+
+#: The only methods the event-driven engine can run today (Theorem 3.4);
+#: Algorithm 2 is synchronous in the paper and the MIS API has no
+#: asynchronous mode, so async cells for them are rejected up front
+#: rather than mislabeled or crashed mid-sweep.
+ASYNC_METHODS = ("kt1-delta-plus-one",)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One experiment: a (family, n, seed, method, engine) point."""
+
+    family: str
+    n: int
+    seed: int
+    method: str
+    engine: str = "sync"
+    density: float = 0.2
+    epsilon: float = 0.5
+    collect_utilization: bool = False
+
+    def key(self) -> str:
+        """Stable identity for the resume store.
+
+        Every field that changes what a cell measures participates, so a
+        re-run with (say) a different epsilon or full accounting is a new
+        cell, not a resume hit serving stale numbers.
+        """
+        return (
+            f"{self.family}/n{self.n}/p{self.density:g}/"
+            f"{self.method}/{self.engine}/eps{self.epsilon:g}/"
+            f"{'full' if self.collect_utilization else 'lite'}/"
+            f"s{self.seed}"
+        )
+
+    @property
+    def problem(self) -> str:
+        return "coloring" if self.method in COLORING_METHODS else "mis"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative experiment matrix.
+
+    ``density`` is the family's density knob (edge probability for gnp,
+    degree fraction for regular, attachment/10 for powerlaw).  By default
+    sweeps run stats-lite (``collect_utilization=False``): message, word,
+    and round counts are identical to full accounting, and bulk runs only
+    need those.
+    """
+
+    families: tuple[str, ...] = ("gnp",)
+    sizes: tuple[int, ...] = (100, 200)
+    seeds: tuple[int, ...] = (0,)
+    methods: tuple[str, ...] = ("kt1-delta-plus-one",)
+    engine: str = "sync"
+    density: float = 0.2
+    epsilon: float = 0.5
+    collect_utilization: bool = False
+
+    def __post_init__(self):
+        for m in self.methods:
+            if m not in ALL_METHODS:
+                raise ReproError(
+                    f"unknown method {m!r}; known: {', '.join(ALL_METHODS)}"
+                )
+        if self.engine not in ENGINES:
+            raise ReproError(f"unknown engine {self.engine!r}")
+        if self.engine == "async":
+            bad = [m for m in self.methods if m not in ASYNC_METHODS]
+            if bad:
+                raise ReproError(
+                    f"method(s) {', '.join(bad)} cannot run on the async "
+                    f"engine (supported: {', '.join(ASYNC_METHODS)})"
+                )
+        if (not self.sizes or not self.seeds or not self.families
+                or not self.methods):
+            raise ReproError("sweep spec has an empty axis")
+
+    def cells(self) -> Iterator[Cell]:
+        """Expand the matrix in deterministic order."""
+        for family in self.families:
+            for n in self.sizes:
+                for method in self.methods:
+                    for seed in self.seeds:
+                        yield Cell(
+                            family=family,
+                            n=n,
+                            seed=seed,
+                            method=method,
+                            engine=self.engine,
+                            density=self.density,
+                            epsilon=self.epsilon,
+                            collect_utilization=self.collect_utilization,
+                        )
+
+    @property
+    def size(self) -> int:
+        return (len(self.families) * len(self.sizes) * len(self.methods)
+                * len(self.seeds))
+
+    def with_full_stats(self) -> "SweepSpec":
+        return replace(self, collect_utilization=True)

@@ -1,0 +1,104 @@
+"""Aggregation helpers: growth exponents and confidence intervals.
+
+The paper's headline claims are empirical scaling statements ("messages
+~ n^1.5, not m"), so the primitive everything reduces to is: fit the
+slope of log(y) against log(x) over a multi-seed sweep and report it with
+a dispersion estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def fit_exponent(points: Sequence[tuple[float, float]]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    For message counts y measured at sizes x, this is the empirical
+    growth exponent ("messages ~ x^alpha").
+
+    Degenerate inputs are answered with 0.0 rather than an exception:
+    points with non-positive x carry no log-scale information and are
+    dropped; fewer than two surviving points (or a single distinct x)
+    leave the slope undetermined.
+    """
+    clean = [(x, y) for x, y in points if x > 0]
+    if len(clean) < 2:
+        return 0.0
+    xs = [math.log(x) for x, _ in clean]
+    ys = [math.log(max(y, 1e-9)) for _, y in clean]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den if den else 0.0
+
+
+def mean_ci(values: Sequence[float],
+            z: float = 1.96) -> tuple[float, float]:
+    """Sample mean and normal-approximation half-width (95% by default).
+
+    Returns ``(mean, half_width)``; a single observation has zero width.
+    """
+    k = len(values)
+    if k == 0:
+        return 0.0, 0.0
+    mean = sum(values) / k
+    if k == 1:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (k - 1)
+    return mean, z * math.sqrt(var / k)
+
+
+#: The record fields that define one scaling population: pooling across
+#: any of these (different densities, engines, or epsilons appended to
+#: the same store) would fit one meaningless exponent over two different
+#: workloads, so aggregation always separates them.
+WORKLOAD_KEYS = ("family", "method", "engine", "density", "epsilon")
+
+
+def group_records(records: Sequence[dict],
+                  keys: tuple[str, ...]) -> dict[tuple, list[dict]]:
+    """Group result records by a tuple of record fields (missing fields
+    group under ``None``, so stores written by older schemas still
+    aggregate)."""
+    groups: dict[tuple, list[dict]] = {}
+    for rec in records:
+        groups.setdefault(tuple(rec.get(k) for k in keys), []).append(rec)
+    return groups
+
+
+def growth_exponents(records: Sequence[dict],
+                     y_field: str = "messages") -> list[dict]:
+    """Per workload (family, method, engine, density, epsilon): mean y at
+    each n, plus the fitted exponent.
+
+    Records are the dicts produced by :func:`repro.experiments.run_cell`
+    (or loaded back from a :class:`~repro.experiments.store.ResultStore`).
+    Returns one row per workload with ``points`` (n -> mean, ci) and
+    ``exponent`` (slope of log mean-y vs log n).
+    """
+    rows = []
+    for group_key, recs in sorted(
+        group_records(records, WORKLOAD_KEYS).items(),
+        key=lambda kv: tuple(repr(k) for k in kv[0]),
+    ):
+        by_n = group_records(recs, ("n",))
+        points = {}
+        for (n,), cell_recs in sorted(by_n.items()):
+            mean, ci = mean_ci([r[y_field] for r in cell_recs])
+            points[n] = {"mean": mean, "ci95": ci,
+                         "runs": len(cell_recs)}
+        exponent = fit_exponent(
+            [(n, p["mean"]) for n, p in points.items()]
+        )
+        row = dict(zip(WORKLOAD_KEYS, group_key))
+        row.update({
+            "y_field": y_field,
+            "points": points,
+            "exponent": exponent,
+        })
+        rows.append(row)
+    return rows

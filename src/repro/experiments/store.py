@@ -1,0 +1,75 @@
+"""JSON-lines result store with resume.
+
+One line per completed cell, appended and flushed as results arrive, so
+an interrupted sweep loses at most the in-flight cells.  Resume is
+key-based: :meth:`ResultStore.completed_keys` feeds the runner the set of
+cells to skip.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, Optional
+
+
+class ResultStore:
+    """Append-only JSON-lines storage for sweep results."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Append one result record (a JSON-serializable dict) durably."""
+        if self._fh is None:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------------
+
+    def iter_records(self) -> Iterator[dict]:
+        """Yield stored records; tolerates a truncated trailing line
+        (the crash the resume machinery exists for)."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+
+    def load(self) -> list[dict]:
+        return list(self.iter_records())
+
+    def completed_keys(self) -> set[str]:
+        """Keys of every cell already stored (the resume set)."""
+        return {
+            rec["key"] for rec in self.iter_records() if "key" in rec
+        }
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_records())
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.path!r})"

@@ -196,6 +196,38 @@ def barbell_graph(clique: int, path: int) -> Graph:
     return Graph(2 * clique + path, edges)
 
 
+def regular_degree_for(n: int, p: float) -> int:
+    """Feasible regular degree for density knob ``p``: d <= n-1, d*n even.
+
+    Without the clamp a large ``p`` requests degree >= n, which no simple
+    graph supports; the parity bump must also respect the cap.
+    """
+    d = max(2, int(p * n))
+    d = min(d, n - 1)
+    if (d * n) % 2:
+        d += 1 if d < n - 1 else -1
+    return max(d, 0)
+
+
+def family_graph(family: str, n: int, p: float = 0.2, seed=0) -> Graph:
+    """Build a graph from a ``(family, n, density-knob, seed)`` spec.
+
+    The shared workload vocabulary of the CLI and the experiment sweeps:
+    ``gnp`` (edge probability p), ``regular`` (degree ~ p*n, clamped
+    feasible), ``powerlaw`` (attachment ~ 10p), and ``barbell`` (p
+    ignored).
+    """
+    if family == "gnp":
+        return connected_gnp_graph(n, p, seed=seed)
+    if family == "regular":
+        return random_regular_graph(n, regular_degree_for(n, p), seed=seed)
+    if family == "powerlaw":
+        return power_law_graph(n, attachment=max(2, int(p * 10)), seed=seed)
+    if family == "barbell":
+        return barbell_graph(n // 2, max(1, n // 10))
+    raise ReproError(f"unknown graph family {family!r}")
+
+
 def tiered_bipartite(t: int) -> tuple[Graph, dict[str, list[int]]]:
     """The lower-bound gadget G(X, Y, Z, E) of Section 2.2.
 

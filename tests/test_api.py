@@ -95,3 +95,43 @@ def test_mis_non_comparison_flag(workload):
     switches the discipline checker)."""
     result = api.find_mis(workload, seed=12, comparison_based=False)
     assert result.valid
+
+
+def test_report_aggregates_repeated_stage_names():
+    """A driver that reuses a stage name must not lose earlier stages'
+    messages from the breakdown (regression: dict assignment overwrote)."""
+    from repro.congest.network import SyncNetwork
+    from repro.congest.node import NodeAlgorithm
+
+    class Ping(NodeAlgorithm):
+        def on_round(self, ctx, inbox):
+            if ctx.round == 0:
+                for u in ctx.neighbor_ids:
+                    ctx.send(u, "ping")
+            ctx.done(None)
+
+    g = connected_gnp_graph(20, 0.3, seed=3)
+    net = SyncNetwork(g, seed=4)
+    net.run(Ping, name="dup")
+    net.run(Ping, name="dup")
+    report = api._report("test", net)
+    assert net.stats.messages > 0
+    assert report.stage_messages == {"dup": net.stats.messages}
+    assert sum(report.stage_messages.values()) == report.messages
+
+
+def test_stats_lite_api(workload):
+    """collect_utilization=False: same counts, no utilization detail."""
+    full = api.color_graph(workload, seed=5)
+    lite = api.color_graph(workload, seed=5, collect_utilization=False)
+    assert lite.valid and lite.colors == full.colors
+    assert lite.messages == full.messages
+    assert lite.report.rounds == full.report.rounds
+    assert lite.report.stage_messages == full.report.stage_messages
+    assert lite.report.utilized_edges == 0
+    assert full.report.utilized_edges > 0
+
+    m_full = api.find_mis(workload, seed=5)
+    m_lite = api.find_mis(workload, seed=5, collect_utilization=False)
+    assert m_lite.in_mis == m_full.in_mis
+    assert m_lite.messages == m_full.messages

@@ -1,0 +1,348 @@
+"""Tests for the experiment-sweep subsystem (repro.experiments)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api, cli
+from repro.errors import ReproError
+from repro.experiments import (
+    Cell,
+    ResultStore,
+    SweepSpec,
+    bench_payload,
+    fit_exponent,
+    growth_exponents,
+    mean_ci,
+    render_report,
+    run_cell,
+    run_sweep,
+    summarize,
+)
+from repro.graphs.generators import family_graph, regular_degree_for
+
+
+# -- spec ---------------------------------------------------------------------
+
+
+def test_spec_expands_full_matrix():
+    spec = SweepSpec(
+        families=("gnp", "regular"),
+        sizes=(40, 60),
+        seeds=(0, 1, 2),
+        methods=("kt1-delta-plus-one", "luby"),
+    )
+    cells = list(spec.cells())
+    assert len(cells) == spec.size == 2 * 2 * 3 * 2
+    assert len({c.key() for c in cells}) == len(cells)
+    # Deterministic expansion order.
+    assert [c.key() for c in spec.cells()] == [c.key() for c in cells]
+
+
+def test_spec_rejects_unknown_method():
+    with pytest.raises(ReproError):
+        SweepSpec(methods=("no-such-method",))
+
+
+def test_spec_rejects_empty_axis():
+    with pytest.raises(ReproError):
+        SweepSpec(sizes=())
+
+
+def test_cell_problem_dispatch():
+    assert Cell("gnp", 40, 0, "kt1-delta-plus-one").problem == "coloring"
+    assert Cell("gnp", 40, 0, "luby").problem == "mis"
+
+
+# -- store --------------------------------------------------------------------
+
+
+def test_store_round_trip(tmp_path):
+    store = ResultStore(str(tmp_path / "r.jsonl"))
+    records = [{"key": f"k{i}", "messages": i * 10} for i in range(5)]
+    with store:
+        for rec in records:
+            store.append(rec)
+    assert store.load() == records
+    assert store.completed_keys() == {f"k{i}" for i in range(5)}
+    assert len(store) == 5
+
+
+def test_store_tolerates_truncated_line(tmp_path):
+    path = tmp_path / "r.jsonl"
+    path.write_text('{"key": "a", "messages": 1}\n{"key": "b", "mess')
+    store = ResultStore(str(path))
+    assert store.completed_keys() == {"a"}
+
+
+def test_store_missing_file_is_empty(tmp_path):
+    store = ResultStore(str(tmp_path / "nope.jsonl"))
+    assert store.load() == []
+    assert store.completed_keys() == set()
+
+
+# -- runner -------------------------------------------------------------------
+
+
+def test_run_cell_coloring_record():
+    rec = run_cell(Cell("gnp", 40, 3, "kt1-delta-plus-one"))
+    g = family_graph("gnp", 40, p=0.2, seed=3)
+    assert rec["valid"] is True
+    assert rec["m"] == g.m
+    assert rec["messages"] > 0 and rec["rounds"] > 0
+    assert rec["utilized"] is None          # stats-lite default
+    assert rec["colors"] <= rec["palette_bound"]
+    assert rec["wall_s"] > 0
+
+
+def test_run_cell_mis_record():
+    rec = run_cell(Cell("gnp", 40, 3, "luby"))
+    assert rec["valid"] is True
+    assert rec["mis_size"] > 0
+
+
+def test_run_cell_full_stats():
+    rec = run_cell(Cell("gnp", 40, 3, "luby", collect_utilization=True))
+    assert rec["utilized"] > 0
+
+
+def test_stats_lite_counts_match_full_accounting():
+    """The stats-lite engine mode must not change what it measures."""
+    lite = run_cell(Cell("gnp", 50, 9, "kt1-delta-plus-one"))
+    full = run_cell(Cell("gnp", 50, 9, "kt1-delta-plus-one",
+                         collect_utilization=True))
+    assert lite["messages"] == full["messages"]
+    assert lite["rounds"] == full["rounds"]
+    mis_lite = run_cell(Cell("regular", 50, 9, "kt2-sampled-greedy"))
+    mis_full = run_cell(Cell("regular", 50, 9, "kt2-sampled-greedy",
+                             collect_utilization=True))
+    assert mis_lite["messages"] == mis_full["messages"]
+    assert mis_lite["rounds"] == mis_full["rounds"]
+
+
+def test_sweep_parallel_pool_matches_serial(tmp_path):
+    """>= 2 families x >= 2 seeds under the pool == the serial run."""
+    spec = SweepSpec(
+        families=("gnp", "regular"),
+        sizes=(40,),
+        seeds=(0, 1),
+        methods=("luby",),
+    )
+    serial = run_sweep(spec, store=None, workers=0)
+    store = ResultStore(str(tmp_path / "pool.jsonl"))
+    with store:
+        parallel = run_sweep(spec, store=store, workers=2)
+    assert len(serial) == len(parallel) == spec.size
+    by_key = lambda recs: {r["key"]: r["messages"] for r in recs}
+    assert by_key(serial) == by_key(parallel)
+    # Round-trip through the JSON-lines store preserves the records.
+    stored = {r["key"]: r["messages"] for r in store.load()}
+    assert stored == by_key(serial)
+
+
+def test_sweep_resume_skips_completed(tmp_path):
+    spec = SweepSpec(families=("gnp",), sizes=(40,), seeds=(0, 1),
+                     methods=("luby",))
+    store = ResultStore(str(tmp_path / "resume.jsonl"))
+    with store:
+        first = run_sweep(spec, store=store, workers=0)
+    assert len(first) == 2
+    # Re-running the same spec against the same store does nothing...
+    with store:
+        again = run_sweep(spec, store=store, workers=0)
+    assert again == []
+    # ... and a widened spec runs only the new cells.
+    wider = SweepSpec(families=("gnp",), sizes=(40,), seeds=(0, 1, 2),
+                      methods=("luby",))
+    with store:
+        fresh = run_sweep(wider, store=store, workers=0)
+    assert len(fresh) == 1
+    assert len(store.load()) == 3
+
+
+# -- stats --------------------------------------------------------------------
+
+
+def test_fit_exponent_recovers_power_law():
+    pts = [(n, 3.0 * n ** 1.5) for n in (50, 100, 200, 400)]
+    assert abs(fit_exponent(pts) - 1.5) < 1e-9
+
+
+def test_fit_exponent_degenerate_inputs():
+    assert fit_exponent([]) == 0.0
+    assert fit_exponent([(100, 5000)]) == 0.0          # single point
+    assert fit_exponent([(0, 10), (-5, 20)]) == 0.0    # no positive sizes
+    assert fit_exponent([(100, 10), (100, 20)]) == 0.0  # single distinct x
+    # Non-positive sizes are dropped, not fatal.
+    assert abs(fit_exponent([(0, 1), (10, 100), (100, 10000)]) - 2.0) < 1e-9
+    # Zero/negative y is clamped, not a domain error.
+    assert fit_exponent([(10, 0), (100, 0)]) == 0.0
+
+
+def test_mean_ci():
+    mean, ci = mean_ci([10.0])
+    assert (mean, ci) == (10.0, 0.0)
+    mean, ci = mean_ci([8.0, 12.0])
+    assert mean == 10.0 and ci > 0
+    assert mean_ci([]) == (0.0, 0.0)
+
+
+def test_growth_exponents_groups_by_family_method():
+    records = []
+    for family, scale in (("gnp", 1.5), ("regular", 2.0)):
+        for n in (50, 100, 200):
+            for seed in (0, 1):
+                records.append({
+                    "family": family, "method": "x", "n": n, "m": n * n,
+                    "messages": n ** scale, "rounds": n,
+                })
+    rows = growth_exponents(records)
+    assert [(r["family"], r["method"]) for r in rows] == \
+        [("gnp", "x"), ("regular", "x")]
+    assert abs(rows[0]["exponent"] - 1.5) < 1e-6
+    assert abs(rows[1]["exponent"] - 2.0) < 1e-6
+    assert rows[0]["points"][100]["runs"] == 2
+
+
+def test_summarize_and_render(tmp_path):
+    spec = SweepSpec(families=("gnp",), sizes=(40, 60), seeds=(0, 1),
+                     methods=("luby",))
+    records = run_sweep(spec, store=None, workers=0)
+    summary = summarize(records)
+    assert len(summary) == 1
+    text = render_report(summary)
+    assert "luby" in text and "gnp" in text
+    payload = bench_payload(records, summary)
+    assert payload["runs"] == 4
+    assert payload["exponents"][0]["method"] == "luby"
+    json.dumps(payload)  # must be serializable
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_sweep_and_report(tmp_path, capsys):
+    out = str(tmp_path / "cli.jsonl")
+    rc = cli.main([
+        "sweep", "--families", "gnp", "--sizes", "40", "--seeds", "0", "1",
+        "--methods", "luby", "--out", out, "--json",
+    ])
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["ran"] == 2
+
+    # Resume: second invocation runs nothing new.
+    rc = cli.main([
+        "sweep", "--families", "gnp", "--sizes", "40", "--seeds", "0", "1",
+        "--methods", "luby", "--out", out, "--json",
+    ])
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["ran"] == 0 and summary["resumed (skipped)"] == 2
+
+    bench = str(tmp_path / "BENCH_engine.json")
+    rc = cli.main(["report", "--results", out, "--bench-out", bench])
+    assert rc == 0
+    assert "luby" in capsys.readouterr().out
+    payload = json.loads(open(bench).read())
+    assert payload["runs"] == 2
+    assert payload["schema"].startswith("repro-bench-engine")
+
+
+def test_cli_report_missing_file(tmp_path, capsys):
+    rc = cli.main(["report", "--results", str(tmp_path / "none.jsonl")])
+    assert rc == 1
+
+
+def test_cli_regular_family_large_p():
+    """--p large enough to request degree >= n must clamp, not crash."""
+    assert regular_degree_for(10, 5.0) == 9          # odd n*d fixed by cap
+    assert regular_degree_for(9, 1.0) == 8
+    assert regular_degree_for(2, 1.0) == 1
+    g = family_graph("regular", 7, p=3.0, seed=0)
+    assert g.n == 7 and g.max_degree() <= 6
+    rc = cli.main(["info", "--family", "regular", "--n", "12", "--p", "2.5"])
+    assert rc == 0
+
+
+@pytest.mark.slow
+def test_sweep_exponent_separation():
+    """The flagship claim on a (small) dense sweep: Algorithm 1's message
+    growth stays well below the Omega(m) baseline's."""
+    spec = SweepSpec(
+        families=("gnp",),
+        sizes=(60, 100, 160),
+        seeds=(0, 1),
+        methods=("kt1-delta-plus-one", "baseline-trial"),
+        density=0.3,
+    )
+    records = run_sweep(spec, store=None, workers=2)
+    assert all(r["valid"] for r in records)
+    rows = {r["method"]: r["exponent"] for r in summarize(records)}
+    assert rows["baseline-trial"] > 1.6
+    assert rows["kt1-delta-plus-one"] < rows["baseline-trial"]
+
+
+def test_spec_rejects_async_incapable_methods():
+    """Async cells for sync-only methods are rejected up front, not run
+    synchronously under an 'async' label or crashed mid-sweep."""
+    with pytest.raises(ReproError):
+        SweepSpec(methods=("luby",), engine="async")
+    with pytest.raises(ReproError):
+        SweepSpec(methods=("kt1-eps-delta",), engine="async")
+    with pytest.raises(ReproError):
+        run_cell(Cell("gnp", 30, 0, "luby", engine="async"))
+    # The one async-capable method is accepted.
+    spec = SweepSpec(methods=("kt1-delta-plus-one",), engine="async",
+                     sizes=(30,))
+    rec = run_cell(next(spec.cells()))
+    assert rec["engine"] == "async" and rec["valid"]
+
+
+def test_spec_rejects_empty_methods():
+    with pytest.raises(ReproError):
+        SweepSpec(methods=())
+
+
+def test_cell_key_distinguishes_epsilon_and_accounting():
+    """Re-running with different epsilon or full accounting must be a new
+    cell, not a resume hit serving stale stored numbers."""
+    base = Cell("gnp", 40, 0, "kt1-eps-delta")
+    assert base.key() != Cell("gnp", 40, 0, "kt1-eps-delta",
+                              epsilon=0.2).key()
+    assert base.key() != Cell("gnp", 40, 0, "kt1-eps-delta",
+                              collect_utilization=True).key()
+
+
+def test_summarize_separates_mixed_workloads():
+    """Sweeps with different density/engine knobs appended to one store
+    must report as separate populations, not one pooled exponent fit."""
+    recs = []
+    for p in (0.1, 0.5):
+        for n in (40, 60):
+            recs.append({
+                "family": "gnp", "method": "luby", "engine": "sync",
+                "density": p, "epsilon": 0.5, "n": n, "m": n,
+                "messages": n * (1 + p), "rounds": 1,
+            })
+    summary = summarize(recs)
+    assert len(summary) == 2
+    assert sorted(r["density"] for r in summary) == [0.1, 0.5]
+
+
+def test_cli_sweep_resumed_invalid_still_fails(tmp_path, capsys):
+    """A stored invalid cell keeps the sweep exit code red on re-run."""
+    out = tmp_path / "inv.jsonl"
+    spec = SweepSpec(families=("gnp",), sizes=(40,), seeds=(0,),
+                     methods=("luby",))
+    rec = run_cell(next(spec.cells()))
+    rec["valid"] = False
+    out.write_text(json.dumps(rec) + "\n")
+    rc = cli.main([
+        "sweep", "--families", "gnp", "--sizes", "40", "--seeds", "0",
+        "--methods", "luby", "--out", str(out), "--json",
+    ])
+    assert rc == 1
+    assert "INVALID" in capsys.readouterr().err

@@ -72,3 +72,43 @@ def test_iter_node_ids_none():
 def test_msg_repr():
     m = Msg(NodeId(3), "hello", (1,))
     assert "hello" in repr(m)
+
+
+def test_encodable_set_consistent_both_directions():
+    """The word-accounting scan and the Definition 2.3 ID scan must agree
+    on the payload type system: every container payload_words accepts is
+    traversed by iter_node_ids, and everything payload_words rejects is
+    ignored (never traversed) by iter_node_ids.  Regression: lists were
+    rejected as unencodable yet iter_node_ids recursed into them."""
+    from repro.congest.message import ENCODABLE_CONTAINERS, analyze_payload
+
+    nid = NodeId(7)
+    for container in ENCODABLE_CONTAINERS:
+        fields = (container((nid,)),)
+        assert payload_words(fields, 16) == 1
+        assert list(iter_node_ids(fields)) == [nid]
+        words, ids = analyze_payload(fields, 16)
+        assert (words, ids) == (1, (nid,))
+    for bad in ([nid], {nid}, {"k": nid}, 3.14):
+        with pytest.raises(ModelViolationError):
+            payload_words((bad,), 16)
+        # The ID scan does not recurse into unencodable containers.
+        assert list(iter_node_ids((bad,))) == []
+
+
+def test_analyze_payload_matches_separate_scans():
+    from repro.congest.message import analyze_payload
+
+    nid_a, nid_b = NodeId(3), NodeId(9)
+    cases = [
+        (),
+        (1, True, None),
+        (nid_a,),
+        ((nid_a, (nid_b, 5)), frozenset({2})),
+        (1 << 40, "tag"),
+        (BitString(tuple([1] * 40)),),
+    ]
+    for fields in cases:
+        words, ids = analyze_payload(fields, 16)
+        assert words == payload_words(fields, 16)
+        assert list(ids) == list(iter_node_ids(fields))

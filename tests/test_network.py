@@ -297,3 +297,73 @@ def test_outputs_by_id_value(path4):
     by_id = net.outputs_by_id_value(res.outputs)
     assert set(by_id.values()) == {"v"}
     assert len(by_id) == 4
+
+
+def test_passive_fast_forward_past_budget_delivers(path4):
+    """A multi-word payload legally scheduled past max_rounds must still
+    be delivered when the stage is about to quiesce (regression: the
+    passive fast-forward jumped round_index past the budget and raised
+    ConvergenceError while a delivery was imminent)."""
+    net = SyncNetwork(path4, seed=21, words_per_message=1)
+
+    class BigPayload(NodeAlgorithm):
+        passive_when_idle = True
+
+        def on_round(self, ctx, inbox):
+            if ctx.round == 0:
+                if ctx.my_id == net.id_of(0):
+                    # ~80 words at 1 word/message: the link holds this
+                    # payload for ~80 rounds, far past max_rounds=5.
+                    ctx.send(net.id_of(1), "blob", 1 << 650)
+                    ctx.done("sent")
+                elif ctx.my_id == net.id_of(1):
+                    pass  # wait for the blob
+                else:
+                    ctx.done("idle")
+            elif inbox:
+                ctx.done("got")
+
+    res = net.run(BigPayload, max_rounds=5)
+    assert res.converged
+    assert res.outputs[1] == "got"
+    # The engine still did only O(1) work rounds.
+    assert net.stats.messages >= 40
+
+
+def test_passive_budget_still_bounds_work(path4):
+    """The relaxed budget counts work rounds, so a passive livelock is
+    still caught."""
+    net = SyncNetwork(path4, seed=22)
+
+    class PingPong(NodeAlgorithm):
+        passive_when_idle = True
+
+        def on_round(self, ctx, inbox):
+            if ctx.round == 0 and ctx.degree == 1:
+                ctx.send(ctx.neighbor_ids[0], "ball")
+            for msg in inbox:
+                ctx.send(msg.sender_id, "ball")
+
+    with pytest.raises(ConvergenceError):
+        net.run(PingPong, max_rounds=30)
+
+
+def test_inbox_isolated_between_rounds(path4):
+    """Reused inbox buffers must not leak envelopes across rounds."""
+    seen: dict[int, list] = {}
+
+    class TwoPings(NodeAlgorithm):
+        def on_round(self, ctx, inbox):
+            seen.setdefault(ctx.round, []).append(len(inbox))
+            if ctx.round < 2:
+                for u in ctx.neighbor_ids:
+                    ctx.send(u, "ping")
+            if ctx.round >= 3:
+                ctx.done(None)
+
+    net = SyncNetwork(path4, seed=23)
+    net.run(TwoPings)
+    # Round 1 and 2 deliver one ping per neighbor; round 3 none.
+    assert all(c == 0 for c in seen[0])
+    assert sum(seen[1]) == 6 and sum(seen[2]) == 6
+    assert all(c == 0 for c in seen[3])
