@@ -8,6 +8,7 @@ sweep       run a declarative experiment matrix under a worker pool
 report      aggregate a sweep's JSON-lines results (growth exponents)
 lowerbound  run the Section 2 crossing experiment
 cycles      run the Theorem 2.17 mute-cycle sweep
+profile     cProfile a single sweep cell (top cumulative entries)
 info        print the model/engine constants for a given n
 
 All graphs are generated from a seed, so every invocation is
@@ -108,6 +109,8 @@ def cmd_sweep(args) -> int:
             density=args.p,
             epsilon=args.epsilon,
             collect_utilization=args.full_stats,
+            timeout_s=args.timeout,
+            retries=args.retries,
         )
     except ReproError as exc:
         raise SystemExit(str(exc))
@@ -115,6 +118,10 @@ def cmd_sweep(args) -> int:
     store = ResultStore(args.out)
 
     def progress(rec, done, total):
+        if rec.get("status", "ok") != "ok":
+            print(f"[{done}/{total}] {rec['key']}: {rec['status'].upper()} "
+                  f"after {rec.get('attempts', 1)} attempt(s)", flush=True)
+            return
         print(
             f"[{done}/{total}] {rec['key']}: {rec['messages']} msgs, "
             f"{rec['rounds']} rounds, {rec['wall_s']:.2f}s",
@@ -130,11 +137,13 @@ def cmd_sweep(args) -> int:
             progress=None if args.json else progress,
         )
     wall = time.perf_counter() - t0
+    failed = [r for r in fresh if r.get("status", "ok") != "ok"]
     payload = {
         "cells": spec.size,
         "ran": len(fresh),
         # run_sweep executes exactly the cells absent from the store.
         "resumed (skipped)": spec.size - len(fresh),
+        "failed (timeout/error)": len(failed),
         "workers": args.workers,
         "wall seconds": round(wall, 2),
         "results": args.out,
@@ -144,15 +153,27 @@ def cmd_sweep(args) -> int:
     else:
         for key, value in payload.items():
             print(f"{key:>18}: {value}")
-    # Exit nonzero if ANY of this spec's cells is invalid — including ones
-    # resumed from the store, so re-running a failed sweep stays red.
+    # Exit nonzero if ANY of this spec's cells is invalid or failed —
+    # including ones resumed from the store, so re-running a failed sweep
+    # stays red.  A key is cleared by a later successful record (failed
+    # attempts are superseded, not sticky).
     spec_keys = {c.key() for c in spec.cells()}
-    invalid = [
-        r["key"] for r in store.load()
-        if r.get("key") in spec_keys and not r.get("valid", True)
-    ]
-    if invalid:
-        print(f"INVALID outputs in {len(invalid)} cells: {invalid[:5]}",
+    ok_keys = set()
+    bad_by_key: dict[str, str] = {}
+    for r in store.load():
+        key = r.get("key")
+        if key not in spec_keys:
+            continue
+        if r.get("status", "ok") != "ok":
+            bad_by_key[key] = r["status"]
+        elif not r.get("valid", True):
+            bad_by_key[key] = "invalid"
+        else:
+            ok_keys.add(key)
+    bad = {k: v for k, v in bad_by_key.items() if k not in ok_keys}
+    if bad:
+        sample = [f"{k} ({v})" for k, v in list(bad.items())[:5]]
+        print(f"FAILED/INVALID cells ({len(bad)}): {sample}",
               file=sys.stderr)
         return 1
     return 0
@@ -236,6 +257,44 @@ def cmd_cycles(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """cProfile one sweep cell and print the top cumulative entries.
+
+    The perf-work entry point: ``repro profile --method luby --n 220``
+    shows where the engine spends its time on exactly the workload the
+    sweeps run, without leaving the CLI.
+    """
+    import cProfile
+    import pstats
+
+    from repro.experiments import ALL_METHODS, Cell
+    from repro.experiments.runner import run_cell
+
+    if args.method not in ALL_METHODS:
+        raise SystemExit(
+            f"unknown method {args.method!r}; known: {', '.join(ALL_METHODS)}"
+        )
+    cell = Cell(
+        family=args.family,
+        n=args.n,
+        seed=args.seed,
+        method=args.method,
+        density=args.p,
+        epsilon=args.epsilon,
+        collect_utilization=args.full_stats,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    record = run_cell(cell)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(f"cell {record['key']}: {record['messages']} msgs, "
+          f"{record['rounds']} rounds, {record['wall_s']:.3f}s, "
+          f"valid={record['valid']}")
+    return 0 if record["valid"] else 1
+
+
 def cmd_info(args) -> int:
     from repro.congest.network import SyncNetwork
 
@@ -298,6 +357,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--workers", type=int, default=0,
                    help="worker processes (0/1 = serial)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-cell wall-clock budget; a cell past it is "
+                        "killed (pool unharmed), retried --retries times, "
+                        "then recorded with status=timeout")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts for a timed-out cell")
     p.add_argument("--out", default="results.jsonl",
                    help="JSON-lines result store (appended; completed "
                         "cells are skipped on re-run)")
@@ -341,6 +406,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=cmd_cycles)
+
+    p = subs.add_parser(
+        "profile",
+        help="cProfile one sweep cell (top cumulative entries)",
+    )
+    _graph_args(p)
+    p.add_argument("--method", default="kt1-delta-plus-one",
+                   metavar="METHOD",
+                   help="any sweep method (coloring or MIS)")
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--top", type=int, default=20,
+                   help="how many profile rows to print")
+    p.add_argument("--full-stats", action="store_true",
+                   help="profile the full-accounting path instead of "
+                        "stats-lite")
+    p.set_defaults(fn=cmd_profile)
 
     p = subs.add_parser("info", help="model constants for a graph")
     _graph_args(p)

@@ -82,8 +82,7 @@ class JohanssonListColoring(NodeAlgorithm):
             # guaranteed — e.g. two neighbors sharing one singleton list
             # would conflict forever — so defer to the caller's remnant.
             self.deferred = True
-            for u in self.undecided:
-                ctx.send(u, "rd", self.phase)
+            ctx.broadcast(self.undecided, "rd", self.phase)
             self._publish(ctx)
             return
         if not self.undecided:
@@ -93,8 +92,7 @@ class JohanssonListColoring(NodeAlgorithm):
         choices = sorted(self.palette)
         self.trial = choices[ctx.rng.randrange(len(choices))]
         self.resolved = False
-        for u in self.undecided:
-            ctx.send(u, "trial", self.phase, self.trial)
+        ctx.broadcast(self.undecided, "trial", self.phase, self.trial)
 
     def _try_resolve(self, ctx: Context) -> bool:
         """Send this phase's resolve once every expected trial arrived.
@@ -114,12 +112,10 @@ class JohanssonListColoring(NodeAlgorithm):
         )
         self.resolved = True
         if conflict:
-            for u in self.undecided:
-                ctx.send(u, "rf", p)
+            ctx.broadcast(self.undecided, "rf", p)
         else:
             self.color = self.trial
-            for u in self.undecided:
-                ctx.send(u, "rc", p, self.trial)
+            ctx.broadcast(self.undecided, "rc", p, self.trial)
             self._publish(ctx)
         return True
 

@@ -99,17 +99,21 @@ class AsyncNetwork(SyncNetwork):
         self._link_clock: dict[tuple[int, int], float] = {}
         self._now = 0.0
         self._current_round = 0
+        self._outbox.clear()
         activations = [0] * n
 
         for v in range(n):
             algorithms[v].setup(contexts[v])
-        # Initial activation: every node acts once at time zero.
+        # Initial activation: every node acts once at time zero.  Sends
+        # buffer in the shared outbox; one flush (submission order, so
+        # identical delay draws) pushes them onto the event heap.
         for v in range(n):
             ctx = contexts[v]
             ctx.round = 0
             ctx._send_allowed = True
             algorithms[v].on_round(ctx, [])
             ctx._send_allowed = False
+        self._flush_outbox()
 
         max_events = max_rounds * max(n, 1)
         events = 0
@@ -132,6 +136,8 @@ class AsyncNetwork(SyncNetwork):
                 ctx, [Msg(self._ids[env.sender], env.tag, env.fields)]
             )
             ctx._send_allowed = False
+            if self._outbox:
+                self._flush_outbox()
 
         unfinished = [v for v in range(n) if not contexts[v]._finished]
         if unfinished:

@@ -46,8 +46,9 @@ class NetworkInspector:
 
     def load_profile(self) -> dict:
         """Distribution of charged messages across sender vertices."""
+        by_sender = self.stats.by_sender   # property: materialize once
         counts = [
-            self.stats.by_sender.get(v, 0)
+            by_sender.get(v, 0)
             for v in range(self.net.graph.n)
         ]
         counts_sorted = sorted(counts)

@@ -18,7 +18,6 @@ utilized-edge accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.congest.ids import NodeId
@@ -26,36 +25,50 @@ from repro.errors import ModelViolationError
 from repro.util.bitstrings import BitString
 
 
-@dataclass(frozen=True)
 class Msg:
     """What a node actually receives: the sender's *ID* plus the payload.
 
     Engine-internal vertex indices never reach algorithm code; in KT-1 and
     above the port-to-neighbor-ID mapping is initial knowledge, so exposing
-    the sender ID is model-faithful.
+    the sender ID is model-faithful.  A ``__slots__`` class: the engine
+    builds one per delivered envelope, and frozen-dataclass construction
+    costs an ``object.__setattr__`` per field.
     """
 
-    sender_id: NodeId
-    tag: str
-    fields: tuple
+    __slots__ = ("sender_id", "tag", "fields")
+
+    def __init__(self, sender_id: NodeId, tag: str, fields: tuple):
+        self.sender_id = sender_id
+        self.tag = tag
+        self.fields = fields
 
     def __repr__(self) -> str:
         return f"Msg(from {self.sender_id!r} '{self.tag}' {self.fields!r})"
 
 
-@dataclass(frozen=True)
 class Envelope:
-    """A message in flight: engine-level routing plus the user payload."""
+    """A message in flight: engine-level routing plus the user payload.
 
-    sender: int          # vertex index (engine-internal)
-    receiver: int        # vertex index (engine-internal)
-    tag: str
-    fields: tuple
-    round_sent: int
-    words: int
-    #: NodeIds embedded in ``fields``, extracted once at send time so the
-    #: receive side never rescans the payload (Definition 2.3 accounting).
-    ids: tuple = ()
+    A plain ``__slots__`` class rather than a (frozen) dataclass: the
+    engine builds one per send on its hottest path, and frozen-dataclass
+    construction pays an ``object.__setattr__`` per field.
+    """
+
+    __slots__ = ("sender", "receiver", "tag", "fields", "round_sent",
+                 "words", "ids")
+
+    def __init__(self, sender: int, receiver: int, tag: str, fields: tuple,
+                 round_sent: int, words: int, ids: tuple = ()):
+        self.sender = sender          # vertex index (engine-internal)
+        self.receiver = receiver      # vertex index (engine-internal)
+        self.tag = tag
+        self.fields = fields
+        self.round_sent = round_sent
+        self.words = words
+        #: Distinct NodeIds embedded in ``fields``, extracted once at send
+        #: time so the receive side never rescans the payload
+        #: (Definition 2.3 accounting).
+        self.ids = ids
 
     def __repr__(self) -> str:
         return (
@@ -100,10 +113,14 @@ def _scan_field(field: Any, word_bits: int, ids: list) -> int:
 def analyze_payload(fields: tuple, word_bits: int) -> tuple[int, tuple]:
     """Word count plus every embedded NodeId, in a single recursive pass.
 
-    The engine calls this once per send and carries the extracted IDs on
-    the :class:`Envelope`, so neither the word accounting nor the
+    The engine calls this once per send (or once per *broadcast*, via
+    ``ctx.broadcast``) and carries the extracted IDs on the
+    :class:`Envelope`, so neither the word accounting nor the
     utilized-edge bookkeeping (send- or receive-side) ever rescans the
-    payload.
+    payload.  The returned ID tuple is deduplicated (first occurrence
+    order): a payload repeating phi(w) k times utilizes the same edge
+    {sender, w} once, so the duplicates would only trigger redundant
+    ``mark_utilized`` lookups on both the send and receive side.
     """
     if not fields:
         return 1, ()
@@ -111,16 +128,20 @@ def analyze_payload(fields: tuple, word_bits: int) -> tuple[int, tuple]:
     words = 0
     for f in fields:
         words += _scan_field(f, word_bits, ids)
+    if len(ids) > 1:
+        return words, tuple(dict.fromkeys(ids))
     return words, tuple(ids)
 
 
 def payload_words(fields: tuple, word_bits: int) -> int:
     """Number of Theta(log n)-bit words the payload occupies (tag is free:
-    a tag is O(1) protocol-constant bits, absorbed in the word slack)."""
-    if not fields:
-        return 1
-    ids: list = []
-    return sum(_scan_field(f, word_bits, ids) for f in fields)
+    a tag is O(1) protocol-constant bits, absorbed in the word slack).
+
+    Delegates to :func:`analyze_payload` — there is exactly one payload
+    scan in the codebase, so word accounting cannot drift from the
+    Definition 2.3 ID extraction.
+    """
+    return analyze_payload(fields, word_bits)[0]
 
 
 def iter_node_ids(fields: Any) -> Iterator[NodeId]:

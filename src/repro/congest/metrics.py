@@ -16,11 +16,29 @@ Lemma 2.4 (utilized edges = O(message complexity)) becomes a checkable
 invariant: each charged message contains at most O(1) IDs, so it can
 utilize at most a constant number of edges; tests assert
 ``len(utilized) <= utilization_constant * messages``.
+
+Hot-path representation (the engine charges every send through here, so
+the containers are flat):
+
+* utilized edges are stored as a ``set[int]`` of ``u * stride + v`` keys
+  (``u < v``; ``stride`` is the vertex count when known) and only decoded
+  back to ``(u, v)`` tuples by the :attr:`MessageStats.utilized` property;
+* per-sender message counts live in a preallocated ``array('q', n)``
+  instead of a dict (:attr:`MessageStats.by_sender` materializes the
+  dict view on demand);
+* :meth:`MessageStats.charge_send_batch` lets the engine account a whole
+  round of sends with one call instead of one per send.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
+
+#: Flat-key stride used when the vertex count is unknown (standalone
+#: MessageStats instances in tests/tools); any endpoint below 2^32 encodes
+#: injectively.
+_FALLBACK_STRIDE = 1 << 32
 
 
 @dataclass
@@ -44,38 +62,75 @@ class StageStats:
 
 
 class MessageStats:
-    """Cumulative statistics for a network (across all stages)."""
+    """Cumulative statistics for a network (across all stages).
 
-    def __init__(self) -> None:
+    ``n`` — the vertex count, when known — sizes the flat per-sender
+    counter array and the utilized-edge key stride.  A bare
+    ``MessageStats()`` still supports every operation (per-sender counts
+    fall back to a dict, utilized keys to a wide fixed stride).
+    """
+
+    def __init__(self, n: int = 0) -> None:
         self.sends = 0
         self.messages = 0
         self.words = 0
         self.rounds = 0
-        self.utilized: set[tuple[int, int]] = set()
         self.stages: list[StageStats] = []
         #: charged messages per protocol tag (who is spending the budget)
         self.by_tag: dict[str, int] = {}
-        #: charged messages per sender vertex (load distribution)
-        self.by_sender: dict[int, int] = {}
+        self._n = n
+        #: utilized-edge flat-key stride: key = u * stride + v with u < v.
+        self.utilized_stride = n if n > 0 else _FALLBACK_STRIDE
+        #: flat utilized-edge keys (engine hot path adds here directly).
+        self._utilized: set[int] = set()
+        if n > 0:
+            # array('q', bytes(8*n)) is n zeroed signed-64 counters.
+            self._sender_counts = array("q", bytes(8 * n))
+            self._sender_fallback = None
+        else:
+            self._sender_counts = None
+            self._sender_fallback: dict[int, int] = {}
 
     # -- charging ------------------------------------------------------------
 
     def charge_send(self, words: int, charged_messages: int,
                     tag: str = "", sender: int = -1) -> None:
+        """Account one logical send (per-send reference path)."""
         self.sends += 1
         self.words += words
         self.messages += charged_messages
         if tag:
             self.by_tag[tag] = self.by_tag.get(tag, 0) + charged_messages
         if sender >= 0:
-            self.by_sender[sender] = (
-                self.by_sender.get(sender, 0) + charged_messages
-            )
+            counts = self._sender_counts
+            if counts is not None:
+                counts[sender] += charged_messages
+            else:
+                fallback = self._sender_fallback
+                fallback[sender] = fallback.get(sender, 0) + charged_messages
         if self.stages:
             stage = self.stages[-1]
             stage.sends += 1
             stage.words += words
             stage.messages += charged_messages
+
+    def charge_send_batch(self, sends: int, words: int,
+                          messages: int) -> None:
+        """Account a whole batch of sends (one call per engine round).
+
+        Totals only — per-tag / per-sender / utilized breakdowns are
+        either skipped (stats-lite) or applied by the caller alongside
+        this call.  Count-identical to ``sends`` repetitions of
+        :meth:`charge_send`.
+        """
+        self.sends += sends
+        self.words += words
+        self.messages += messages
+        if self.stages:
+            stage = self.stages[-1]
+            stage.sends += sends
+            stage.words += words
+            stage.messages += messages
 
     def charge_round(self) -> None:
         self.charge_rounds(1)
@@ -86,7 +141,9 @@ class MessageStats:
             self.stages[-1].rounds += count
 
     def mark_utilized(self, u: int, v: int) -> None:
-        self.utilized.add((u, v) if u < v else (v, u))
+        if u > v:
+            u, v = v, u
+        self._utilized.add(u * self.utilized_stride + v)
 
     # -- stage management ----------------------------------------------------
 
@@ -101,9 +158,29 @@ class MessageStats:
                 return stage
         raise KeyError(name)
 
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def utilized(self) -> set[tuple[int, int]]:
+        """The utilized edges as ``(u, v)`` tuples (``u < v``), decoded
+        from the flat keys.  Built on demand — hot paths never touch
+        tuples."""
+        stride = self.utilized_stride
+        return {divmod(key, stride) for key in self._utilized}
+
     @property
     def utilized_count(self) -> int:
-        return len(self.utilized)
+        return len(self._utilized)
+
+    @property
+    def by_sender(self) -> dict[int, int]:
+        """Charged messages per sender vertex (load distribution),
+        materialized from the flat counter array (zero entries omitted,
+        matching the previous dict semantics)."""
+        counts = self._sender_counts
+        if counts is None:
+            return dict(self._sender_fallback)
+        return {v: c for v, c in enumerate(counts) if c}
 
     def summary(self) -> dict:
         return {
@@ -111,12 +188,12 @@ class MessageStats:
             "messages": self.messages,
             "words": self.words,
             "rounds": self.rounds,
-            "utilized_edges": len(self.utilized),
+            "utilized_edges": len(self._utilized),
             "stages": [s.as_dict() for s in self.stages],
         }
 
     def __repr__(self) -> str:
         return (
             f"MessageStats(messages={self.messages}, rounds={self.rounds}, "
-            f"utilized={len(self.utilized)})"
+            f"utilized={len(self._utilized)})"
         )

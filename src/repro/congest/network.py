@@ -13,11 +13,24 @@ between nodes outside the message-passing model.
 Accounting: every send is charged words (one word = Theta(log n) bits) and
 ``ceil(words / words_per_message)`` CONGEST messages; utilized edges follow
 Definition 2.3 (see :mod:`repro.congest.metrics`).
+
+Send path (hot): ``ctx.send`` / ``ctx.broadcast`` validate the receiver
+and append raw entries to a per-round *outbox*; once per round the engine
+flushes the outbox in submission order — analyzing each payload once
+(with an LRU memo for small ID-free payloads), scheduling delivery
+through a ring-buffer slot scheduler with flat ``sender*n + receiver``
+link-occupancy arrays, and accounting the whole round with a single
+:meth:`MessageStats.charge_send_batch` call.  ``ctx.broadcast(to_ids,
+tag, *fields)`` additionally shares one ``analyze_payload`` result across
+the entire fan-out.  All of this is count-identical to the per-send
+reference path (``eager_charges=True``): same sends, words, messages,
+rounds, and utilized edges on fixed seeds.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
@@ -60,6 +73,7 @@ class SyncNetwork:
         words_per_message: int = 4,
         record_trace: bool = False,
         collect_utilization: bool = True,
+        eager_charges: bool = False,
     ):
         if rho < 1:
             raise ReproError("SyncNetwork supports KT-rho for rho >= 1")
@@ -73,6 +87,11 @@ class SyncNetwork:
         #: per-sender breakdowns.  Message, word, send, and round counts
         #: are unaffected (they use the identical accounting path).
         self.collect_utilization = collect_utilization
+        #: Reference/debug mode: flush the outbox after every single
+        #: submit instead of once per round, exercising the per-send
+        #: accounting path.  Counts are identical either way (tests
+        #: assert it); batched is the default because it is faster.
+        self.eager_charges = eager_charges
         self.assignment = assignment or IdAssignment.random(graph.n, seed=seed)
         if len(self.assignment) != graph.n:
             raise ReproError("assignment size does not match graph size")
@@ -92,11 +111,19 @@ class SyncNetwork:
         self.knowledge: list[KTKnowledge] = build_knowledge(
             graph, rho, lambda v: self._ids[v]
         )
-        self.stats = MessageStats()
+        self.stats = MessageStats(graph.n)
         self.trace: Optional[ExecutionTrace] = (
             ExecutionTrace() if record_trace else None
         )
         self._stage_counter = 0
+        self._n = graph.n
+        #: Raw sends of the current round, flushed in submission order by
+        #: :meth:`_flush_outbox`: (sender, receiver, tag, fields, words,
+        #: ids) with words < 0 meaning "payload not yet analyzed".
+        self._outbox: list[tuple] = []
+        #: LRU-ish memo of analyze_payload results for small ID-free
+        #: payloads, keyed by the fields tuple (structural identity).
+        self._payload_cache: dict[tuple, tuple[int, tuple]] = {}
 
     # -- identity helpers (harness-side; not exposed to algorithms) ----------
 
@@ -146,12 +173,28 @@ class SyncNetwork:
             algorithms[v].setup(contexts[v])
 
         passive = all(a.passive_when_idle for a in algorithms)
-        # Messages in flight, keyed by delivery round.  Each directed edge
-        # carries one message per round (CONGEST); a w-word payload occupies
-        # ceil(w / words_per_message) consecutive slots on its link, and
-        # bursts to the same neighbor queue up behind each other.
-        self._pending: dict[int, list[Envelope]] = {}
-        self._link_free: dict[tuple[int, int], int] = {}
+        # Messages in flight live in a ring-buffer slot scheduler: slot
+        # ``r & mask`` holds the envelopes delivered at round r.  Each
+        # directed edge carries one message per round (CONGEST); a w-word
+        # payload occupies ceil(w / words_per_message) consecutive slots
+        # on its link, and bursts to the same neighbor queue up behind
+        # each other.  The ring grows (power of two) whenever a payload
+        # is scheduled beyond the current horizon, preserving the
+        # invariant that every pending round lies within ring_size of the
+        # current round — so slots never alias.
+        self._ring: list[list[Envelope]] = [[] for _ in range(64)]
+        self._ring_mask = 63
+        self._in_flight = 0
+        # Per-directed-link next-free round, flat-indexed sender*n +
+        # receiver (dict fallback for very large graphs where the n^2
+        # array would dominate memory).
+        if n * n <= self._LINK_ARRAY_MAX:
+            self._link_free = array("q", bytes(8 * n * n))
+            self._link_free_map = None
+        else:
+            self._link_free = None
+            self._link_free_map: dict[int, int] = {}
+        self._outbox.clear()
         round_index = 0
         converged = False
         collect = self.collect_utilization
@@ -179,8 +222,11 @@ class SyncNetwork:
                     f"stage '{stage_name}' exceeded {max_rounds} rounds"
                 )
             self._current_round = round_index
-            arriving = self._pending.pop(round_index, None)
-            if arriving is not None:
+            slot_index = round_index & self._ring_mask
+            arriving = self._ring[slot_index]
+            if arriving:
+                self._ring[slot_index] = []
+                self._in_flight -= len(arriving)
                 for env in arriving:
                     buf = inbox_buffers[env.receiver]
                     if not buf:
@@ -210,8 +256,10 @@ class SyncNetwork:
             for v in touched:
                 inbox_buffers[v].clear()
             touched.clear()
+            if self._outbox:
+                self._flush_outbox()
             all_done = all(c._finished for c in contexts)
-            if not self._pending:
+            if not self._in_flight:
                 if all_done:
                     converged = True
                     round_index += 1
@@ -226,8 +274,15 @@ class SyncNetwork:
                     )
                 round_index += 1
             elif passive:
-                # Idle nodes never act on silence: jump to the next delivery.
-                round_index = min(self._pending)
+                # Idle nodes never act on silence: jump to the next
+                # delivery — the nearest non-empty ring slot (guaranteed
+                # within one ring length while messages are in flight).
+                ring = self._ring
+                mask = self._ring_mask
+                r = round_index + 1
+                while not ring[r & mask]:
+                    r += 1
+                round_index = r
             else:
                 round_index += 1
 
@@ -246,6 +301,11 @@ class SyncNetwork:
 
     # -- engine internals ------------------------------------------------------
 
+    #: Largest n*n for which per-link occupancy uses a flat array (above
+    #: it, a dict keyed by the same flat index — the array would cost
+    #: 8 * n^2 bytes per stage).
+    _LINK_ARRAY_MAX = 1 << 21
+
     def _submit_send(self, sender: int, to_id: NodeId, tag: str,
                      fields: tuple) -> None:
         value = id_value(to_id)
@@ -259,67 +319,200 @@ class SyncNetwork:
                 f"vertex {sender} tried to send to non-neighbor {receiver}; "
                 "CONGEST only delivers over edges"
             )
-        # One pass over the payload computes the word count AND extracts
-        # the embedded NodeIds (previously: one payload_words scan plus two
-        # iter_node_ids scans, one per side).
-        words, payload_ids = analyze_payload(fields, self.word_bits)
-        charged = max(1, -(-words // self.words_per_message))
-        if self.collect_utilization:
-            self.stats.charge_send(words, charged, tag=tag, sender=sender)
-            # Utilization, Definition 2.3: the transport edge ...
-            self.stats.mark_utilized(sender, receiver)
-            # ... plus every edge {sender, w} for an ID phi(w) it ships.
-            for nid in payload_ids:
-                w = self._vertex_by_value.get(id_value(nid))
-                if w is not None and w != sender \
-                        and self.graph.has_edge(sender, w):
-                    self.stats.mark_utilized(sender, w)
-        else:
-            # Stats-lite: identical message/word/send counts, no per-tag /
-            # per-sender / utilized-edge breakdowns.
-            self.stats.charge_send(words, charged)
-        env = Envelope(
-            sender=sender,
-            receiver=receiver,
-            tag=tag,
-            fields=fields,
-            round_sent=self._current_round,
-            words=words,
-            ids=payload_ids,
-        )
-        self._schedule(env, charged)
-        if self.trace is not None:
-            self.trace.record(
-                self._current_round, sender, receiver, tag, fields,
-                self.vertex_of_value,
+        self._outbox.append((sender, receiver, tag, fields, -1, ()))
+        if self.eager_charges:
+            self._flush_outbox()
+
+    def _submit_broadcast(self, sender: int, to_ids, tag: str,
+                          fields: tuple) -> None:
+        """Fan one payload out to several neighbors (``ctx.broadcast``).
+
+        Count-identical to submitting one send per recipient in the same
+        order; the payload is analyzed once and the shared (words, ids)
+        result rides every outbox entry.
+        """
+        words, payload_ids = self._analyze(fields)
+        vertex_of = self._vertex_by_value
+        has_edge = self.graph.has_edge
+        outbox = self._outbox
+        for to_id in to_ids:
+            receiver = vertex_of.get(id_value(to_id))
+            if receiver is None:
+                raise UnknownNeighborError(
+                    f"no node with ID value {id_value(to_id)} exists"
+                )
+            if not has_edge(sender, receiver):
+                raise ModelViolationError(
+                    f"vertex {sender} tried to send to non-neighbor "
+                    f"{receiver}; CONGEST only delivers over edges"
+                )
+            outbox.append((sender, receiver, tag, fields, words, payload_ids))
+        if self.eager_charges and outbox:
+            self._flush_outbox()
+
+    #: Exact field types the payload memo may key on.  Restricting to
+    #: these small ID-free scalars keeps the memo sound: tuple equality
+    #: must not cross types (1 == 1.0 == Decimal(1), so an equal-but-
+    #: unencodable value could otherwise hit a cached entry and bypass
+    #: analyze_payload's validation), and NodeId-bearing results must
+    #: not outlive comparisons against later ID objects with the same
+    #: value.  bool/int crossings (True == 1) are safe: both encode to
+    #: the same word count.
+    _MEMO_FIELD_TYPES = frozenset((int, bool, str, type(None)))
+
+    def _analyze(self, fields: tuple) -> tuple[int, tuple]:
+        """:func:`analyze_payload` behind a small structural-identity memo.
+
+        The memo is wholesale-cleared when full — the hot payloads (empty
+        tuples, small control ints) are re-inserted within a round.
+        """
+        memo_types = self._MEMO_FIELD_TYPES
+        for f in fields:
+            if type(f) not in memo_types:
+                return analyze_payload(fields, self.word_bits)
+        cache = self._payload_cache
+        hit = cache.get(fields)
+        if hit is not None:
+            return hit
+        result = analyze_payload(fields, self.word_bits)
+        if len(cache) >= 1024:
+            cache.clear()
+        cache[fields] = result
+        return result
+
+    def _flush_outbox(self) -> None:
+        """Charge, schedule, and (optionally) trace the buffered sends.
+
+        Runs once per round (or per submit under ``eager_charges``);
+        entries are processed in submission order, so link occupancy and
+        delivery order are identical to the per-send path.
+        """
+        outbox = self._outbox
+        stats = self.stats
+        collect = self.collect_utilization
+        wpm = self.words_per_message
+        n = self._n
+        analyze = self._analyze
+        trace = self.trace
+        schedule = self._schedule
+        round_sent = self._current_round
+        total_words = 0
+        total_msgs = 0
+        if collect:
+            by_tag = stats.by_tag
+            sender_counts = stats._sender_counts
+            utilized = stats._utilized
+            vertex_of = self._vertex_by_value
+            has_edge = self.graph.has_edge
+        for sender, receiver, tag, fields, words, payload_ids in outbox:
+            if words < 0:
+                try:
+                    words, payload_ids = analyze(fields)
+                except ModelViolationError as exc:
+                    # Validation runs at flush, a whole round after the
+                    # offending ctx.send — re-raise with the sender/tag
+                    # so the protocol bug is attributable.
+                    raise ModelViolationError(
+                        f"invalid payload sent by vertex {sender} "
+                        f"(tag {tag!r}): {exc}"
+                    ) from exc
+            charged = 1 if words <= wpm else -(-words // wpm)
+            total_words += words
+            total_msgs += charged
+            if collect:
+                if tag:
+                    by_tag[tag] = by_tag.get(tag, 0) + charged
+                sender_counts[sender] += charged
+                # Utilization, Definition 2.3: the transport edge ...
+                utilized.add(sender * n + receiver if sender < receiver
+                             else receiver * n + sender)
+                # ... plus every edge {sender, w} for an ID phi(w) shipped.
+                for nid in payload_ids:
+                    w = vertex_of.get(nid._value)
+                    if w is not None and w != sender \
+                            and has_edge(sender, w):
+                        utilized.add(sender * n + w if sender < w
+                                     else w * n + sender)
+            schedule(
+                Envelope(sender, receiver, tag, fields, round_sent,
+                         words, payload_ids),
+                charged,
             )
+            if trace is not None:
+                trace.record(
+                    round_sent, sender, receiver, tag, fields,
+                    self.vertex_of_value,
+                )
+        stats.charge_send_batch(len(outbox), total_words, total_msgs)
+        outbox.clear()
 
     def _schedule(self, env: Envelope, charged: int) -> None:
         """Synchronous delivery: one CONGEST message per link per round.
 
         Bursts to the same neighbor queue behind each other and a k-message
-        payload holds the link for k rounds.  The asynchronous engine
-        overrides this with random finite delays.
+        payload holds the link for k rounds.  Link occupancy is a flat
+        ``sender*n + receiver`` array; deliveries land in the ring-buffer
+        slot for their round.  The asynchronous engine overrides this
+        with random finite delays.
         """
-        link = (env.sender, env.receiver)
-        start = max(self._current_round + 1, self._link_free.get(link, 0))
+        cur = self._current_round
+        key = env.sender * self._n + env.receiver
+        link_free = self._link_free
+        if link_free is not None:
+            free = link_free[key]
+        else:
+            free = self._link_free_map.get(key, 0)
+        start = free if free > cur + 1 else cur + 1
         deliver_at = start + charged - 1
-        self._link_free[link] = deliver_at + 1
-        self._pending.setdefault(deliver_at, []).append(env)
+        if link_free is not None:
+            link_free[key] = deliver_at + 1
+        else:
+            self._link_free_map[key] = deliver_at + 1
+        if deliver_at - cur > self._ring_mask + 1:
+            self._grow_ring(deliver_at - cur)
+        self._ring[deliver_at & self._ring_mask].append(env)
+        self._in_flight += 1
+
+    def _grow_ring(self, horizon: int) -> None:
+        """Double the delivery ring until ``horizon`` rounds fit.
+
+        Every pending round r satisfies cur < r <= cur + old_size, so its
+        absolute value is recoverable from its old slot index and re-slots
+        uniquely in the bigger ring.
+        """
+        old = self._ring
+        old_size = len(old)
+        new_size = old_size
+        while new_size < horizon:
+            new_size *= 2
+        new_ring: list[list[Envelope]] = [[] for _ in range(new_size)]
+        cur = self._current_round
+        new_mask = new_size - 1
+        for i, slot in enumerate(old):
+            if slot:
+                r = cur + 1 + ((i - cur - 1) % old_size)
+                new_ring[r & new_mask] = slot
+        self._ring = new_ring
+        self._ring_mask = new_mask
 
     def _register_received_ids(self, receiver: int,
                                inbox: list[Envelope]) -> None:
         """Definition 2.3 receive-side utilization.
 
-        Uses the NodeIds extracted at send time (``Envelope.ids``); ID-free
-        payloads cost nothing here.
+        Uses the (deduplicated) NodeIds extracted at send time
+        (``Envelope.ids``); ID-free payloads cost nothing here.
         """
+        n = self._n
+        utilized = self.stats._utilized
+        vertex_of = self._vertex_by_value
+        has_edge = self.graph.has_edge
         for env in inbox:
             for nid in env.ids:
-                w = self._vertex_by_value.get(id_value(nid))
+                w = vertex_of.get(nid._value)
                 if w is not None and w != receiver \
-                        and self.graph.has_edge(receiver, w):
-                    self.stats.mark_utilized(receiver, w)
+                        and has_edge(receiver, w):
+                    utilized.add(receiver * n + w if receiver < w
+                                 else w * n + receiver)
 
     # -- conveniences -----------------------------------------------------------
 

@@ -10,6 +10,9 @@ instance.  The node's window on the world is its :class:`Context`:
   from the previous stage's output by the protocol driver);
 * ``ctx.rng`` — private randomness;
 * ``ctx.send(to_id, tag, *fields)`` — send over the edge to a neighbor;
+* ``ctx.broadcast(to_ids, tag, *fields)`` — send the same payload to
+  several neighbors; count-identical to a ``ctx.send`` loop, but the
+  engine analyzes the payload once for the whole fan-out;
 * ``ctx.done(output)`` — mark this node finished with a final output
   (the node keeps receiving and may keep answering messages; the stage
   ends at global quiescence: all nodes done and no messages in flight).
@@ -84,6 +87,25 @@ class Context:
                 "send() is only allowed inside on_round(), not setup()"
             )
         self._network._submit_send(self._vertex, to_id, tag, tuple(fields))
+
+    def broadcast(self, to_ids, tag: str, *fields) -> None:
+        """Send one payload to every neighbor in ``to_ids`` (fan-out).
+
+        Semantically identical to ``for u in to_ids: ctx.send(u, tag,
+        *fields)`` — same sends, charges, per-link scheduling, and
+        utilized edges, in the same order — but the engine analyzes the
+        payload once and shares the (word count, embedded IDs) result
+        across the whole fan-out.  The idiomatic path for the
+        neighbor-broadcast rounds that dominate symmetry-breaking
+        protocols.
+        """
+        if not self._send_allowed:
+            raise ModelViolationError(
+                "broadcast() is only allowed inside on_round(), not setup()"
+            )
+        self._network._submit_broadcast(
+            self._vertex, to_ids, tag, tuple(fields)
+        )
 
     def done(self, output: Any = None) -> None:
         """Declare this node finished with the given stage output."""

@@ -55,6 +55,10 @@ class _SimContext:
     def send(self, to_id: NodeId, tag: str, *fields) -> None:
         self.captured.append((to_id, tag, tuple(fields)))
 
+    def broadcast(self, to_ids, tag: str, *fields) -> None:
+        payload = tuple(fields)
+        self.captured.extend((to_id, tag, payload) for to_id in to_ids)
+
     def done(self, output: Any = None) -> None:
         self._finished = True
         self._output = output

@@ -33,7 +33,12 @@ from repro.experiments.spec import (
     Cell,
     SweepSpec,
 )
-from repro.experiments.stats import fit_exponent, growth_exponents, mean_ci
+from repro.experiments.stats import (
+    fit_exponent,
+    growth_exponents,
+    mean_ci,
+    ok_records,
+)
 from repro.experiments.store import ResultStore
 
 __all__ = [
@@ -47,6 +52,7 @@ __all__ = [
     "fit_exponent",
     "growth_exponents",
     "mean_ci",
+    "ok_records",
     "render_report",
     "run_cell",
     "run_sweep",

@@ -16,6 +16,7 @@ from repro.experiments.stats import (
     WORKLOAD_KEYS,
     fit_exponent,
     growth_exponents,
+    ok_records,
 )
 
 
@@ -28,8 +29,10 @@ def summarize(records: Sequence[dict]) -> list[dict]:
 
     One row per (family, method, engine, density, epsilon) population —
     records from sweeps with different knobs appended to the same store
-    are reported separately, never pooled into one fit.
+    are reported separately, never pooled into one fit.  Timed-out /
+    errored cells are excluded throughout (they carry no counts).
     """
+    records = ok_records(records)
     message_rows = growth_exponents(records, y_field="messages")
     round_rows = {
         _workload_key(r): r["exponent"]
@@ -85,6 +88,7 @@ def bench_payload(records: Sequence[dict],
     Future PRs diff this against their own sweep to see whether the
     engine got faster or the algorithms chattier.
     """
+    records = ok_records(records)
     if summary is None:
         summary = summarize(records)
     return {

@@ -6,12 +6,23 @@ under the requested engine, and return a flat JSON-serializable record.
 through a ``multiprocessing`` pool (or serially for ``workers <= 1``),
 appending each record to a :class:`~repro.experiments.store.ResultStore`
 as it completes and skipping cells the store already holds.
+
+Timeouts: a spec with ``timeout_s`` runs each cell in its own worker
+process supervised by a small process farm (at most ``workers`` alive at
+once).  A cell still running at its deadline is terminated — the farm and
+the other in-flight cells are unaffected — retried up to ``retries``
+times, and finally recorded with ``status="timeout"`` (``valid=False``).
+Aggregation (:mod:`repro.experiments.stats`) excludes non-``ok`` records
+from exponent fits, and :meth:`ResultStore.completed_keys` omits them
+from the resume set so a re-run attempts them again.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import time
+from collections import deque
 from typing import Callable, Optional
 
 from repro import api
@@ -21,13 +32,33 @@ from repro.experiments.store import ResultStore
 from repro.graphs.generators import family_graph
 
 
+def _method_extras(cell: Cell, result) -> dict:
+    """Method-specific detail columns for the result record.
+
+    These are the paper-specific quantities the hand-rolled benchmark
+    sweeps used to re-derive (Lemma 3.2 recursion levels, deferral
+    counts, Konrad-Lemma-1 remnant degrees); surfacing them here lets
+    those benchmarks run through ``run_cell`` instead.
+    """
+    detail = result.detail
+    if cell.method == "kt1-delta-plus-one":
+        return {"levels": detail.num_levels,
+                "deferred": detail.deferred_total}
+    if cell.method == "kt2-sampled-greedy":
+        return {"sampled": detail.sampled,
+                "remnant_deg": detail.remnant_max_degree_local,
+                "remnant_size": detail.remnant_size}
+    return {}
+
+
 def run_cell(cell: Cell) -> dict:
     """Execute one sweep cell and return its result record.
 
     The record is flat and JSON-serializable: identity fields (key,
     family, n, seed, method, engine), the graph's m, the accounting
     (messages, words, rounds, utilized — ``None`` in stats-lite mode),
-    validity, and wall-clock seconds.
+    validity, ``status="ok"``, wall-clock seconds, and method-specific
+    extras (see :func:`_method_extras`).
     """
     if cell.engine == "async" and cell.method not in ASYNC_METHODS:
         # SweepSpec rejects these at construction; a hand-built Cell gets
@@ -57,6 +88,7 @@ def run_cell(cell: Cell) -> dict:
             collect_utilization=cell.collect_utilization,
         )
         extra = {"mis_size": result.size}
+    extra.update(_method_extras(cell, result))
     report = result.report
     record = {
         "key": cell.key(),
@@ -73,10 +105,126 @@ def run_cell(cell: Cell) -> dict:
         "utilized": (report.utilized_edges
                      if cell.collect_utilization else None),
         "valid": result.valid,
+        "status": "ok",
         "wall_s": round(time.perf_counter() - t0, 6),
     }
     record.update(extra)
     return record
+
+
+def _failure_record(cell: Cell, status: str, wall_s: float = 0.0,
+                    attempts: int = 1,
+                    error: Optional[str] = None) -> dict:
+    """A record for a cell that produced no measurement."""
+    rec = {
+        "key": cell.key(),
+        "family": cell.family,
+        "n": cell.n,
+        "seed": cell.seed,
+        "method": cell.method,
+        "engine": cell.engine,
+        "density": cell.density,
+        "epsilon": cell.epsilon,
+        "valid": False,
+        "status": status,
+        "attempts": attempts,
+        "wall_s": round(wall_s, 6),
+    }
+    if error is not None:
+        rec["error"] = error
+    return rec
+
+
+def _cell_worker(conn, cell: Cell) -> None:
+    """Farm worker: run one cell, ship the record (or an error record)."""
+    try:
+        record = run_cell(cell)
+    except Exception as exc:  # recorded, not raised: one bad cell must
+        # not take the whole supervised sweep down.
+        record = _failure_record(cell, "error", error=repr(exc))
+    try:
+        conn.send(record)
+    finally:
+        conn.close()
+
+
+def _run_cells_with_timeout(
+    cells: list[Cell],
+    workers: int,
+    record: Callable[[dict], None],
+    poll_interval: float = 0.02,
+) -> None:
+    """Process farm with per-cell deadlines.
+
+    Keeps at most ``workers`` single-cell processes alive; a process past
+    its cell's deadline is terminated (the farm keeps running) and the
+    cell is re-queued while it has retries left.
+    """
+    workers = max(1, workers)
+    pending: deque[tuple[Cell, int]] = deque((c, 0) for c in cells)
+    running: list[list] = []   # [proc, conn, cell, attempt, deadline, t0]
+    while pending or running:
+        while pending and len(running) < workers:
+            cell, attempt = pending.popleft()
+            recv_conn, send_conn = multiprocessing.Pipe(duplex=False)
+            proc = multiprocessing.Process(
+                target=_cell_worker, args=(send_conn, cell), daemon=True
+            )
+            proc.start()
+            send_conn.close()
+            t0 = time.monotonic()
+            budget = cell.timeout_s if cell.timeout_s is not None else math.inf
+            running.append([proc, recv_conn, cell, attempt, t0 + budget, t0])
+        now = time.monotonic()
+        progressed = False
+        still: list[list] = []
+        for item in running:
+            proc, conn, cell, attempt, deadline, t0 = item
+            if conn.poll():
+                try:
+                    rec = conn.recv()
+                    if rec.get("status", "ok") != "ok":
+                        # The worker cannot know which attempt it was or
+                        # when it started; stamp the supervisor's view so
+                        # a retry failure is not misreported as a
+                        # zero-second first attempt.
+                        rec["attempts"] = attempt + 1
+                        rec["wall_s"] = round(now - t0, 6)
+                except EOFError:
+                    rec = _failure_record(
+                        cell, "error", wall_s=now - t0,
+                        attempts=attempt + 1, error="worker died mid-send",
+                    )
+                conn.close()
+                proc.join()
+                record(rec)
+                progressed = True
+            elif not proc.is_alive():
+                conn.close()
+                proc.join()
+                record(_failure_record(
+                    cell, "error", wall_s=now - t0, attempts=attempt + 1,
+                    error=f"worker exited with code {proc.exitcode} "
+                          "without a result",
+                ))
+                progressed = True
+            elif now >= deadline:
+                proc.terminate()
+                proc.join()
+                conn.close()
+                if attempt < cell.retries:
+                    pending.append((cell, attempt + 1))
+                else:
+                    record(_failure_record(
+                        cell, "timeout", wall_s=now - t0,
+                        attempts=attempt + 1,
+                    ))
+                progressed = True
+            else:
+                still.append(item)
+        running = still
+        if not progressed and running:
+            time.sleep(poll_interval)
 
 
 def run_sweep(
@@ -91,6 +239,9 @@ def run_sweep(
     ``multiprocessing.Pool`` of that many workers executes cells
     concurrently (cells are independent fixed-seed runs, so completion
     order does not affect the stored results beyond line order).
+    Specs with a ``timeout_s`` instead run under the supervised process
+    farm (:func:`_run_cells_with_timeout`), which can kill and retry
+    individual cells without poisoning the rest of the sweep.
     Returns the newly produced records; previously stored cells are
     skipped, which is what makes an interrupted sweep resumable.
     """
@@ -105,6 +256,10 @@ def run_sweep(
             store.append(rec)
         if progress is not None:
             progress(rec, len(fresh), total)
+
+    if any(c.timeout_s is not None for c in cells):
+        _run_cells_with_timeout(cells, workers, _record)
+        return fresh
 
     if workers <= 1 or total <= 1:
         for cell in cells:

@@ -13,7 +13,7 @@ JSON-lines store for resume: a completed key is never re-run.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.errors import ReproError
 
@@ -45,7 +45,11 @@ ASYNC_METHODS = ("kt1-delta-plus-one",)
 
 @dataclass(frozen=True)
 class Cell:
-    """One experiment: a (family, n, seed, method, engine) point."""
+    """One experiment: a (family, n, seed, method, engine) point.
+
+    ``timeout_s`` / ``retries`` do not participate in :meth:`key` — they
+    change how patiently a cell is run, not what it measures.
+    """
 
     family: str
     n: int
@@ -55,6 +59,10 @@ class Cell:
     density: float = 0.2
     epsilon: float = 0.5
     collect_utilization: bool = False
+    #: Wall-clock budget per attempt (None = unlimited, run in-pool).
+    timeout_s: Optional[float] = None
+    #: Extra attempts after a timed-out one before recording failure.
+    retries: int = 0
 
     def key(self) -> str:
         """Stable identity for the resume store.
@@ -94,6 +102,14 @@ class SweepSpec:
     density: float = 0.2
     epsilon: float = 0.5
     collect_utilization: bool = False
+    #: Per-cell wall-clock budget: a cell still running after ``timeout_s``
+    #: seconds is killed (its worker process terminated, the pool intact),
+    #: retried up to ``retries`` times, and finally recorded with
+    #: ``status="timeout"`` — aggregation excludes such records from
+    #: exponent fits, and the store's resume set skips them so a re-run
+    #: attempts them again.
+    timeout_s: Optional[float] = None
+    retries: int = 0
 
     def __post_init__(self):
         for m in self.methods:
@@ -113,6 +129,10 @@ class SweepSpec:
         if (not self.sizes or not self.seeds or not self.families
                 or not self.methods):
             raise ReproError("sweep spec has an empty axis")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ReproError("timeout_s must be positive (or None)")
+        if self.retries < 0:
+            raise ReproError("retries must be >= 0")
 
     def cells(self) -> Iterator[Cell]:
         """Expand the matrix in deterministic order."""
@@ -129,6 +149,8 @@ class SweepSpec:
                             density=self.density,
                             epsilon=self.epsilon,
                             collect_utilization=self.collect_utilization,
+                            timeout_s=self.timeout_s,
+                            retries=self.retries,
                         )
 
     @property

@@ -59,6 +59,17 @@ def mean_ci(values: Sequence[float],
 WORKLOAD_KEYS = ("family", "method", "engine", "density", "epsilon")
 
 
+def ok_records(records: Sequence[dict]) -> list[dict]:
+    """The measurable subset of a record set.
+
+    Timed-out / errored cells (``status != "ok"``) carry no counts, so
+    every aggregation starts by dropping them — they must not poison an
+    exponent fit or a mean.  Records from older stores without a status
+    field are treated as ok.
+    """
+    return [r for r in records if r.get("status", "ok") == "ok"]
+
+
 def group_records(records: Sequence[dict],
                   keys: tuple[str, ...]) -> dict[tuple, list[dict]]:
     """Group result records by a tuple of record fields (missing fields
@@ -82,7 +93,7 @@ def growth_exponents(records: Sequence[dict],
     """
     rows = []
     for group_key, recs in sorted(
-        group_records(records, WORKLOAD_KEYS).items(),
+        group_records(ok_records(records), WORKLOAD_KEYS).items(),
         key=lambda kv: tuple(repr(k) for k in kv[0]),
     ):
         by_n = group_records(recs, ("n",))

@@ -62,10 +62,21 @@ class ResultStore:
     def load(self) -> list[dict]:
         return list(self.iter_records())
 
-    def completed_keys(self) -> set[str]:
-        """Keys of every cell already stored (the resume set)."""
+    def completed_keys(self, include_failed: bool = False) -> set[str]:
+        """Keys of every cell already stored (the resume set).
+
+        Records with a non-``"ok"`` status (timeouts, worker errors) are
+        omitted by default so a resumed sweep attempts those cells again;
+        a later successful record for the same key supersedes the failed
+        line at aggregation time (non-``ok`` records never enter fits).
+        """
+        if include_failed:
+            return {
+                rec["key"] for rec in self.iter_records() if "key" in rec
+            }
         return {
-            rec["key"] for rec in self.iter_records() if "key" in rec
+            rec["key"] for rec in self.iter_records()
+            if "key" in rec and rec.get("status", "ok") == "ok"
         }
 
     def __len__(self) -> int:

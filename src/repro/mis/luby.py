@@ -62,8 +62,7 @@ class LubyMIS(NodeAlgorithm):
             self._publish(ctx)
             return
         self.priority = ctx.rng.randrange(max(ctx.n, 2) ** 3)
-        for u in self.undecided:
-            ctx.send(u, "prio", self.phase, self.priority)
+        ctx.broadcast(self.undecided, "prio", self.phase, self.priority)
         self.sent_join = False
         self.sent_fate = False
 
@@ -78,8 +77,7 @@ class LubyMIS(NodeAlgorithm):
         wins = all(me > (prios[u], u) for u in self.undecided)
         self.sent_join = True
         self.joined_now = wins
-        for u in self.undecided:
-            ctx.send(u, "join", p, wins)
+        ctx.broadcast(self.undecided, "join", p, wins)
         return True
 
     def _try_fate(self, ctx: Context) -> bool:
@@ -95,8 +93,7 @@ class LubyMIS(NodeAlgorithm):
             self.state = "joined"
         elif retired:
             self.state = "out"
-        for u in self.undecided:
-            ctx.send(u, "fate", p, self.state is not None)
+        ctx.broadcast(self.undecided, "fate", p, self.state is not None)
         if self.state is not None:
             self._publish(ctx)
         return True

@@ -210,9 +210,8 @@ class BoruvkaPhase(NodeAlgorithm):
                 self.wave += 1
                 self.hint = slid
                 self.indices = self._indices_for(slid)
-                for c in self.children:
-                    ctx.send(c, "query", self.frag, self.coin, True,
-                             slid, self.wave)
+                ctx.broadcast(self.children, "query", self.frag,
+                              self.coin, True, slid, self.wave)
                 self.vector = self._my_slice(ctx)
                 self.waiting = len(self.children)
                 return
@@ -221,8 +220,7 @@ class BoruvkaPhase(NodeAlgorithm):
         a, b, level = found
         self.found_outgoing = True
         self.hint_next = min(level + 3, self.params.levels - 1)
-        for c in self.children:
-            ctx.send(c, "announce", a, b)
+        ctx.broadcast(self.children, "announce", a, b)
         self._maybe_offer(ctx, a, b)
 
     def _maybe_offer(self, ctx: Context, a: int, b: int) -> None:
@@ -263,21 +261,20 @@ class BoruvkaPhase(NodeAlgorithm):
                 self._root_decode(ctx)
             elif needs:
                 self.indices = self._indices_for(self.hint)
-                for c in self.children:
-                    ctx.send(c, "query", self.frag, coin, True,
-                             self.hint, self.wave)
+                ctx.broadcast(self.children, "query", self.frag, coin,
+                              True, self.hint, self.wave)
                 self.vector = self._my_slice(ctx)
                 self.waiting = len(self.children)
             else:
-                for c in self.children:
-                    ctx.send(c, "query", self.frag, coin, False, 0, 0)
+                ctx.broadcast(self.children, "query", self.frag, coin,
+                              False, 0, 0)
         for msg in inbox:
             tag = msg.tag
             if tag == "query":
                 frag, coin, needs, hint, wave = msg.fields
                 self._set_fragment(ctx, frag, coin)
-                for c in self.children:
-                    ctx.send(c, "query", frag, coin, needs, hint, wave)
+                ctx.broadcast(self.children, "query", frag, coin, needs,
+                              hint, wave)
                 if needs:
                     self.wave = wave
                     self.indices = self._indices_for(hint)
@@ -295,8 +292,7 @@ class BoruvkaPhase(NodeAlgorithm):
                     self._subtree_complete(ctx)
             elif tag == "announce":
                 a, b = msg.fields
-                for c in self.children:
-                    ctx.send(c, "announce", a, b)
+                ctx.broadcast(self.children, "announce", a, b)
                 self._maybe_offer(ctx, a, b)
             elif tag == "offer":
                 frag_f, coin_f = msg.fields

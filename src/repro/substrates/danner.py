@@ -79,8 +79,7 @@ class DannerLocalStage(NodeAlgorithm):
                     # risk isolating this node in H0.
                     kept = list(ctx.neighbor_ids)
             self.active.update(kept)
-            for u in kept:
-                ctx.send(u, "keep")
+            ctx.broadcast(kept, "keep")
         for msg in inbox:
             self.active.add(msg.sender_id)
         ctx.done(frozenset(self.active))

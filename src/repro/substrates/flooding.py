@@ -67,8 +67,7 @@ class FloodLeaderElect(NodeAlgorithm):
                 self.parent = msg.sender_id
                 improved = True
         if improved:
-            for u in self.active:
-                ctx.send(u, "lead", self.best)
+            ctx.broadcast(self.active, "lead", self.best)
         self._publish(ctx)
 
 
@@ -118,12 +117,10 @@ class TreeBroadcast(NodeAlgorithm):
             self.payload = self._root_payload(ctx)
             if self.payload is None:
                 raise ProtocolError("TreeBroadcast root has no payload")
-            for c in self.children:
-                ctx.send(c, "bcast", self.payload)
+            ctx.broadcast(self.children, "bcast", self.payload)
         for msg in inbox:
             (self.payload,) = msg.fields
-            for c in self.children:
-                ctx.send(c, "bcast", self.payload)
+            ctx.broadcast(self.children, "bcast", self.payload)
         ctx.done(self.payload)
 
 
@@ -149,7 +146,7 @@ class ChunkedTreeBroadcast(NodeAlgorithm):
         self.parent = ctx.input.get("parent")
         self.children = ctx.input.get("children", frozenset())
         self.payload = ctx.input.get("payload")
-        self.received = BitString(())
+        self.received: list[BitString] = []
 
     def _root_payload(self, ctx: Context):
         return self.payload
@@ -159,8 +156,7 @@ class ChunkedTreeBroadcast(NodeAlgorithm):
         pieces = [payload[i:i + size] for i in range(0, len(payload), size)]
         for i, piece in enumerate(pieces):
             tag = "bce" if i == len(pieces) - 1 else "bc"
-            for c in self.children:
-                ctx.send(c, tag, piece)
+            ctx.broadcast(self.children, tag, piece)
 
     def on_round(self, ctx: Context, inbox) -> None:
         if ctx.round == 0 and self.parent is None:
@@ -172,12 +168,13 @@ class ChunkedTreeBroadcast(NodeAlgorithm):
             return
         for msg in inbox:
             (piece,) = msg.fields
-            self.received = self.received.concat(piece)
+            self.received.append(piece)
             tag = msg.tag
-            for c in self.children:
-                ctx.send(c, tag, piece)
+            ctx.broadcast(self.children, tag, piece)
             if tag == "bce":
-                self.payload = self.received
+                # One-pass reassembly; incremental concat per arriving
+                # chunk would be quadratic in the payload length.
+                self.payload = BitString.concat_all(self.received)
         ctx.done(self.payload)
 
 
@@ -223,8 +220,7 @@ class TreeAggregate(NodeAlgorithm):
     def _complete_subtree(self, ctx: Context) -> None:
         if self.parent is None:
             self.total = self.acc
-            for c in self.children:
-                ctx.send(c, "echo", self.total)
+            ctx.broadcast(self.children, "echo", self.total)
         else:
             ctx.send(self.parent, "agg", self.acc)
 
@@ -238,8 +234,7 @@ class TreeAggregate(NodeAlgorithm):
                     self._complete_subtree(ctx)
             elif msg.tag == "echo":
                 (self.total,) = msg.fields
-                for c in self.children:
-                    ctx.send(c, "echo", self.total)
+                ctx.broadcast(self.children, "echo", self.total)
         if ctx.round == 0 and self.waiting == 0:
             self._complete_subtree(ctx)
         self._publish(ctx)
@@ -267,8 +262,7 @@ class FloodPayload(NodeAlgorithm):
                 (self.payload,) = msg.fields
                 fresh = True
         if fresh:
-            for u in self.active:
-                ctx.send(u, "flood", self.payload)
+            ctx.broadcast(self.active, "flood", self.payload)
         ctx.done(self.payload)
 
 

@@ -5,23 +5,40 @@ broadcasts (C / eps) log^3 n bits.  Nodes then derive limited-independence
 hash functions locally from R.  A BitString knows how many O(log n)-bit
 CONGEST words it occupies so the broadcast substrate can charge the right
 number of messages.
+
+Perf note: bit validation runs only when a BitString is built from
+caller-supplied bits.  Derived strings (slices, concatenations,
+``from_int``) are wrapped without re-validating — re-checking every bit
+of every chunk made the pipelined broadcast relay quadratic in validation
+work.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
+
+_VALID_BITS = frozenset((0, 1))
 
 
-@dataclass(frozen=True)
 class BitString:
     """An immutable sequence of bits with CONGEST word accounting."""
 
-    bits: tuple[int, ...]
+    __slots__ = ("bits", "_hash")
 
-    def __post_init__(self) -> None:
-        if any(b not in (0, 1) for b in self.bits):
+    def __init__(self, bits: Iterable[int]):
+        bits = tuple(bits)
+        if not _VALID_BITS.issuperset(bits):
             raise ValueError("BitString entries must be 0 or 1")
+        self.bits = bits
+        self._hash = None
+
+    @classmethod
+    def _wrap(cls, bits: tuple) -> "BitString":
+        """Wrap an already-validated bit tuple (internal fast path)."""
+        obj = object.__new__(cls)
+        obj.bits = bits
+        obj._hash = None
+        return obj
 
     def __len__(self) -> int:
         return len(self.bits)
@@ -31,8 +48,22 @@ class BitString:
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return BitString(self.bits[index])
+            return BitString._wrap(self.bits[index])
         return self.bits[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BitString):
+            return self.bits == other.bits
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(("BitString", self.bits))
+        return h
+
+    def __repr__(self) -> str:
+        return f"BitString(bits={self.bits!r})"
 
     def words(self, word_bits: int) -> int:
         """Number of word_bits-bit CONGEST words needed to carry this string."""
@@ -49,15 +80,24 @@ class BitString:
     @staticmethod
     def from_int(value: int, length: int) -> "BitString":
         bits = tuple((value >> (length - 1 - i)) & 1 for i in range(length))
-        return BitString(bits)
+        return BitString._wrap(bits)
 
     def concat(self, other: "BitString") -> "BitString":
-        return BitString(self.bits + other.bits)
+        return BitString._wrap(self.bits + other.bits)
+
+    @staticmethod
+    def concat_all(pieces: Sequence["BitString"]) -> "BitString":
+        """Concatenate many pieces in one pass (the broadcast-reassembly
+        path; pairwise ``concat`` in a loop is quadratic)."""
+        bits: list[int] = []
+        for piece in pieces:
+            bits.extend(piece.bits)
+        return BitString._wrap(tuple(bits))
 
 
 def random_bitstring(rng, length: int) -> BitString:
     """Draw ``length`` fair bits from a ``random.Random``-like source."""
-    return BitString(tuple(rng.getrandbits(1) for _ in range(length)))
+    return BitString._wrap(tuple(rng.getrandbits(1) for _ in range(length)))
 
 
 def bits_from_ints(values: Sequence[int], word_bits: int) -> BitString:
@@ -67,4 +107,4 @@ def bits_from_ints(values: Sequence[int], word_bits: int) -> BitString:
         if v < 0 or v >= (1 << word_bits):
             raise ValueError(f"value {v} does not fit in {word_bits} bits")
         bits.extend((v >> (word_bits - 1 - i)) & 1 for i in range(word_bits))
-    return BitString(tuple(bits))
+    return BitString._wrap(tuple(bits))

@@ -1,0 +1,32 @@
+"""Engine count-regression gate against the committed BENCH_engine.json.
+
+Runs the n=80 slice of the reference sweep (benchmarks/check_regression
+does the full matrix from the command line) and requires bit-identical
+``messages``/``rounds`` per shared cell — the invariant every engine
+optimization in this repo must preserve.  Wall-clock is advisory there
+and unasserted here.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 os.pardir, "benchmarks"),
+)
+
+import check_regression  # noqa: E402
+
+pytestmark = pytest.mark.slow
+
+
+def test_subset_counts_match_committed_baseline():
+    baseline = check_regression.load_baseline()
+    fresh = check_regression.fresh_payload(workers=2, sizes=(80,))
+    result = check_regression.compare(baseline, fresh)
+    # Both specs contribute their n=80 column: 2*4*3 + 1*4*3 cells.
+    assert result["shared"] == 36
+    assert not result["mismatches"], result["mismatches"][:10]

@@ -116,3 +116,29 @@ def test_module_entry_point():
     )
     assert proc.returncode == 0
     assert "word bits" in proc.stdout
+
+
+def test_profile_subcommand(capsys):
+    rc = main(["profile", "--method", "luby", "--n", "40", "--p", "0.3",
+               "--top", "5"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "cumulative" in out         # pstats table rendered
+    assert "msgs" in out and "valid=True" in out
+
+
+def test_profile_unknown_method():
+    with pytest.raises(SystemExit):
+        main(["profile", "--method", "nope", "--n", "30"])
+
+
+def test_sweep_timeout_flag(tmp_path, capsys):
+    out = tmp_path / "t.jsonl"
+    rc = main(["sweep", "--families", "gnp", "--sizes", "400", "--seeds",
+               "0", "--methods", "kt1-delta-plus-one", "--p", "0.3",
+               "--timeout", "0.4", "--out", str(out), "--json"])
+    err = capsys.readouterr().err
+    assert rc == 1                      # timed-out cell makes the sweep red
+    assert "timeout" in err
+    lines = [json.loads(l) for l in out.read_text().splitlines()]
+    assert lines and lines[-1]["status"] == "timeout"

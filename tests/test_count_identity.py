@@ -1,0 +1,75 @@
+"""Count-identity guarantees of the batched send path.
+
+The engine's accounting modes are different *speeds*, never different
+*measurements*:
+
+* stats-lite (``collect_utilization=False``) vs full accounting must
+  agree on sends / messages / words / rounds;
+* batched per-round charging (the default) vs the per-send reference
+  path (``eager_charges=True``) must agree on everything, including the
+  per-stage breakdown, utilized edges, and the per-tag / per-sender
+  loads.
+
+Parametrized across graph families, methods (coloring and MIS, broadcast
+fan-out and unicast-heavy), and seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring.algorithm1 import run_algorithm1
+from repro.coloring.baselines import run_baseline_coloring
+from repro.congest.network import SyncNetwork
+from repro.graphs.generators import family_graph
+from repro.mis.algorithm3 import run_algorithm3
+from repro.mis.luby import run_luby
+
+RUNNERS = {
+    "kt1-delta-plus-one": (1, lambda net, seed: run_algorithm1(net, seed=seed)),
+    "baseline-trial": (1, lambda net, seed: run_baseline_coloring(net, "trial")),
+    "kt2-sampled-greedy": (2, lambda net, seed: run_algorithm3(net, seed=seed)),
+    "luby": (1, lambda net, seed: run_luby(net)),
+}
+
+CORE_COUNTS = ("sends", "messages", "words", "rounds")
+
+
+def _run_counts(graph, method: str, seed: int, **net_kwargs) -> dict:
+    rho, runner = RUNNERS[method]
+    net = SyncNetwork(graph, rho=rho, seed=seed, **net_kwargs)
+    runner(net, seed)
+    stats = net.stats
+    return {
+        "sends": stats.sends,
+        "messages": stats.messages,
+        "words": stats.words,
+        "rounds": stats.rounds,
+        "stages": [s.as_dict() for s in stats.stages],
+        "utilized": stats.utilized,
+        "by_tag": dict(stats.by_tag),
+        "by_sender": stats.by_sender,
+    }
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("method", sorted(RUNNERS))
+@pytest.mark.parametrize("family,n", [("gnp", 40), ("regular", 36),
+                                      ("powerlaw", 44)])
+def test_batched_vs_eager_vs_lite(family, n, method, seed):
+    graph = family_graph(family, n, p=0.3, seed=seed)
+    batched = _run_counts(graph, method, seed)
+    eager = _run_counts(graph, method, seed, eager_charges=True)
+    assert batched == eager
+
+    lite = _run_counts(graph, method, seed, collect_utilization=False)
+    for field in CORE_COUNTS:
+        assert lite[field] == batched[field]
+    assert lite["stages"] == batched["stages"]
+    # Lite mode skips the breakdowns entirely.
+    assert lite["utilized"] == set()
+    assert lite["by_tag"] == {}
+    assert lite["by_sender"] == {}
+    # Full mode's breakdowns are internally consistent with the totals.
+    assert sum(batched["by_tag"].values()) == batched["messages"]
+    assert sum(batched["by_sender"].values()) == batched["messages"]

@@ -346,3 +346,67 @@ def test_cli_sweep_resumed_invalid_still_fails(tmp_path, capsys):
     ])
     assert rc == 1
     assert "INVALID" in capsys.readouterr().err
+
+
+# -- timeout / retry ----------------------------------------------------------
+
+
+def test_spec_timeout_fields_propagate_and_validate():
+    spec = SweepSpec(sizes=(30,), methods=("luby",), timeout_s=2.0,
+                     retries=3)
+    cell = next(spec.cells())
+    assert cell.timeout_s == 2.0 and cell.retries == 3
+    # Patience knobs do not change what a cell measures: key unchanged.
+    assert cell.key() == Cell("gnp", 30, 0, "luby").key()
+    with pytest.raises(ReproError):
+        SweepSpec(sizes=(30,), methods=("luby",), timeout_s=0.0)
+    with pytest.raises(ReproError):
+        SweepSpec(sizes=(30,), methods=("luby",), retries=-1)
+
+
+def test_timeout_records_status_and_spares_the_pool():
+    """A cell over budget is killed and recorded with status=timeout;
+    sibling cells in the same farm still complete."""
+    spec = SweepSpec(
+        families=("gnp",),
+        sizes=(24, 420),           # the n=420 cell cannot finish in time
+        seeds=(0,),
+        methods=("kt1-delta-plus-one",),
+        density=0.3,
+        timeout_s=0.5,
+        retries=1,
+    )
+    records = run_sweep(spec, store=None, workers=2)
+    by_n = {r["n"]: r for r in records}
+    assert len(records) == 2
+    assert by_n[24]["status"] == "ok" and by_n[24]["valid"]
+    timed_out = by_n[420]
+    assert timed_out["status"] == "timeout"
+    assert timed_out["valid"] is False
+    assert timed_out["attempts"] == 2           # one retry granted
+    assert "messages" not in timed_out
+
+
+def test_timeout_records_excluded_from_fits_and_resume(tmp_path):
+    ok_rec = run_cell(Cell("gnp", 40, 0, "luby", density=0.3))
+    bad_rec = {"key": Cell("gnp", 60, 0, "luby", density=0.3).key(),
+               "family": "gnp", "n": 60, "seed": 0, "method": "luby",
+               "engine": "sync", "density": 0.3, "epsilon": 0.5,
+               "status": "timeout", "valid": False, "wall_s": 1.0}
+    rows = growth_exponents([ok_rec, bad_rec])
+    assert sum(p["runs"] for row in rows for p in row["points"].values()) == 1
+    store = ResultStore(str(tmp_path / "r.jsonl"))
+    with store:
+        store.append(ok_rec)
+        store.append(bad_rec)
+    # The failed key is retried on resume; the ok key is skipped.
+    assert store.completed_keys() == {ok_rec["key"]}
+    assert bad_rec["key"] in store.completed_keys(include_failed=True)
+
+
+def test_run_cell_method_extras():
+    rec = run_cell(Cell("gnp", 40, 0, "kt1-delta-plus-one", density=0.3))
+    assert rec["status"] == "ok"
+    assert rec["levels"] >= 1 and rec["deferred"] >= 0
+    rec3 = run_cell(Cell("gnp", 40, 0, "kt2-sampled-greedy", density=0.3))
+    assert rec3["sampled"] >= 0 and rec3["remnant_deg"] >= 0
