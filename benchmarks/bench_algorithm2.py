@@ -51,19 +51,23 @@ def test_algorithm2_scaling_in_n(benchmark):
 
 
 def test_algorithm2_scaling_in_epsilon(benchmark):
+    """The epsilon ablation, riding ``run_cell`` instead of a hand-rolled
+    loop: one Cell per epsilon, with the Lemma 3.7 quantities surfaced as
+    method extras (``queries`` / ``phases`` / ``palette``)."""
+    from repro.experiments import Cell, run_cell
+
     n = 260
 
     def sweep():
-        g = connected_gnp_graph(n, 0.3, seed=SEED)
         rows = []
         for eps in (1.0, 0.5, 0.25):
-            net = SyncNetwork(g, seed=SEED)
-            r = run_algorithm2(net, epsilon=eps, seed=SEED + 2)
-            check_proper_coloring(g, r.colors)
+            rec = run_cell(Cell("gnp", n, SEED, "kt1-eps-delta",
+                                density=0.3, epsilon=eps))
+            assert rec["valid"], rec["key"]
             rows.append({
-                "eps": eps, "msgs": r.messages,
-                "queries": r.query_messages,
-                "phases": r.phases, "palette": r.palette_size,
+                "eps": eps, "msgs": rec["messages"],
+                "queries": rec["queries"],
+                "phases": rec["phases"], "palette": rec["palette"],
             })
         return rows
 

@@ -92,21 +92,25 @@ def test_algorithm3_rounds_sublinear(benchmark):
 
 
 def test_remnant_degree_vs_sample_size(benchmark):
-    """K-L1 ablation: larger samples crush the remnant degree harder."""
+    """K-L1 ablation: larger samples crush the remnant degree harder.
+
+    Rides ``run_cell`` via the Cell's ``sample_constant`` knob (each c is
+    a distinct cell key, so the ablation is sweep/resume-compatible)."""
+    from repro.experiments import Cell, run_cell
+
     n = 500
 
     def sweep_c():
-        g = connected_gnp_graph(n, 0.25, seed=SEED + 7)
         rows = []
         for c in (0.5, 1.0, 2.0, 4.0):
-            net = SyncNetwork(g, rho=2, seed=SEED)
-            r = run_algorithm3(net, seed=SEED + 3, sample_constant=c)
-            check_mis(g, r.in_mis)
+            rec = run_cell(Cell("gnp", n, SEED, "kt2-sampled-greedy",
+                                density=0.25, sample_constant=c))
+            assert rec["valid"], rec["key"]
             rows.append({
-                "c": c, "sampled": r.sampled,
-                "remnant_deg": r.remnant_max_degree_local,
-                "remnant_size": r.remnant_size,
-                "msgs": r.messages,
+                "c": c, "sampled": rec["sampled"],
+                "remnant_deg": rec["remnant_deg"],
+                "remnant_size": rec["remnant_size"],
+                "msgs": rec["messages"],
             })
         return rows
 

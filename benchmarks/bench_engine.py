@@ -54,7 +54,20 @@ DENSE_SPEC = SweepSpec(
     density=0.45,
 )
 
-SPECS = (REFERENCE_SPEC, DENSE_SPEC)
+#: The async column: Algorithm 1 under the event-driven engine (uniform
+#: latency).  Each cell carries the shadow-sync baseline, so the artifact
+#: charts the cost of asynchrony (overhead_messages) next to the sync
+#: trajectory — and the async counts themselves become regression-gated.
+ASYNC_SPEC = SweepSpec(
+    families=("gnp",),
+    sizes=(80, 140, 220, 320),
+    seeds=(0, 1, 2),
+    methods=("kt1-delta-plus-one",),
+    engines=("async",),
+    density=0.25,
+)
+
+SPECS = (REFERENCE_SPEC, DENSE_SPEC, ASYNC_SPEC)
 
 
 def run(workers: int = 4, out: str | None = None) -> dict:

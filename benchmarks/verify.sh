@@ -1,0 +1,23 @@
+#!/bin/sh
+# Fast verification gate: the tier-1 test suite minus the slow-marked
+# scaling sweeps, then the exact fixed-seed count-regression check
+# against the committed BENCH_engine.json.
+#
+#   benchmarks/verify.sh            # default: 4 regression workers
+#   WORKERS=8 benchmarks/verify.sh
+#
+# Exits nonzero on the first failure.  This is the gate every engine
+# change must pass before regenerating BENCH_engine.json.
+set -e
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 (fast slice: -m 'not slow') =="
+python -m pytest -x -q -m "not slow"
+
+echo "== fixed-seed count regression vs BENCH_engine.json =="
+python benchmarks/check_regression.py --workers "${WORKERS:-4}"
+
+echo "verify.sh: OK"

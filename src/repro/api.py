@@ -17,6 +17,17 @@ Methods:
   ``baseline-rank-greedy`` (the Ω(m) classics).
 * MIS — ``kt2-sampled-greedy`` (Algorithm 3, Thm. 4.1), ``luby``
   (the Õ(m) baseline), ``rank-greedy`` (comparison-based classic).
+
+Engines: every method runs on both the synchronous engine and, with
+``asynchronous=True``, the event-driven engine under a chosen latency
+model.  Async-native protocols (count-based lockstep: Algorithm 1,
+Luby, the baselines) run unchanged; round-cadence protocols (Algorithm
+2's phase cadence, Algorithm 3's parallel greedy) are auto-wrapped in
+the alpha-synchronizer (Theorem A.5).  An asynchronous call first
+replays the same cell on the synchronous engine — that shadow run both
+supplies the synchronizer's per-stage round budgets and serves as the
+baseline for the *cost-of-asynchrony* metrics
+(:attr:`RunReport.overhead_messages` / ``overhead_rounds``).
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from typing import Optional
 
 from repro.congest.async_network import AsyncNetwork
 from repro.congest.network import SyncNetwork
+from repro.errors import SynchronizerBudgetError
 from repro.coloring.algorithm1 import run_algorithm1
 from repro.coloring.algorithm2 import run_algorithm2
 from repro.coloring.baselines import run_baseline_coloring
@@ -40,7 +52,17 @@ from repro.mis.verify import mis_violations
 
 @dataclass
 class RunReport:
-    """Common accounting attached to every API result."""
+    """Common accounting attached to every API result.
+
+    For asynchronous runs (``engine == "async"``) the report also carries
+    the shadow synchronous baseline of the same cell and the derived
+    cost of asynchrony: ``overhead_messages = messages - sync_messages``
+    (the synchronizer's acks/safes plus any count drift from reordering)
+    and ``overhead_rounds = rounds - sync_rounds`` (normalized async time
+    minus synchronous rounds; negative when asynchrony finishes faster
+    than the round clock).  ``synchronized_stages`` counts the stages
+    that needed alpha-synchronizer wrapping (0 for async-native methods).
+    """
 
     method: str
     n: int
@@ -49,6 +71,13 @@ class RunReport:
     rounds: int
     utilized_edges: int
     stage_messages: dict = field(default_factory=dict)
+    engine: str = "sync"
+    latency: Optional[str] = None
+    sync_messages: Optional[int] = None
+    sync_rounds: Optional[int] = None
+    overhead_messages: Optional[int] = None
+    overhead_rounds: Optional[int] = None
+    synchronized_stages: int = 0
 
     @property
     def messages_per_edge(self) -> float:
@@ -86,14 +115,16 @@ class MISResult:
         return self.report.messages
 
 
-def _report(method: str, net) -> RunReport:
+def _report(method: str, net, engine: str = "sync",
+            latency: Optional[str] = None,
+            baseline=None) -> RunReport:
     # Aggregate with += : a driver may legally reuse a stage name (e.g. a
     # retry loop), and assignment would silently drop the earlier stages
     # from the breakdown, breaking sum(stage_messages) == messages.
     per_stage: dict = {}
     for s in net.stats.stages:
         per_stage[s.name] = per_stage.get(s.name, 0) + s.messages
-    return RunReport(
+    report = RunReport(
         method=method,
         n=net.graph.n,
         m=net.graph.m,
@@ -101,7 +132,58 @@ def _report(method: str, net) -> RunReport:
         rounds=net.stats.rounds,
         utilized_edges=net.stats.utilized_count,
         stage_messages=per_stage,
+        engine=engine,
+        latency=latency,
+        synchronized_stages=len(getattr(net, "synchronized_stages", ())),
     )
+    if baseline is not None:
+        report.sync_messages = baseline.stats.messages
+        report.sync_rounds = baseline.stats.rounds
+        report.overhead_messages = report.messages - report.sync_messages
+        report.overhead_rounds = report.rounds - report.sync_rounds
+    return report
+
+
+def _run_engines(build, drive, asynchronous: bool, latency: str):
+    """Run a cell on the requested engine.
+
+    ``build(engine_cls, **engine_kwargs)`` constructs the network;
+    ``drive(net)`` runs the method's driver and returns its outputs.
+    Asynchronous cells first replay on the synchronous engine: the
+    shadow run's per-stage round counts become the alpha-synchronizer
+    budgets, and its totals become the overhead baseline.
+
+    The shadow is a *heuristic* budget oracle, not a sound one: an
+    asynchronous execution may legitimately diverge from it (a
+    delivery-order-dependent leader election picks a different
+    broadcast root, reseeding the shared random string), and a wrapped
+    stage can then need more simulated rounds than the shadow recorded.
+    When the synchronizer's budget expires the whole async run is
+    retried from scratch on a fresh network with every budget doubled
+    (a few escalations; the delay stream restarts identically, so only
+    the budgets change).  Only the successful attempt's network is
+    returned and accounted.
+
+    Returns ``(net, outputs, shadow_net_or_None)``.
+    """
+    if not asynchronous:
+        net = build(SyncNetwork)
+        return net, drive(net), None
+    shadow = build(SyncNetwork)
+    drive(shadow)
+    budgets = [(s.name, s.rounds) for s in shadow.stats.stages]
+    last_error: Optional[SynchronizerBudgetError] = None
+    for scale in (1, 2, 4, 8):
+        net = build(
+            AsyncNetwork, latency=latency,
+            round_budgets=[(name, rounds * scale)
+                           for name, rounds in budgets],
+        )
+        try:
+            return net, drive(net), shadow
+        except SynchronizerBudgetError as exc:
+            last_error = exc
+    raise last_error
 
 
 def color_graph(
@@ -110,44 +192,61 @@ def color_graph(
     seed: int = 0,
     epsilon: float = 0.5,
     asynchronous: bool = False,
+    latency: str = "uniform",
     collect_utilization: bool = True,
     **kwargs,
 ) -> ColoringResult:
     """Color a connected graph with one of the paper's algorithms.
 
-    ``asynchronous=True`` reruns Algorithm 1 under the event-driven
-    engine (Theorem 3.4); other methods are synchronous.
+    ``asynchronous=True`` reruns the method under the event-driven
+    engine with the given ``latency`` model (``fixed`` / ``uniform`` /
+    ``exponential`` / ``heavy_tail``); round-cadence methods are
+    auto-synchronized (see module docstring).  ``latency`` is ignored
+    for synchronous runs.
 
     ``collect_utilization=False`` runs the engine in stats-lite mode
     (identical message/word/round counts, no utilized-edge or per-tag
     breakdowns) — the mode bulk experiment sweeps use.
     """
-    engine = AsyncNetwork if asynchronous else SyncNetwork
     if method == "kt1-delta-plus-one":
-        net = engine(graph, rho=1, seed=seed,
-                     collect_utilization=collect_utilization)
-        detail = run_algorithm1(net, seed=seed, **kwargs)
-        colors = detail.colors
-        bound = graph.max_degree() + 1
+        def build(engine, **engine_kwargs):
+            return engine(graph, rho=1, seed=seed,
+                          collect_utilization=collect_utilization,
+                          **engine_kwargs)
+
+        def drive(net):
+            detail = run_algorithm1(net, seed=seed, **kwargs)
+            return detail.colors, graph.max_degree() + 1, detail
     elif method == "kt1-eps-delta":
-        if asynchronous:
-            raise ReproError("Algorithm 2 is synchronous in the paper")
-        net = engine(graph, rho=1, seed=seed,
-                     collect_utilization=collect_utilization)
-        detail = run_algorithm2(net, epsilon=epsilon, seed=seed, **kwargs)
-        colors = detail.colors
-        bound = detail.palette_size
+        def build(engine, **engine_kwargs):
+            return engine(graph, rho=1, seed=seed,
+                          collect_utilization=collect_utilization,
+                          **engine_kwargs)
+
+        def drive(net):
+            detail = run_algorithm2(net, epsilon=epsilon, seed=seed,
+                                    **kwargs)
+            return detail.colors, detail.palette_size, detail
     elif method in ("baseline-trial", "baseline-rank-greedy"):
         kind = method.removeprefix("baseline-")
-        net = engine(
-            graph, rho=1, seed=seed,
-            comparison_based=(kind == "rank-greedy"),
-            collect_utilization=collect_utilization,
-        )
-        colors, detail = run_baseline_coloring(net, kind)
-        bound = graph.max_degree() + 1
+
+        def build(engine, **engine_kwargs):
+            return engine(
+                graph, rho=1, seed=seed,
+                comparison_based=(kind == "rank-greedy"),
+                collect_utilization=collect_utilization,
+                **engine_kwargs,
+            )
+
+        def drive(net):
+            colors, detail = run_baseline_coloring(net, kind)
+            return colors, graph.max_degree() + 1, detail
     else:
         raise ReproError(f"unknown coloring method {method!r}")
+
+    net, (colors, bound, detail), shadow = _run_engines(
+        build, drive, asynchronous, latency
+    )
     valid = (
         not coloring_violations(graph, colors)
         and all(c is not None for c in colors)
@@ -157,7 +256,12 @@ def color_graph(
         num_colors=len({c for c in colors if c is not None}),
         palette_bound=bound,
         valid=valid,
-        report=_report(method, net),
+        report=_report(
+            method, net,
+            engine="async" if asynchronous else "sync",
+            latency=latency if asynchronous else None,
+            baseline=shadow,
+        ),
         detail=detail,
     )
 
@@ -167,38 +271,56 @@ def find_mis(
     method: str = "kt2-sampled-greedy",
     seed: int = 0,
     comparison_based: bool = True,
+    asynchronous: bool = False,
+    latency: str = "uniform",
     collect_utilization: bool = True,
     **kwargs,
 ) -> MISResult:
     """Compute an MIS of a connected graph.
 
-    ``collect_utilization=False`` selects the engine's stats-lite mode
-    (see :func:`color_graph`).
+    ``asynchronous=True`` reruns the method under the event-driven
+    engine (``latency`` as in :func:`color_graph`); Algorithm 3's
+    round-cadence greedy stage is auto-synchronized, Luby and rank-greedy
+    run async-native.  ``collect_utilization=False`` selects the
+    engine's stats-lite mode.
     """
     if method == "kt2-sampled-greedy":
-        net = SyncNetwork(graph, rho=2, seed=seed,
-                          comparison_based=comparison_based,
-                          collect_utilization=collect_utilization)
-        detail = run_algorithm3(net, seed=seed, **kwargs)
-        in_mis = detail.in_mis
-    elif method == "luby":
-        net = SyncNetwork(graph, rho=1, seed=seed,
-                          comparison_based=comparison_based,
-                          collect_utilization=collect_utilization)
-        in_mis, detail = run_luby(net)
-    elif method == "rank-greedy":
-        net = SyncNetwork(graph, rho=1, seed=seed,
-                          comparison_based=comparison_based,
-                          collect_utilization=collect_utilization)
-        in_mis, detail = run_rank_greedy_mis(net)
+        rho = 2
+    elif method in ("luby", "rank-greedy"):
+        rho = 1
     else:
         raise ReproError(f"unknown MIS method {method!r}")
+
+    def build(engine, **engine_kwargs):
+        return engine(graph, rho=rho, seed=seed,
+                      comparison_based=comparison_based,
+                      collect_utilization=collect_utilization,
+                      **engine_kwargs)
+
+    def drive(net):
+        if method == "kt2-sampled-greedy":
+            detail = run_algorithm3(net, seed=seed, **kwargs)
+            return detail.in_mis, detail
+        if method == "luby":
+            in_mis, detail = run_luby(net)
+            return in_mis, detail
+        in_mis, detail = run_rank_greedy_mis(net)
+        return in_mis, detail
+
+    net, (in_mis, detail), shadow = _run_engines(
+        build, drive, asynchronous, latency
+    )
     bad = mis_violations(graph, in_mis)
     valid = not bad["independence"] and not bad["maximality"]
     return MISResult(
         in_mis=in_mis,
         size=sum(in_mis),
         valid=valid,
-        report=_report(method, net),
+        report=_report(
+            method, net,
+            engine="async" if asynchronous else "sync",
+            latency=latency if asynchronous else None,
+            baseline=shadow,
+        ),
         detail=detail,
     )

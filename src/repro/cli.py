@@ -26,11 +26,13 @@ import sys
 import time
 
 from repro import api
+from repro.congest.runtime import LATENCY_MODELS
 from repro.errors import ReproError
 from repro.graphs.core import Graph
 from repro.graphs.generators import family_graph
 
-GRAPH_FAMILIES = ("gnp", "regular", "powerlaw", "barbell")
+GRAPH_FAMILIES = ("gnp", "regular", "powerlaw", "barbell",
+                  "grid", "expander", "planted")
 
 
 def _build_graph(args) -> Graph:
@@ -61,11 +63,23 @@ def _emit(args, payload: dict) -> None:
         print(f"{key:>18}: {value}")
 
 
+def _async_payload(report) -> dict:
+    """The cost-of-asynchrony lines shared by ``color`` and ``mis``."""
+    if report.engine != "async":
+        return {}
+    return {
+        "latency model": report.latency,
+        "sync messages": report.sync_messages,
+        "overhead msgs": report.overhead_messages,
+        "wrapped stages": report.synchronized_stages,
+    }
+
+
 def cmd_color(args) -> int:
     graph = _build_graph(args)
     result = api.color_graph(
         graph, method=args.method, seed=args.seed, epsilon=args.epsilon,
-        asynchronous=args.asynchronous,
+        asynchronous=args.asynchronous, latency=args.latency,
     )
     _emit(args, {
         "graph": f"{args.family}(n={graph.n}, m={graph.m})",
@@ -77,13 +91,16 @@ def cmd_color(args) -> int:
         "messages/edge": round(result.messages_per_edge, 3),
         "rounds": result.report.rounds,
         "utilized edges": result.report.utilized_edges,
+        **_async_payload(result.report),
     })
     return 0 if result.valid else 1
 
 
 def cmd_mis(args) -> int:
     graph = _build_graph(args)
-    result = api.find_mis(graph, method=args.method, seed=args.seed)
+    result = api.find_mis(graph, method=args.method, seed=args.seed,
+                          asynchronous=args.asynchronous,
+                          latency=args.latency)
     _emit(args, {
         "graph": f"{args.family}(n={graph.n}, m={graph.m})",
         "method": args.method,
@@ -92,6 +109,7 @@ def cmd_mis(args) -> int:
         "messages": result.messages,
         "messages/edge": round(result.report.messages_per_edge, 3),
         "rounds": result.report.rounds,
+        **_async_payload(result.report),
     })
     return 0 if result.valid else 1
 
@@ -105,9 +123,11 @@ def cmd_sweep(args) -> int:
             sizes=tuple(args.sizes),
             seeds=tuple(args.seeds),
             methods=tuple(args.methods),
-            engine=args.engine,
+            engines=tuple(args.engines),
+            latencies=tuple(args.latencies),
             density=args.p,
             epsilon=args.epsilon,
+            sample_constant=args.sample_constant,
             collect_utilization=args.full_stats,
             timeout_s=args.timeout,
             retries=args.retries,
@@ -279,6 +299,8 @@ def cmd_profile(args) -> int:
         n=args.n,
         seed=args.seed,
         method=args.method,
+        engine=args.engine,
+        latency=args.latency,
         density=args.p,
         epsilon=args.epsilon,
         collect_utilization=args.full_stats,
@@ -327,12 +349,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "baseline-trial", "baseline-rank-greedy"))
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--asynchronous", action="store_true")
+    p.add_argument("--latency", default="uniform", choices=LATENCY_MODELS,
+                   help="async latency model (with --asynchronous)")
     p.set_defaults(fn=cmd_color)
 
     p = subs.add_parser("mis", help="run an MIS algorithm")
     _graph_args(p)
     p.add_argument("--method", default="kt2-sampled-greedy",
                    choices=("kt2-sampled-greedy", "luby", "rank-greedy"))
+    p.add_argument("--asynchronous", action="store_true")
+    p.add_argument("--latency", default="uniform", choices=LATENCY_MODELS,
+                   help="async latency model (with --asynchronous)")
     p.set_defaults(fn=cmd_mis)
 
     p = subs.add_parser(
@@ -351,10 +378,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="coloring: kt1-delta-plus-one, kt1-eps-delta, "
                         "baseline-trial, baseline-rank-greedy; "
                         "MIS: kt2-sampled-greedy, luby, rank-greedy")
-    p.add_argument("--engine", default="sync", choices=("sync", "async"))
+    p.add_argument("--engines", "--engine", nargs="+", dest="engines",
+                   default=["sync"], choices=("sync", "async"),
+                   metavar="ENGINE",
+                   help="engine axis: sync, async, or both (every method "
+                        "runs async — round-cadence ones via the "
+                        "alpha-synchronizer)")
+    p.add_argument("--latencies", nargs="+", default=["uniform"],
+                   choices=LATENCY_MODELS, metavar="MODEL",
+                   help="latency-model axis for async cells "
+                        f"({', '.join(LATENCY_MODELS)}); sync cells "
+                        "ignore it")
     p.add_argument("--p", type=float, default=0.2,
                    help="density knob (edge probability for gnp)")
     p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--sample-constant", type=float, default=None,
+                   help="Algorithm 3 |S| knob (kt2-sampled-greedy only; "
+                        "default: the method's 1.0)")
     p.add_argument("--workers", type=int, default=0,
                    help="worker processes (0/1 = serial)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
@@ -415,6 +455,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="kt1-delta-plus-one",
                    metavar="METHOD",
                    help="any sweep method (coloring or MIS)")
+    p.add_argument("--engine", default="sync", choices=("sync", "async"))
+    p.add_argument("--latency", default="uniform", choices=LATENCY_MODELS)
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--top", type=int, default=20,
                    help="how many profile rows to print")

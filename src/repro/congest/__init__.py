@@ -11,7 +11,11 @@ This package provides:
 * :class:`~repro.congest.network.SyncNetwork` — the synchronous round
   engine with message/round accounting and staged protocol composition;
 * :class:`~repro.congest.async_network.AsyncNetwork` — the asynchronous
-  event-driven engine (Section 3.1.1);
+  event-driven engine (Section 3.1.1), auto-wrapping round-cadence
+  algorithms in the alpha-synchronizer (Theorem A.5);
+* :mod:`~repro.congest.runtime` — the shared runtime core: pluggable
+  delivery :class:`~repro.congest.runtime.Scheduler` implementations
+  (synchronous rounds, event-driven) and seeded latency models;
 * :class:`~repro.congest.ids.OpaqueId` — a machine-checked version of the
   comparison-based discipline (Section 1.4.2);
 * utilized-edge tracking per Definition 2.3 and execution traces with
@@ -24,10 +28,24 @@ from repro.congest.knowledge import KTKnowledge, build_knowledge
 from repro.congest.metrics import MessageStats, StageStats
 from repro.congest.node import NodeAlgorithm, Context
 from repro.congest.network import SyncNetwork, StageResult
+from repro.congest.runtime import (
+    LATENCY_MODELS,
+    EventScheduler,
+    LatencyModel,
+    RoundScheduler,
+    Scheduler,
+    make_latency_model,
+)
 from repro.congest.trace import ExecutionTrace, TraceEvent, traces_similar
 from repro.congest.inspect import NetworkInspector
 
 __all__ = [
+    "LATENCY_MODELS",
+    "EventScheduler",
+    "LatencyModel",
+    "RoundScheduler",
+    "Scheduler",
+    "make_latency_model",
     "NodeId",
     "OpaqueId",
     "IdAssignment",

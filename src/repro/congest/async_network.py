@@ -1,156 +1,156 @@
 """The asynchronous KT-rho CONGEST engine (paper Section 3.1.1).
 
-Standard asynchronous model: every message arrives after a finite
-adversarial delay, normalized so one unit is the maximum delay; *time
-complexity* of an execution is the total normalized time.  Links are
-FIFO.  There are no rounds — nodes act only when messages arrive (plus
-one initial activation), so only ``passive_when_idle`` protocols can run
-here; the engine rejects round-cadence algorithms, which is exactly the
-class the alpha-synchronizer exists for (Theorem A.5,
-:mod:`repro.congest.synchronizer`).
+Standard asynchronous model: every message arrives after a finite delay
+drawn from a seeded :class:`~repro.congest.runtime.LatencyModel`
+(``fixed`` / ``uniform`` / ``exponential`` / ``heavy_tail``); links are
+FIFO; *time complexity* of an execution is the total normalized time.
+There are no rounds — nodes act only when messages arrive (plus one
+initial activation).
 
-Because every protocol stage in Algorithm 1's pipeline is written in
-count-based lockstep (progress is driven by received-message counts, not
-by round numbers), the *same* stage classes run unchanged under this
-engine — which is how the reproduction of Theorem 3.4 (asynchronous
-(Δ+1)-coloring with Õ(n^1.5) messages in Õ(n) time) works: call
-``run_algorithm1`` on an AsyncNetwork.
+Two classes of algorithms run here:
+
+* **Async-native** (``passive_when_idle = True``): every protocol stage
+  written in count-based lockstep (progress driven by received-message
+  counts, not round numbers) runs unchanged — which is how the
+  reproduction of Theorem 3.4 (asynchronous (Δ+1)-coloring with
+  Õ(n^1.5) messages in Õ(n) time) works: call ``run_algorithm1`` on an
+  AsyncNetwork.
+
+* **Round-cadence** algorithms are *auto-wrapped* in the
+  alpha-synchronizer (Theorem A.5, :mod:`repro.congest.synchronizer`)
+  at stage-build time, provided the network knows a synchronous round
+  budget for the stage: either per-stage ``round_budgets`` (typically
+  recorded from a shadow synchronous run of the same seed — what
+  :func:`repro.api.color_graph` does) or a blanket
+  ``default_round_budget``.  Without any budget the engine still raises
+  :class:`~repro.errors.ProtocolError`, because Theorem A.5's simulation
+  is defined for algorithms with known round bounds.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
-import random
-from typing import Any, Callable, Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from repro.congest.message import Envelope, Msg
-from repro.congest.network import StageResult, SyncNetwork
-from repro.congest.node import Context, NodeAlgorithm
-from repro.errors import ConvergenceError, ProtocolError
+from repro.congest.network import SyncNetwork
+from repro.congest.runtime import EventScheduler, LatencyModel, Scheduler
+from repro.congest.synchronizer import AlphaSynchronizer
+from repro.errors import ProtocolError
 
 
 class AsyncNetwork(SyncNetwork):
     """Event-driven engine sharing identity/accounting with SyncNetwork.
 
-    ``max_delay_spread`` controls how adversarial the delays are: each
-    charged message takes uniform(min_delay, 1.0) time per packet, FIFO
+    ``latency`` picks the delay distribution (a model name or a
+    :class:`LatencyModel` instance); ``min_delay`` keeps the historical
+    knob: it is the lower bound of the default ``uniform`` model, under
+    which each charged packet takes uniform(min_delay, 1.0) time, FIFO
     per link.  ``stats.rounds`` records ceil(total time) per stage, the
     asynchronous time complexity.
+
+    ``round_budgets`` — a sequence of ``(stage_name, sync_rounds)``
+    pairs (or a ``{stage_name: sync_rounds}`` dict) giving, per stage,
+    the number of rounds the same stage took on the synchronous engine;
+    round-cadence stages are then auto-wrapped in an
+    :class:`AlphaSynchronizer` with budget ``sync_rounds - 1`` (the
+    inner algorithm's last executed round index).  Async-native stages
+    ignore their budgets.  ``default_round_budget`` is a blanket inner
+    round budget used when no per-stage entry matches.
     """
 
-    def __init__(self, *args, min_delay: float = 0.05, **kwargs):
-        super().__init__(*args, **kwargs)
+    def __init__(
+        self,
+        *args,
+        min_delay: float = 0.05,
+        latency: Union[str, LatencyModel] = "uniform",
+        round_budgets: Optional[Sequence] = None,
+        default_round_budget: Optional[int] = None,
+        **kwargs,
+    ):
+        # The scheduler is built inside SyncNetwork.__init__ via
+        # _default_scheduler, so the latency knobs must be in place first.
         self.min_delay = min_delay
-        self._delay_rng = random.Random(f"delays-{self.seed}")
+        self._latency_spec = latency
+        super().__init__(*args, **kwargs)
+        if round_budgets is None:
+            self._budget_entries: list[tuple[str, int]] = []
+        elif isinstance(round_budgets, dict):
+            self._budget_entries = list(round_budgets.items())
+        else:
+            self._budget_entries = [(str(k), int(v))
+                                    for k, v in round_budgets]
+        self._budget_cursor = 0
+        self.default_round_budget = default_round_budget
+        #: Names of the stages this network auto-wrapped in an
+        #: AlphaSynchronizer (the synchronizer-overhead bookkeeping).
+        self.synchronized_stages: list[str] = []
         if self.trace is not None:
             raise ProtocolError(
                 "execution traces are a synchronous-model notion; "
                 "run lower-bound experiments on SyncNetwork"
             )
 
-    # -- scheduling ------------------------------------------------------------
+    def _default_scheduler(self) -> Scheduler:
+        return EventScheduler(self._latency_spec, min_delay=self.min_delay)
 
-    def _schedule(self, env: Envelope, charged: int) -> None:
-        link = (env.sender, env.receiver)
-        start = max(self._now, self._link_clock.get(link, 0.0))
-        delay = sum(
-            self._delay_rng.uniform(self.min_delay, 1.0)
-            for _ in range(charged)
-        )
-        arrival = start + delay
-        self._link_clock[link] = arrival
-        self._seq += 1
-        heapq.heappush(self._queue, (arrival, self._seq, env))
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self.scheduler.latency
 
-    # -- event loop --------------------------------------------------------------
+    # -- synchronizer auto-wrap ------------------------------------------------
 
-    def run(
-        self,
-        algorithm_factory: Callable[[], NodeAlgorithm],
-        inputs: Optional[Sequence[Any]] = None,
-        max_rounds: int = 100_000,
-        name: Optional[str] = None,
-    ) -> StageResult:
-        """Run one stage to quiescence under adversarial delays.
+    def _stage_round_budget(self, stage_name: str) -> Optional[int]:
+        """Synchronous round count recorded for this stage, if known.
 
-        ``max_rounds`` bounds the *per-node activation count* (a safety
-        valve against livelock, mirroring the synchronous budget).
+        The budget list is the shadow run's stage sequence, and this
+        network replays the same drivers in the same order — so entries
+        are consumed *positionally*, advancing a cursor per stage.  This
+        keeps repeated stage names aligned (a driver may legally reuse a
+        name across stages of different cadences; matching by name alone
+        would hand a later round-cadence stage an earlier namesake's
+        budget).  A name mismatch at the cursor falls back to scanning
+        forward, so hand-built budget lists that only cover some stages
+        still resolve.
         """
-        n = self.graph.n
-        stage_name = name or f"stage-{self._stage_counter}"
-        self._stage_counter += 1
-        stage = self.stats.begin_stage(stage_name)
+        entries = self._budget_entries
+        i = self._budget_cursor
+        if i < len(entries) and entries[i][0] == stage_name:
+            self._budget_cursor = i + 1
+            return entries[i][1]
+        for j in range(i, len(entries)):
+            if entries[j][0] == stage_name:
+                self._budget_cursor = j + 1
+                return entries[j][1]
+        return None
 
-        algorithms = [algorithm_factory() for _ in range(n)]
-        if any(not a.passive_when_idle for a in algorithms):
+    def _adapt_stage(self, algorithm_factory, inputs, stage_name):
+        # Consume this stage's budget entry whether or not it is needed,
+        # keeping the cursor aligned with the shadow stage sequence.
+        sync_rounds = self._stage_round_budget(stage_name)
+        probe = algorithm_factory()
+        if probe.passive_when_idle:
+            return algorithm_factory, inputs
+        if sync_rounds is not None:
+            # The sync engine executed inner rounds 0..sync_rounds-1; the
+            # synchronizer's budget is the last executed round index.
+            total_rounds = max(0, sync_rounds - 1)
+        elif self.default_round_budget is not None:
+            total_rounds = self.default_round_budget
+        else:
             raise ProtocolError(
-                "round-cadence algorithms cannot run asynchronously; "
-                "wrap them in an AlphaSynchronizer (Theorem A.5)"
+                f"round-cadence algorithm in stage {stage_name!r} needs an "
+                "AlphaSynchronizer round budget to run asynchronously "
+                "(Theorem A.5); construct the AsyncNetwork with "
+                "round_budgets from a synchronous run of the same seed, "
+                "or set default_round_budget"
             )
-        contexts = []
-        for v in range(n):
-            rng = random.Random(f"{self.seed}-{stage_name}-node-{v}")
-            node_input = inputs[v] if inputs is not None else None
-            contexts.append(Context(self, v, self.knowledge[v], rng,
-                                    node_input))
-        self._queue: list = []
-        self._seq = 0
-        self._link_clock: dict[tuple[int, int], float] = {}
-        self._now = 0.0
-        self._current_round = 0
-        self._outbox.clear()
-        activations = [0] * n
-
-        for v in range(n):
-            algorithms[v].setup(contexts[v])
-        # Initial activation: every node acts once at time zero.  Sends
-        # buffer in the shared outbox; one flush (submission order, so
-        # identical delay draws) pushes them onto the event heap.
-        for v in range(n):
-            ctx = contexts[v]
-            ctx.round = 0
-            ctx._send_allowed = True
-            algorithms[v].on_round(ctx, [])
-            ctx._send_allowed = False
-        self._flush_outbox()
-
-        max_events = max_rounds * max(n, 1)
-        events = 0
-        while self._queue:
-            events += 1
-            if events > max_events:
-                raise ConvergenceError(
-                    f"async stage '{stage_name}' exceeded {max_events} events"
-                )
-            arrival, _seq, env = heapq.heappop(self._queue)
-            self._now = arrival
-            v = env.receiver
-            activations[v] += 1
-            ctx = contexts[v]
-            ctx.round = activations[v]
-            if self.collect_utilization and env.ids:
-                self._register_received_ids(v, (env,))
-            ctx._send_allowed = True
-            algorithms[v].on_round(
-                ctx, [Msg(self._ids[env.sender], env.tag, env.fields)]
-            )
-            ctx._send_allowed = False
-            if self._outbox:
-                self._flush_outbox()
-
-        unfinished = [v for v in range(n) if not contexts[v]._finished]
-        if unfinished:
-            raise ConvergenceError(
-                f"async stage '{stage_name}' quiesced with unfinished "
-                f"nodes {unfinished[:10]} (total {len(unfinished)})"
-            )
-        elapsed = max(1, math.ceil(self._now))
-        self.stats.charge_rounds(elapsed)
-        return StageResult(
-            name=stage_name,
-            outputs=[contexts[v]._output for v in range(n)],
-            rounds=elapsed,
-            stats=stage,
-            converged=True,
+        self.synchronized_stages.append(stage_name)
+        n = self.graph.n
+        wrapped_inputs = [
+            {"active": None,
+             "inner": inputs[v] if inputs is not None else None}
+            for v in range(n)
+        ]
+        return (
+            lambda: AlphaSynchronizer(algorithm_factory, total_rounds),
+            wrapped_inputs,
         )

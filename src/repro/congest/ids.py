@@ -39,7 +39,11 @@ class NodeId:
         self._value = int(value)
         # IDs key every knowledge set and routing table in the engine, so
         # the (immutable) hash is computed once instead of per lookup.
-        self._hash = hash(("NodeId", self._value))
+        # Derived from the integer value only — never from a string —
+        # because str hashes vary with PYTHONHASHSEED, which would make
+        # set-of-ID iteration order (and hence the order sends consume
+        # the async engine's delay stream) differ between processes.
+        self._hash = hash(self._value * 0x9E3779B97F4A7C15 + 1)
 
     @property
     def value(self) -> int:
@@ -110,7 +114,10 @@ class OpaqueId(NodeId):
         super().__init__(value)
         # object.__setattr__ not needed; __slots__ assignment is fine.
         self._salt = salt
-        self._hash = hash(("OpaqueId", salt, self._value))
+        # Int-tuple hash: salt-scrambled (no usable order information)
+        # yet stable across processes — see NodeId.__init__ on why no
+        # strings may enter engine-path hashes.
+        self._hash = hash((salt, 0x27D4EB2F165667C5, self._value))
 
     @property
     def value(self) -> int:

@@ -17,31 +17,37 @@ Definition 2.3 (see :mod:`repro.congest.metrics`).
 Send path (hot): ``ctx.send`` / ``ctx.broadcast`` validate the receiver
 and append raw entries to a per-round *outbox*; once per round the engine
 flushes the outbox in submission order — analyzing each payload once
-(with an LRU memo for small ID-free payloads), scheduling delivery
-through a ring-buffer slot scheduler with flat ``sender*n + receiver``
-link-occupancy arrays, and accounting the whole round with a single
+(with an LRU memo for small ID-free payloads), handing each envelope to
+the network's :class:`~repro.congest.runtime.Scheduler` for delivery,
+and accounting the whole round with a single
 :meth:`MessageStats.charge_send_batch` call.  ``ctx.broadcast(to_ids,
 tag, *fields)`` additionally shares one ``analyze_payload`` result across
 the entire fan-out.  All of this is count-identical to the per-send
 reference path (``eager_charges=True``): same sends, words, messages,
 rounds, and utilized edges on fixed seeds.
+
+Delivery discipline is pluggable (:mod:`repro.congest.runtime`): the
+default :class:`~repro.congest.runtime.RoundScheduler` implements
+synchronous rounds through a ring-buffer slot scheduler with flat
+``sender*n + receiver`` link-occupancy arrays; the asynchronous engine
+(:class:`~repro.congest.async_network.AsyncNetwork`) plugs in an
+event-driven scheduler with seeded latency models instead.
 """
 
 from __future__ import annotations
 
 import random
-from array import array
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.congest.ids import IdAssignment, NodeId, OpaqueId, id_value
 from repro.congest.knowledge import KTKnowledge, build_knowledge
-from repro.congest.message import Envelope, Msg, analyze_payload
+from repro.congest.message import Envelope, analyze_payload
 from repro.congest.metrics import MessageStats, StageStats
 from repro.congest.node import Context, NodeAlgorithm
+from repro.congest.runtime import RoundScheduler, Scheduler
 from repro.congest.trace import ExecutionTrace
 from repro.errors import (
-    ConvergenceError,
     ModelViolationError,
     ReproError,
     UnknownNeighborError,
@@ -74,6 +80,7 @@ class SyncNetwork:
         record_trace: bool = False,
         collect_utilization: bool = True,
         eager_charges: bool = False,
+        scheduler: Optional[Scheduler] = None,
     ):
         if rho < 1:
             raise ReproError("SyncNetwork supports KT-rho for rho >= 1")
@@ -124,6 +131,17 @@ class SyncNetwork:
         #: LRU-ish memo of analyze_payload results for small ID-free
         #: payloads, keyed by the fields tuple (structural identity).
         self._payload_cache: dict[tuple, tuple[int, tuple]] = {}
+        #: Delivery discipline (see :mod:`repro.congest.runtime`).  The
+        #: default is the synchronous round scheduler; subclasses and
+        #: callers may plug in any bound :class:`Scheduler`.
+        self.scheduler: Scheduler = scheduler or self._default_scheduler()
+        self.scheduler.bind(self)
+        #: Cached bound method — the outbox flush calls it per envelope.
+        self._schedule = self.scheduler.schedule
+        self._current_round = 0
+
+    def _default_scheduler(self) -> Scheduler:
+        return RoundScheduler()
 
     # -- identity helpers (harness-side; not exposed to algorithms) ----------
 
@@ -154,11 +172,17 @@ class SyncNetwork:
 
         ``inputs[vertex]`` is handed to node ``vertex`` as ``ctx.input``.
         Raises :class:`ConvergenceError` if the stage does not quiesce
-        within ``max_rounds``.
+        within the scheduler's ``max_rounds`` budget (synchronous rounds,
+        or activations per node on the event-driven scheduler).
         """
         n = self.graph.n
         stage_name = name or f"stage-{self._stage_counter}"
         self._stage_counter += 1
+        # Engine-level adaptation point: the asynchronous network wraps
+        # round-cadence algorithms in an AlphaSynchronizer here.
+        algorithm_factory, inputs = self._adapt_stage(
+            algorithm_factory, inputs, stage_name
+        )
         stage = self.stats.begin_stage(stage_name)
 
         algorithms = [algorithm_factory() for _ in range(n)]
@@ -172,121 +196,12 @@ class SyncNetwork:
         for v in range(n):
             algorithms[v].setup(contexts[v])
 
-        passive = all(a.passive_when_idle for a in algorithms)
-        # Messages in flight live in a ring-buffer slot scheduler: slot
-        # ``r & mask`` holds the envelopes delivered at round r.  Each
-        # directed edge carries one message per round (CONGEST); a w-word
-        # payload occupies ceil(w / words_per_message) consecutive slots
-        # on its link, and bursts to the same neighbor queue up behind
-        # each other.  The ring grows (power of two) whenever a payload
-        # is scheduled beyond the current horizon, preserving the
-        # invariant that every pending round lies within ring_size of the
-        # current round — so slots never alias.
-        self._ring: list[list[Envelope]] = [[] for _ in range(64)]
-        self._ring_mask = 63
-        self._in_flight = 0
-        # Per-directed-link next-free round, flat-indexed sender*n +
-        # receiver (dict fallback for very large graphs where the n^2
-        # array would dominate memory).
-        if n * n <= self._LINK_ARRAY_MAX:
-            self._link_free = array("q", bytes(8 * n * n))
-            self._link_free_map = None
-        else:
-            self._link_free = None
-            self._link_free_map: dict[int, int] = {}
         self._outbox.clear()
-        round_index = 0
-        converged = False
-        collect = self.collect_utilization
-        ids = self._ids
+        rounds, converged = self.scheduler.run_stage(
+            stage_name, algorithms, contexts, max_rounds
+        )
 
-        # Persistent per-vertex inbox buffers, cleared and refilled each
-        # round instead of rebuilding a dict-of-lists; ``touched`` lists
-        # the vertices with a non-empty buffer in first-arrival order.
-        inbox_buffers: list[list[Envelope]] = [[] for _ in range(n)]
-        touched: list[int] = []
-
-        # The round budget counts rounds in which the engine does work
-        # (delivers messages / activates nodes).  Rounds a passive stage
-        # fast-forwards over are free: a multi-word payload may legally be
-        # *scheduled* past ``max_rounds`` and still be delivered, so the
-        # budget cannot simply compare the round index (which would declare
-        # non-convergence while a delivery is imminent and the stage is
-        # about to quiesce).  For round-cadence stages every round is a
-        # work round, so this is the same budget as before.
-        work_rounds = 0
-        while True:
-            work_rounds += 1
-            if work_rounds > max_rounds + 1:
-                raise ConvergenceError(
-                    f"stage '{stage_name}' exceeded {max_rounds} rounds"
-                )
-            self._current_round = round_index
-            slot_index = round_index & self._ring_mask
-            arriving = self._ring[slot_index]
-            if arriving:
-                self._ring[slot_index] = []
-                self._in_flight -= len(arriving)
-                for env in arriving:
-                    buf = inbox_buffers[env.receiver]
-                    if not buf:
-                        touched.append(env.receiver)
-                    buf.append(env)
-            active_vertices = (
-                range(n)
-                if (round_index == 0 or not passive)
-                else touched
-            )
-            for v in active_vertices:
-                ctx = contexts[v]
-                ctx.round = round_index
-                ctx._send_allowed = True
-                envelopes = inbox_buffers[v]
-                if envelopes:
-                    if collect:
-                        self._register_received_ids(v, envelopes)
-                    inbox = [
-                        Msg(ids[e.sender], e.tag, e.fields)
-                        for e in envelopes
-                    ]
-                else:
-                    inbox = []
-                algorithms[v].on_round(ctx, inbox)
-                ctx._send_allowed = False
-            for v in touched:
-                inbox_buffers[v].clear()
-            touched.clear()
-            if self._outbox:
-                self._flush_outbox()
-            all_done = all(c._finished for c in contexts)
-            if not self._in_flight:
-                if all_done:
-                    converged = True
-                    round_index += 1
-                    break
-                if passive and round_index > 0:
-                    unfinished = [
-                        v for v in range(n) if not contexts[v]._finished
-                    ]
-                    raise ConvergenceError(
-                        f"stage '{stage_name}' deadlocked with unfinished "
-                        f"nodes {unfinished[:10]} (total {len(unfinished)})"
-                    )
-                round_index += 1
-            elif passive:
-                # Idle nodes never act on silence: jump to the next
-                # delivery — the nearest non-empty ring slot (guaranteed
-                # within one ring length while messages are in flight).
-                ring = self._ring
-                mask = self._ring_mask
-                r = round_index + 1
-                while not ring[r & mask]:
-                    r += 1
-                round_index = r
-            else:
-                round_index += 1
-
-        self.stats.charge_rounds(round_index)
+        self.stats.charge_rounds(rounds)
         outputs = [contexts[v]._output for v in range(n)]
         if self.trace is not None:
             for v in range(n):
@@ -299,12 +214,11 @@ class SyncNetwork:
             converged=converged,
         )
 
-    # -- engine internals ------------------------------------------------------
+    def _adapt_stage(self, algorithm_factory, inputs, stage_name):
+        """Hook: adjust a stage before it runs (identity by default)."""
+        return algorithm_factory, inputs
 
-    #: Largest n*n for which per-link occupancy uses a flat array (above
-    #: it, a dict keyed by the same flat index — the array would cost
-    #: 8 * n^2 bytes per stage).
-    _LINK_ARRAY_MAX = 1 << 21
+    # -- engine internals ------------------------------------------------------
 
     def _submit_send(self, sender: int, to_id: NodeId, tag: str,
                      fields: tuple) -> None:
@@ -445,55 +359,6 @@ class SyncNetwork:
                 )
         stats.charge_send_batch(len(outbox), total_words, total_msgs)
         outbox.clear()
-
-    def _schedule(self, env: Envelope, charged: int) -> None:
-        """Synchronous delivery: one CONGEST message per link per round.
-
-        Bursts to the same neighbor queue behind each other and a k-message
-        payload holds the link for k rounds.  Link occupancy is a flat
-        ``sender*n + receiver`` array; deliveries land in the ring-buffer
-        slot for their round.  The asynchronous engine overrides this
-        with random finite delays.
-        """
-        cur = self._current_round
-        key = env.sender * self._n + env.receiver
-        link_free = self._link_free
-        if link_free is not None:
-            free = link_free[key]
-        else:
-            free = self._link_free_map.get(key, 0)
-        start = free if free > cur + 1 else cur + 1
-        deliver_at = start + charged - 1
-        if link_free is not None:
-            link_free[key] = deliver_at + 1
-        else:
-            self._link_free_map[key] = deliver_at + 1
-        if deliver_at - cur > self._ring_mask + 1:
-            self._grow_ring(deliver_at - cur)
-        self._ring[deliver_at & self._ring_mask].append(env)
-        self._in_flight += 1
-
-    def _grow_ring(self, horizon: int) -> None:
-        """Double the delivery ring until ``horizon`` rounds fit.
-
-        Every pending round r satisfies cur < r <= cur + old_size, so its
-        absolute value is recoverable from its old slot index and re-slots
-        uniquely in the bigger ring.
-        """
-        old = self._ring
-        old_size = len(old)
-        new_size = old_size
-        while new_size < horizon:
-            new_size *= 2
-        new_ring: list[list[Envelope]] = [[] for _ in range(new_size)]
-        cur = self._current_round
-        new_mask = new_size - 1
-        for i, slot in enumerate(old):
-            if slot:
-                r = cur + 1 + ((i - cur - 1) % old_size)
-                new_ring[r & new_mask] = slot
-        self._ring = new_ring
-        self._ring_mask = new_mask
 
     def _register_received_ids(self, receiver: int,
                                inbox: list[Envelope]) -> None:

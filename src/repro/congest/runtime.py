@@ -1,0 +1,498 @@
+"""The unified engine runtime: pluggable delivery under one stage core.
+
+A network (:class:`~repro.congest.network.SyncNetwork` and its
+subclasses) owns identity, knowledge, and accounting; *when* a charged
+message reaches its receiver is the business of a :class:`Scheduler`.
+This module provides the two delivery disciplines of the paper:
+
+* :class:`RoundScheduler` — synchronous CONGEST rounds.  Messages in
+  flight live in a ring-buffer of round slots; each directed link
+  carries one message per round, a w-word payload occupies
+  ``ceil(w / words_per_message)`` consecutive rounds on its link, and
+  bursts to the same neighbor queue behind each other.  This is the
+  reference discipline: fixed-seed counts through it are bit-stable and
+  gated by ``benchmarks/check_regression.py``.
+
+* :class:`EventScheduler` — the standard asynchronous model (paper
+  Section 3.1.1): every charged packet takes a finite delay drawn from a
+  seeded :class:`LatencyModel`, links stay FIFO, and nodes act only when
+  messages arrive.  ``stats.rounds`` records ``ceil(total time)``, the
+  normalized asynchronous time complexity.
+
+Latency models (all driven by one seeded ``random.Random`` stream per
+network, so executions are reproducible cell-by-cell):
+
+========== =============================================================
+``fixed``       every packet takes exactly ``delay`` time units
+``uniform``     uniform(``low``, ``high``) per packet — the classic
+                adversary normalized to max delay 1
+``exponential`` expovariate with mean ``mean`` (memoryless router)
+``heavy_tail``  Pareto(``alpha``) scaled by ``scale`` — rare very-slow
+                packets, the stress case for count-based lockstep
+========== =============================================================
+
+Adding a discipline means subclassing :class:`Scheduler` (two methods:
+``schedule`` and ``run_stage``); adding a latency model means
+subclassing :class:`LatencyModel` and registering it in
+:data:`LATENCY_MODELS`.  See ``docs/engines.md``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from array import array
+from typing import TYPE_CHECKING, Optional
+
+from repro.congest.message import Envelope, Msg
+from repro.errors import ConvergenceError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.congest.network import SyncNetwork
+
+
+# ---------------------------------------------------------------------------
+# Latency models
+# ---------------------------------------------------------------------------
+
+
+class LatencyModel:
+    """Per-packet delay distribution for the event-driven scheduler.
+
+    Implementations draw from the ``random.Random`` handed in by the
+    scheduler (one seeded stream per network, shared across stages), so
+    a fixed seed reproduces the exact arrival schedule.
+    """
+
+    name = "?"
+
+    def packet_delay(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}()"
+
+
+class FixedLatency(LatencyModel):
+    """Every packet takes exactly ``delay`` — asynchrony without jitter.
+
+    Useful as a control: reordering effects vanish and any count drift
+    against the synchronous run is pure synchronizer/selection overhead.
+    """
+
+    name = "fixed"
+
+    def __init__(self, delay: float = 1.0):
+        if delay <= 0:
+            raise ReproError("fixed latency delay must be positive")
+        self.delay = delay
+
+    def packet_delay(self, rng: random.Random) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """uniform(low, high) per packet — the normalized adversary.
+
+    The defaults reproduce the engine's historical behavior
+    (``min_delay=0.05``, max delay normalized to 1).
+    """
+
+    name = "uniform"
+
+    def __init__(self, low: float = 0.05, high: float = 1.0):
+        if not 0 <= low <= high:
+            raise ReproError("uniform latency needs 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def packet_delay(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class ExponentialLatency(LatencyModel):
+    """Memoryless per-packet delay with the given ``mean``.
+
+    Unbounded above: time units are the model's scale rather than a
+    normalized max delay (the paper's normalization assumes bounded
+    delays; the empirical engine is happy to explore beyond it).
+    """
+
+    name = "exponential"
+
+    def __init__(self, mean: float = 0.5):
+        if mean <= 0:
+            raise ReproError("exponential latency mean must be positive")
+        self.mean = mean
+
+    def packet_delay(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+
+class HeavyTailLatency(LatencyModel):
+    """Pareto(alpha)-distributed delays scaled by ``scale``.
+
+    ``alpha <= 2`` gives infinite variance — occasional packets are
+    orders of magnitude slower than the median, which is exactly the
+    regime that separates count-based lockstep protocols from
+    round-cadence ones.
+    """
+
+    name = "heavy_tail"
+
+    def __init__(self, alpha: float = 1.5, scale: float = 0.1):
+        if alpha <= 0 or scale <= 0:
+            raise ReproError("heavy_tail latency needs alpha, scale > 0")
+        self.alpha = alpha
+        self.scale = scale
+
+    def packet_delay(self, rng: random.Random) -> float:
+        return self.scale * rng.paretovariate(self.alpha)
+
+
+#: Latency-model vocabulary shared by the engine, SweepSpec, and the CLI.
+LATENCY_MODELS = ("fixed", "uniform", "exponential", "heavy_tail")
+
+_LATENCY_CLASSES = {
+    "fixed": FixedLatency,
+    "uniform": UniformLatency,
+    "exponential": ExponentialLatency,
+    "heavy_tail": HeavyTailLatency,
+}
+
+
+def make_latency_model(spec, min_delay: float = 0.05) -> LatencyModel:
+    """Resolve a latency-model spec: an instance passes through, a name
+    builds the registered class with defaults.
+
+    ``min_delay`` feeds the ``uniform`` model's lower bound, preserving
+    the historical ``AsyncNetwork(min_delay=...)`` knob.
+    """
+    if isinstance(spec, LatencyModel):
+        return spec
+    if spec == "uniform":
+        return UniformLatency(low=min_delay)
+    cls = _LATENCY_CLASSES.get(spec)
+    if cls is None:
+        raise ReproError(
+            f"unknown latency model {spec!r}; "
+            f"known: {', '.join(LATENCY_MODELS)}"
+        )
+    return cls()
+
+
+# ---------------------------------------------------------------------------
+# Schedulers
+# ---------------------------------------------------------------------------
+
+
+class Scheduler:
+    """Delivery discipline: owns in-flight messages and the stage loop.
+
+    A scheduler is bound to exactly one network (:meth:`bind`, called by
+    the network constructor) and reused across its stages.  The network
+    keeps validation, charging, and the outbox; it calls
+    :meth:`schedule` once per charged send (from its outbox flush) and
+    :meth:`run_stage` once per protocol stage.
+    """
+
+    #: "sync" or "async" — what ``stats.rounds`` means under this
+    #: scheduler (synchronous rounds vs normalized time).
+    kind = "?"
+
+    def __init__(self):
+        self.net: Optional["SyncNetwork"] = None
+
+    def bind(self, net: "SyncNetwork") -> None:
+        if self.net is not None and self.net is not net:
+            raise ReproError("a Scheduler instance serves a single network")
+        self.net = net
+
+    def schedule(self, env: Envelope, charged: int) -> None:
+        """Enqueue one analyzed, charged send for future delivery."""
+        raise NotImplementedError
+
+    def run_stage(self, stage_name: str, algorithms, contexts,
+                  max_rounds: int) -> tuple[int, bool]:
+        """Drive one stage to quiescence.
+
+        Returns ``(rounds, converged)`` where ``rounds`` is what the
+        stage costs on this discipline's clock (synchronous rounds or
+        ceil of normalized time).  Sends buffered by the nodes land in
+        the network's outbox; the loop must flush it via
+        ``net._flush_outbox()`` with ``net._current_round`` set.
+        """
+        raise NotImplementedError
+
+
+class RoundScheduler(Scheduler):
+    """Synchronous CONGEST rounds (the reference discipline).
+
+    Messages in flight live in a ring-buffer slot scheduler: slot
+    ``r & mask`` holds the envelopes delivered at round r.  Each directed
+    edge carries one message per round; a w-word payload occupies
+    ``ceil(w / words_per_message)`` consecutive slots on its link, and
+    bursts to the same neighbor queue up behind each other.  The ring
+    grows (power of two) whenever a payload is scheduled beyond the
+    current horizon, preserving the invariant that every pending round
+    lies within ring_size of the current round — so slots never alias.
+    Link occupancy is a flat ``sender*n + receiver`` array (dict fallback
+    for very large graphs where the n^2 array would dominate memory).
+    """
+
+    kind = "sync"
+
+    #: Largest n*n for which per-link occupancy uses a flat array (above
+    #: it, a dict keyed by the same flat index — the array would cost
+    #: 8 * n^2 bytes per stage).
+    _LINK_ARRAY_MAX = 1 << 21
+
+    def _begin_stage(self) -> None:
+        n = self.net._n
+        self._ring: list[list[Envelope]] = [[] for _ in range(64)]
+        self._ring_mask = 63
+        self._in_flight = 0
+        # Per-directed-link next-free round, flat-indexed sender*n +
+        # receiver.
+        if n * n <= self._LINK_ARRAY_MAX:
+            self._link_free = array("q", bytes(8 * n * n))
+            self._link_free_map = None
+        else:
+            self._link_free = None
+            self._link_free_map: dict[int, int] = {}
+
+    def schedule(self, env: Envelope, charged: int) -> None:
+        net = self.net
+        cur = net._current_round
+        key = env.sender * net._n + env.receiver
+        link_free = self._link_free
+        if link_free is not None:
+            free = link_free[key]
+        else:
+            free = self._link_free_map.get(key, 0)
+        start = free if free > cur + 1 else cur + 1
+        deliver_at = start + charged - 1
+        if link_free is not None:
+            link_free[key] = deliver_at + 1
+        else:
+            self._link_free_map[key] = deliver_at + 1
+        if deliver_at - cur > self._ring_mask + 1:
+            self._grow_ring(deliver_at - cur)
+        self._ring[deliver_at & self._ring_mask].append(env)
+        self._in_flight += 1
+
+    def _grow_ring(self, horizon: int) -> None:
+        """Double the delivery ring until ``horizon`` rounds fit.
+
+        Every pending round r satisfies cur < r <= cur + old_size, so its
+        absolute value is recoverable from its old slot index and re-slots
+        uniquely in the bigger ring.
+        """
+        old = self._ring
+        old_size = len(old)
+        new_size = old_size
+        while new_size < horizon:
+            new_size *= 2
+        new_ring: list[list[Envelope]] = [[] for _ in range(new_size)]
+        cur = self.net._current_round
+        new_mask = new_size - 1
+        for i, slot in enumerate(old):
+            if slot:
+                r = cur + 1 + ((i - cur - 1) % old_size)
+                new_ring[r & new_mask] = slot
+        self._ring = new_ring
+        self._ring_mask = new_mask
+
+    def run_stage(self, stage_name: str, algorithms, contexts,
+                  max_rounds: int) -> tuple[int, bool]:
+        net = self.net
+        n = net._n
+        self._begin_stage()
+        passive = all(a.passive_when_idle for a in algorithms)
+        round_index = 0
+        converged = False
+        collect = net.collect_utilization
+        ids = net._ids
+
+        # Persistent per-vertex inbox buffers, cleared and refilled each
+        # round instead of rebuilding a dict-of-lists; ``touched`` lists
+        # the vertices with a non-empty buffer in first-arrival order.
+        inbox_buffers: list[list[Envelope]] = [[] for _ in range(n)]
+        touched: list[int] = []
+
+        # The round budget counts rounds in which the engine does work
+        # (delivers messages / activates nodes).  Rounds a passive stage
+        # fast-forwards over are free: a multi-word payload may legally be
+        # *scheduled* past ``max_rounds`` and still be delivered, so the
+        # budget cannot simply compare the round index (which would declare
+        # non-convergence while a delivery is imminent and the stage is
+        # about to quiesce).  For round-cadence stages every round is a
+        # work round, so this is the same budget as before.
+        work_rounds = 0
+        while True:
+            work_rounds += 1
+            if work_rounds > max_rounds + 1:
+                raise ConvergenceError(
+                    f"stage '{stage_name}' exceeded {max_rounds} rounds"
+                )
+            net._current_round = round_index
+            slot_index = round_index & self._ring_mask
+            arriving = self._ring[slot_index]
+            if arriving:
+                self._ring[slot_index] = []
+                self._in_flight -= len(arriving)
+                for env in arriving:
+                    buf = inbox_buffers[env.receiver]
+                    if not buf:
+                        touched.append(env.receiver)
+                    buf.append(env)
+            active_vertices = (
+                range(n)
+                if (round_index == 0 or not passive)
+                else touched
+            )
+            for v in active_vertices:
+                ctx = contexts[v]
+                ctx.round = round_index
+                ctx._send_allowed = True
+                envelopes = inbox_buffers[v]
+                if envelopes:
+                    if collect:
+                        net._register_received_ids(v, envelopes)
+                    inbox = [
+                        Msg(ids[e.sender], e.tag, e.fields)
+                        for e in envelopes
+                    ]
+                else:
+                    inbox = []
+                algorithms[v].on_round(ctx, inbox)
+                ctx._send_allowed = False
+            for v in touched:
+                inbox_buffers[v].clear()
+            touched.clear()
+            if net._outbox:
+                net._flush_outbox()
+            all_done = all(c._finished for c in contexts)
+            if not self._in_flight:
+                if all_done:
+                    converged = True
+                    round_index += 1
+                    break
+                if passive and round_index > 0:
+                    unfinished = [
+                        v for v in range(n) if not contexts[v]._finished
+                    ]
+                    raise ConvergenceError(
+                        f"stage '{stage_name}' deadlocked with unfinished "
+                        f"nodes {unfinished[:10]} (total {len(unfinished)})"
+                    )
+                round_index += 1
+            elif passive:
+                # Idle nodes never act on silence: jump to the next
+                # delivery — the nearest non-empty ring slot (guaranteed
+                # within one ring length while messages are in flight).
+                ring = self._ring
+                mask = self._ring_mask
+                r = round_index + 1
+                while not ring[r & mask]:
+                    r += 1
+                round_index = r
+            else:
+                round_index += 1
+        return round_index, converged
+
+
+class EventScheduler(Scheduler):
+    """Event-driven delivery with per-packet latency draws (FIFO links).
+
+    A charged k-message payload takes the sum of k packet delays on its
+    link; arrivals pop off a heap in time order (ties broken by a
+    submission sequence number, so executions are deterministic for a
+    fixed seed).  ``run_stage`` activates every node once at time zero,
+    then drives the event loop; the stage's ``rounds`` is
+    ``ceil(total normalized time)``.
+    """
+
+    kind = "async"
+
+    def __init__(self, latency: LatencyModel | str = "uniform",
+                 min_delay: float = 0.05):
+        super().__init__()
+        self.latency = make_latency_model(latency, min_delay=min_delay)
+        self._rng: Optional[random.Random] = None
+
+    def bind(self, net: "SyncNetwork") -> None:
+        super().bind(net)
+        # One delay stream per network, shared across stages, seeded the
+        # way the historical AsyncNetwork seeded it.
+        self._rng = random.Random(f"delays-{net.seed}")
+
+    def schedule(self, env: Envelope, charged: int) -> None:
+        link = (env.sender, env.receiver)
+        start = max(self._now, self._link_clock.get(link, 0.0))
+        rng = self._rng
+        delay = self.latency.packet_delay(rng)
+        for _ in range(charged - 1):
+            delay += self.latency.packet_delay(rng)
+        arrival = start + delay
+        self._link_clock[link] = arrival
+        self._seq += 1
+        heapq.heappush(self._queue, (arrival, self._seq, env))
+
+    def run_stage(self, stage_name: str, algorithms, contexts,
+                  max_rounds: int) -> tuple[int, bool]:
+        net = self.net
+        n = net._n
+        self._queue: list = []
+        self._seq = 0
+        self._link_clock: dict[tuple[int, int], float] = {}
+        self._now = 0.0
+        net._current_round = 0
+        activations = [0] * n
+        ids = net._ids
+
+        # Initial activation: every node acts once at time zero.  Sends
+        # buffer in the shared outbox; one flush (submission order, so
+        # identical delay draws) pushes them onto the event heap.
+        for v in range(n):
+            ctx = contexts[v]
+            ctx.round = 0
+            ctx._send_allowed = True
+            algorithms[v].on_round(ctx, [])
+            ctx._send_allowed = False
+        if net._outbox:
+            net._flush_outbox()
+
+        max_events = max_rounds * max(n, 1)
+        events = 0
+        collect = net.collect_utilization
+        while self._queue:
+            events += 1
+            if events > max_events:
+                raise ConvergenceError(
+                    f"async stage '{stage_name}' exceeded {max_events} events"
+                )
+            arrival, _seq, env = heapq.heappop(self._queue)
+            self._now = arrival
+            v = env.receiver
+            activations[v] += 1
+            ctx = contexts[v]
+            ctx.round = activations[v]
+            if collect and env.ids:
+                net._register_received_ids(v, (env,))
+            ctx._send_allowed = True
+            algorithms[v].on_round(
+                ctx, [Msg(ids[env.sender], env.tag, env.fields)]
+            )
+            ctx._send_allowed = False
+            if net._outbox:
+                net._flush_outbox()
+
+        unfinished = [v for v in range(n) if not contexts[v]._finished]
+        if unfinished:
+            raise ConvergenceError(
+                f"async stage '{stage_name}' quiesced with unfinished "
+                f"nodes {unfinished[:10]} (total {len(unfinished)})"
+            )
+        return max(1, math.ceil(self._now)), True

@@ -24,7 +24,11 @@ from typing import Any, Callable, Optional
 
 from repro.congest.ids import NodeId
 from repro.congest.node import Context, NodeAlgorithm
-from repro.errors import ModelViolationError, ProtocolError
+from repro.errors import (
+    ModelViolationError,
+    ProtocolError,
+    SynchronizerBudgetError,
+)
 
 
 class _SimContext:
@@ -39,6 +43,15 @@ class _SimContext:
         self.captured: list[tuple[NodeId, str, tuple]] = []
         self._finished = False
         self._output: Any = None
+        self._outer = outer
+
+    @property
+    def word_bits(self) -> int:
+        return self._outer.word_bits
+
+    @property
+    def words_per_message(self) -> int:
+        return self._outer.words_per_message
 
     @property
     def my_id(self) -> NodeId:
@@ -147,7 +160,7 @@ class AlphaSynchronizer(NodeAlgorithm):
                 self.r += 1
                 if self.r > self.total_rounds:
                     if not self.sim._finished:
-                        raise ProtocolError(
+                        raise SynchronizerBudgetError(
                             "inner algorithm did not finish within the "
                             "synchronizer's round budget"
                         )

@@ -34,6 +34,15 @@ class ProtocolError(ReproError):
     protocol implementation, not a model violation)."""
 
 
+class SynchronizerBudgetError(ProtocolError):
+    """The alpha-synchronizer's round budget T expired before the inner
+    algorithm finished.  Distinct from a generic protocol bug because a
+    too-small budget is a *recoverable* condition: the caller can retry
+    with a larger T (what the api layer does when an asynchronous
+    execution legitimately diverges from the shadow run that recorded
+    the budgets — e.g. a different elected broadcast root)."""
+
+
 class VerificationError(ReproError):
     """A produced output (coloring / MIS / tree) failed verification."""
 

@@ -28,6 +28,7 @@ from repro.experiments.report import bench_payload, render_report, summarize
 from repro.experiments.runner import run_cell, run_sweep
 from repro.experiments.spec import (
     ALL_METHODS,
+    ASYNC_NATIVE_METHODS,
     COLORING_METHODS,
     MIS_METHODS,
     Cell,
@@ -43,6 +44,7 @@ from repro.experiments.store import ResultStore
 
 __all__ = [
     "ALL_METHODS",
+    "ASYNC_NATIVE_METHODS",
     "COLORING_METHODS",
     "MIS_METHODS",
     "Cell",

@@ -54,8 +54,8 @@ def render_report(summary: Sequence[dict]) -> str:
     """An aligned text table of the per-workload summaries."""
     lines = []
     header = (
-        f"{'family':>9}  {'method':>22}  {'eng':>5}  {'p':>5}  "
-        f"{'n-range':>11}  {'runs':>4}  "
+        f"{'family':>9}  {'method':>22}  {'eng':>5}  {'latency':>10}  "
+        f"{'p':>5}  {'n-range':>11}  {'runs':>4}  "
         f"{'mean msgs (max n)':>18}  {'msg exp':>7}  {'m exp':>6}  "
         f"{'rnd exp':>7}"
     )
@@ -72,6 +72,7 @@ def render_report(summary: Sequence[dict]) -> str:
         lines.append(
             f"{row['family']:>9}  {row['method']:>22}  "
             f"{row.get('engine') or '?':>5}  "
+            f"{row.get('latency') or '-':>10}  "
             f"{('%g' % density) if density is not None else '?':>5}  "
             f"{span:>11}  "
             f"{runs:>4}  {mean_str:>18}  {row['exponent']:>7.2f}  "
@@ -103,6 +104,7 @@ def bench_payload(records: Sequence[dict],
                 "family": row["family"],
                 "method": row["method"],
                 "engine": row.get("engine"),
+                "latency": row.get("latency"),
                 "density": row.get("density"),
                 "messages_exponent": round(row["exponent"], 4),
                 "m_exponent": round(row["m_exponent"], 4),
@@ -112,7 +114,9 @@ def bench_payload(records: Sequence[dict],
         ],
         "cells": [
             {k: rec[k] for k in
-             ("key", "messages", "rounds", "wall_s") if k in rec}
+             ("key", "messages", "rounds", "wall_s",
+              "sync_messages", "overhead_messages",
+              "synchronized_stages") if k in rec}
             for rec in sorted(records, key=lambda r: r.get("key", ""))
         ],
     }

@@ -27,7 +27,7 @@ from typing import Callable, Optional
 
 from repro import api
 from repro.errors import ReproError
-from repro.experiments.spec import ASYNC_METHODS, Cell, SweepSpec
+from repro.experiments.spec import Cell, SweepSpec
 from repro.experiments.store import ResultStore
 from repro.graphs.generators import family_graph
 
@@ -37,13 +37,18 @@ def _method_extras(cell: Cell, result) -> dict:
 
     These are the paper-specific quantities the hand-rolled benchmark
     sweeps used to re-derive (Lemma 3.2 recursion levels, deferral
-    counts, Konrad-Lemma-1 remnant degrees); surfacing them here lets
-    those benchmarks run through ``run_cell`` instead.
+    counts, Lemma 3.7 query traffic, Konrad-Lemma-1 remnant degrees);
+    surfacing them here lets those benchmarks run through ``run_cell``
+    instead.
     """
     detail = result.detail
     if cell.method == "kt1-delta-plus-one":
         return {"levels": detail.num_levels,
                 "deferred": detail.deferred_total}
+    if cell.method == "kt1-eps-delta":
+        return {"phases": detail.phases,
+                "queries": detail.query_messages,
+                "palette": detail.palette_size}
     if cell.method == "kt2-sampled-greedy":
         return {"sampled": detail.sampled,
                 "remnant_deg": detail.remnant_max_degree_local,
@@ -55,37 +60,52 @@ def run_cell(cell: Cell) -> dict:
     """Execute one sweep cell and return its result record.
 
     The record is flat and JSON-serializable: identity fields (key,
-    family, n, seed, method, engine), the graph's m, the accounting
-    (messages, words, rounds, utilized — ``None`` in stats-lite mode),
-    validity, ``status="ok"``, wall-clock seconds, and method-specific
-    extras (see :func:`_method_extras`).
+    family, n, seed, method, engine, latency — ``None`` for sync cells),
+    the graph's m, the accounting (messages, words, rounds, utilized —
+    ``None`` in stats-lite mode), validity, ``status="ok"``, wall-clock
+    seconds, and method-specific extras (see :func:`_method_extras`).
+    Async cells additionally carry the shadow synchronous baseline and
+    the cost-of-asynchrony columns (``sync_messages``, ``sync_rounds``,
+    ``overhead_messages``, ``overhead_rounds``,
+    ``synchronized_stages``).
     """
-    if cell.engine == "async" and cell.method not in ASYNC_METHODS:
-        # SweepSpec rejects these at construction; a hand-built Cell gets
-        # the same answer instead of a silently-synchronous "async" record.
+    if (cell.sample_constant is not None
+            and cell.method != "kt2-sampled-greedy"):
+        # SweepSpec rejects this at construction; a hand-built Cell gets
+        # the same answer instead of a mislabeled record whose key
+        # claims a knob the method never saw.
         raise ReproError(
-            f"method {cell.method!r} cannot run on the async engine"
+            "sample_constant only applies to kt2-sampled-greedy, "
+            f"not {cell.method!r}"
         )
     t0 = time.perf_counter()
     graph = family_graph(cell.family, cell.n, p=cell.density,
                          seed=cell.seed)
+    asynchronous = cell.engine == "async"
     if cell.problem == "coloring":
         result = api.color_graph(
             graph,
             method=cell.method,
             seed=cell.seed,
             epsilon=cell.epsilon,
-            asynchronous=(cell.engine == "async"),
+            asynchronous=asynchronous,
+            latency=cell.latency,
             collect_utilization=cell.collect_utilization,
         )
         extra = {"colors": result.num_colors,
                  "palette_bound": result.palette_bound}
     else:
+        mis_kwargs = {}
+        if cell.sample_constant is not None:
+            mis_kwargs["sample_constant"] = cell.sample_constant
         result = api.find_mis(
             graph,
             method=cell.method,
             seed=cell.seed,
+            asynchronous=asynchronous,
+            latency=cell.latency,
             collect_utilization=cell.collect_utilization,
+            **mis_kwargs,
         )
         extra = {"mis_size": result.size}
     extra.update(_method_extras(cell, result))
@@ -93,11 +113,15 @@ def run_cell(cell: Cell) -> dict:
     record = {
         "key": cell.key(),
         "family": cell.family,
-        "n": cell.n,
+        # The *built* graph's size: families that quantize the vertex
+        # count (expander fibers, barbell halves) would otherwise feed
+        # exponent fits a systematically wrong x-coordinate.
+        "n": graph.n,
         "m": graph.m,
         "seed": cell.seed,
         "method": cell.method,
         "engine": cell.engine,
+        "latency": cell.latency if asynchronous else None,
         "density": cell.density,
         "epsilon": cell.epsilon,
         "messages": report.messages,
@@ -108,6 +132,14 @@ def run_cell(cell: Cell) -> dict:
         "status": "ok",
         "wall_s": round(time.perf_counter() - t0, 6),
     }
+    if cell.sample_constant is not None:
+        record["sample_constant"] = cell.sample_constant
+    if asynchronous:
+        record["sync_messages"] = report.sync_messages
+        record["sync_rounds"] = report.sync_rounds
+        record["overhead_messages"] = report.overhead_messages
+        record["overhead_rounds"] = report.overhead_rounds
+        record["synchronized_stages"] = report.synchronized_stages
     record.update(extra)
     return record
 
@@ -123,6 +155,7 @@ def _failure_record(cell: Cell, status: str, wall_s: float = 0.0,
         "seed": cell.seed,
         "method": cell.method,
         "engine": cell.engine,
+        "latency": cell.latency if cell.engine == "async" else None,
         "density": cell.density,
         "epsilon": cell.epsilon,
         "valid": False,

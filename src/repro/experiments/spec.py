@@ -2,12 +2,21 @@
 
 A :class:`SweepSpec` is the cross product
 
-    graph family x size n x seed x method (x engine)
+    graph family x size n x seed x method x engine (x latency model)
 
 and expands to a list of :class:`Cell` objects, each a single
 self-contained run (picklable, so the worker pool can ship it to another
 process).  Every cell has a stable string :meth:`Cell.key` used by the
 JSON-lines store for resume: a completed key is never re-run.
+
+Every method runs on every engine: async-native methods run the
+event-driven engine directly, round-cadence ones are auto-wrapped in the
+alpha-synchronizer by :func:`repro.api.color_graph` /
+:func:`repro.api.find_mis` (the shadow synchronous run that supplies the
+wrap budgets also yields the cell's overhead-of-asynchrony columns).
+The latency axis only multiplies async cells — synchronous delivery has
+no latency model, so sync cells are emitted once regardless of
+``latencies``.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
+from repro.congest.runtime import LATENCY_MODELS
 from repro.errors import ReproError
 
 #: Methods dispatched to :func:`repro.api.color_graph`.
@@ -36,19 +46,31 @@ ALL_METHODS = COLORING_METHODS + MIS_METHODS
 
 ENGINES = ("sync", "async")
 
-#: The only methods the event-driven engine can run today (Theorem 3.4);
-#: Algorithm 2 is synchronous in the paper and the MIS API has no
-#: asynchronous mode, so async cells for them are rejected up front
-#: rather than mislabeled or crashed mid-sweep.
-ASYNC_METHODS = ("kt1-delta-plus-one",)
+#: Methods whose every protocol stage is count-based lockstep
+#: (``passive_when_idle``), so they run the event-driven engine without
+#: alpha-synchronizer wrapping.  The rest (Algorithm 2's phase cadence,
+#: Algorithm 3's parallel greedy) run async too, via the auto-wrap —
+#: their records just carry nonzero ``synchronized_stages``.
+ASYNC_NATIVE_METHODS = (
+    "kt1-delta-plus-one",
+    "baseline-trial",
+    "baseline-rank-greedy",
+    "luby",
+    "rank-greedy",
+)
 
 
 @dataclass(frozen=True)
 class Cell:
-    """One experiment: a (family, n, seed, method, engine) point.
+    """One experiment: a (family, n, seed, method, engine, latency) point.
 
     ``timeout_s`` / ``retries`` do not participate in :meth:`key` — they
     change how patiently a cell is run, not what it measures.
+    ``latency`` is the async delivery model; synchronous cells ignore it
+    (and it stays out of their key, so historical sync keys are stable).
+    ``sample_constant`` is Algorithm 3's |S| knob (None = the method
+    default) — set, it becomes part of the key, as it changes what the
+    cell measures.
     """
 
     family: str
@@ -56,8 +78,10 @@ class Cell:
     seed: int
     method: str
     engine: str = "sync"
+    latency: str = "uniform"
     density: float = 0.2
     epsilon: float = 0.5
+    sample_constant: Optional[float] = None
     collect_utilization: bool = False
     #: Wall-clock budget per attempt (None = unlimited, run in-pool).
     timeout_s: Optional[float] = None
@@ -69,11 +93,17 @@ class Cell:
 
         Every field that changes what a cell measures participates, so a
         re-run with (say) a different epsilon or full accounting is a new
-        cell, not a resume hit serving stale numbers.
+        cell, not a resume hit serving stale numbers.  Fields at their
+        historical defaults (sync engine, no sample_constant) render
+        exactly the historical key, keeping old stores resumable.
         """
+        engine = (f"{self.engine}+{self.latency}" if self.engine == "async"
+                  else self.engine)
+        sample = (f"c{self.sample_constant:g}/"
+                  if self.sample_constant is not None else "")
         return (
             f"{self.family}/n{self.n}/p{self.density:g}/"
-            f"{self.method}/{self.engine}/eps{self.epsilon:g}/"
+            f"{self.method}/{engine}/eps{self.epsilon:g}/{sample}"
             f"{'full' if self.collect_utilization else 'lite'}/"
             f"s{self.seed}"
         )
@@ -92,6 +122,11 @@ class SweepSpec:
     sweeps run stats-lite (``collect_utilization=False``): message, word,
     and round counts are identical to full accounting, and bulk runs only
     need those.
+
+    ``engines`` is the engine axis (``engine`` remains as the historical
+    single-engine spelling and is used when ``engines`` is empty);
+    ``latencies`` multiplies only the async cells — a sync cell has no
+    latency model and is emitted once.
     """
 
     families: tuple[str, ...] = ("gnp",)
@@ -99,8 +134,11 @@ class SweepSpec:
     seeds: tuple[int, ...] = (0,)
     methods: tuple[str, ...] = ("kt1-delta-plus-one",)
     engine: str = "sync"
+    engines: tuple[str, ...] = ()
+    latencies: tuple[str, ...] = ("uniform",)
     density: float = 0.2
     epsilon: float = 0.5
+    sample_constant: Optional[float] = None
     collect_utilization: bool = False
     #: Per-cell wall-clock budget: a cell still running after ``timeout_s``
     #: seconds is killed (its worker process terminated, the pool intact),
@@ -117,46 +155,81 @@ class SweepSpec:
                 raise ReproError(
                     f"unknown method {m!r}; known: {', '.join(ALL_METHODS)}"
                 )
-        if self.engine not in ENGINES:
-            raise ReproError(f"unknown engine {self.engine!r}")
-        if self.engine == "async":
-            bad = [m for m in self.methods if m not in ASYNC_METHODS]
-            if bad:
+        for engine in self.engine_axis:
+            if engine not in ENGINES:
+                raise ReproError(f"unknown engine {engine!r}")
+        if len(set(self.engine_axis)) != len(self.engine_axis):
+            raise ReproError("duplicate engine in engines axis")
+        for latency in self.latencies:
+            if latency not in LATENCY_MODELS:
                 raise ReproError(
-                    f"method(s) {', '.join(bad)} cannot run on the async "
-                    f"engine (supported: {', '.join(ASYNC_METHODS)})"
+                    f"unknown latency model {latency!r}; "
+                    f"known: {', '.join(LATENCY_MODELS)}"
                 )
+        if len(set(self.latencies)) != len(self.latencies):
+            raise ReproError("duplicate latency in latencies axis")
         if (not self.sizes or not self.seeds or not self.families
-                or not self.methods):
+                or not self.methods or not self.latencies):
             raise ReproError("sweep spec has an empty axis")
+        if self.sample_constant is not None:
+            bad = [m for m in self.methods if m != "kt2-sampled-greedy"]
+            if bad:
+                # The knob only reaches Algorithm 3; letting other
+                # methods carry it would mint distinct cell keys whose
+                # numbers do not measure what the key claims.
+                raise ReproError(
+                    "sample_constant only applies to kt2-sampled-greedy "
+                    f"(spec also includes: {', '.join(bad)})"
+                )
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ReproError("timeout_s must be positive (or None)")
         if self.retries < 0:
             raise ReproError("retries must be >= 0")
 
+    @property
+    def engine_axis(self) -> tuple[str, ...]:
+        """The effective engine axis (``engines``, or the single
+        ``engine`` when no axis was given)."""
+        return self.engines or (self.engine,)
+
+    def _engine_latency_pairs(self) -> list[tuple[str, str]]:
+        # Sync delivery has no latency model: one cell per sync engine
+        # entry, one per (async, latency) combination.
+        pairs = []
+        for engine in self.engine_axis:
+            if engine == "async":
+                pairs.extend((engine, lat) for lat in self.latencies)
+            else:
+                pairs.append((engine, "uniform"))
+        return pairs
+
     def cells(self) -> Iterator[Cell]:
         """Expand the matrix in deterministic order."""
+        pairs = self._engine_latency_pairs()
         for family in self.families:
             for n in self.sizes:
                 for method in self.methods:
-                    for seed in self.seeds:
-                        yield Cell(
-                            family=family,
-                            n=n,
-                            seed=seed,
-                            method=method,
-                            engine=self.engine,
-                            density=self.density,
-                            epsilon=self.epsilon,
-                            collect_utilization=self.collect_utilization,
-                            timeout_s=self.timeout_s,
-                            retries=self.retries,
-                        )
+                    for engine, latency in pairs:
+                        for seed in self.seeds:
+                            yield Cell(
+                                family=family,
+                                n=n,
+                                seed=seed,
+                                method=method,
+                                engine=engine,
+                                latency=latency,
+                                density=self.density,
+                                epsilon=self.epsilon,
+                                sample_constant=self.sample_constant,
+                                collect_utilization=self.collect_utilization,
+                                timeout_s=self.timeout_s,
+                                retries=self.retries,
+                            )
 
     @property
     def size(self) -> int:
         return (len(self.families) * len(self.sizes) * len(self.methods)
-                * len(self.seeds))
+                * len(self.seeds) * len(self._engine_latency_pairs()))
 
     def with_full_stats(self) -> "SweepSpec":
         return replace(self, collect_utilization=True)

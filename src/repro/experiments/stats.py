@@ -53,10 +53,13 @@ def mean_ci(values: Sequence[float],
 
 
 #: The record fields that define one scaling population: pooling across
-#: any of these (different densities, engines, or epsilons appended to
-#: the same store) would fit one meaningless exponent over two different
-#: workloads, so aggregation always separates them.
-WORKLOAD_KEYS = ("family", "method", "engine", "density", "epsilon")
+#: any of these (different densities, engines, latency models, epsilons,
+#: or sample constants appended to the same store) would fit one
+#: meaningless exponent over two different workloads, so aggregation
+#: always separates them.  Sync records store ``latency`` as None (no
+#: delivery model), which also matches records from older schemas.
+WORKLOAD_KEYS = ("family", "method", "engine", "latency", "density",
+                 "epsilon", "sample_constant")
 
 
 def ok_records(records: Sequence[dict]) -> list[dict]:

@@ -15,6 +15,9 @@ from repro.graphs.generators import (
     cycle_graph,
     disjoint_cycles,
     barbell_graph,
+    grid_graph,
+    random_regular_lift,
+    planted_partition_graph,
     tiered_bipartite,
 )
 from repro.graphs.analysis import (
@@ -35,6 +38,9 @@ __all__ = [
     "cycle_graph",
     "disjoint_cycles",
     "barbell_graph",
+    "grid_graph",
+    "random_regular_lift",
+    "planted_partition_graph",
     "tiered_bipartite",
     "connected_components",
     "is_connected",

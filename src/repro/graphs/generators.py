@@ -196,6 +196,107 @@ def barbell_graph(clique: int, path: int) -> Graph:
     return Graph(2 * clique + path, edges)
 
 
+def grid_graph(n: int) -> Graph:
+    """A near-square 2D lattice on exactly ``n`` vertices.
+
+    Vertex v sits at (v // cols, v % cols) with cols = ceil(sqrt(n));
+    the last row may be partial.  Every vertex links left and up, so the
+    lattice is connected for any n >= 1.  Bounded degree (<= 4) and
+    Theta(sqrt n) diameter — the opposite regime from dense gnp, where
+    m ~ n and the o(m) message bounds are vacuous but round behavior and
+    synchronizer overhead per edge are cleanly visible.
+    """
+    if n < 1:
+        raise ReproError("grid needs at least one vertex")
+    import math
+
+    cols = max(1, math.isqrt(n - 1) + 1)
+    edges = []
+    for v in range(n):
+        if (v % cols) != cols - 1 and v + 1 < n:
+            edges.append((v, v + 1))
+        if v + cols < n:
+            edges.append((v, v + cols))
+    return Graph(n, edges)
+
+
+def random_regular_lift(n: int, d: int = 4, seed=0) -> Graph:
+    """A random degree-``d`` lift of K_{d+1} — an expander whp.
+
+    The base graph K_{d+1} is d-regular; an L-lift replaces each base
+    vertex u with a fiber {(u, 0), ..., (u, L-1)} and each base edge
+    {u, v} with a random perfect matching between the fibers (a uniform
+    permutation pi: (u, i) ~ (v, pi(i))).  Random lifts of expanders are
+    expanders whp (Bilu–Linial), the result is exactly d-regular and
+    simple by construction, and L = round(n / (d+1)) fibers put the
+    vertex count within a fiber of ``n``.  Rarely the lift is
+    disconnected; consecutive components are then patched with one
+    random edge each (as :func:`connected_gnp_graph` does).
+    """
+    if d < 3:
+        raise ReproError("expander lift needs degree >= 3")
+    rng = _rng_from(seed)
+    base = d + 1
+    lift = max(1, round(n / base))
+    edges: list[tuple[int, int]] = []
+    for u in range(base):
+        for v in range(u + 1, base):
+            perm = list(range(lift))
+            rng.shuffle(perm)
+            edges.extend(
+                (u * lift + i, v * lift + perm[i]) for i in range(lift)
+            )
+    g = Graph(base * lift, edges)
+    from repro.graphs.analysis import connected_components
+
+    comps = connected_components(g)
+    if len(comps) == 1:
+        return g
+    extra = []
+    for a, b in zip(comps, comps[1:]):
+        extra.append((rng.choice(sorted(a)), rng.choice(sorted(b))))
+    return g.with_edges(added=extra)
+
+
+def planted_partition_graph(n: int, p_in: float, p_out: float,
+                            blocks: int = 4, seed=0) -> Graph:
+    """A planted-partition (stochastic block model) graph.
+
+    ``blocks`` contiguous communities of near-equal size; each
+    within-community pair is an edge with probability ``p_in``, each
+    cross pair with ``p_out`` (p_out << p_in plants the partition).
+    Communities whose internal density is high while the cut is sparse
+    are the natural stress case for the partition-based coloring
+    (Algorithm 1's B_i parts vs. the planted ones) and for synchronizer
+    locality.  Connectivity is patched the same way as
+    :func:`connected_gnp_graph`: components get linked by one random
+    edge each.
+    """
+    if not 0.0 <= p_out <= p_in <= 1.0:
+        raise ReproError("planted partition needs 0 <= p_out <= p_in <= 1")
+    if blocks < 1 or blocks > n:
+        raise ReproError("blocks must be in [1, n]")
+    rng = _rng_from(seed)
+    block_of = [min(v * blocks // n, blocks - 1) for v in range(n)]
+    edges = []
+    for u in range(n):
+        bu = block_of[u]
+        for v in range(u + 1, n):
+            prob = p_in if block_of[v] == bu else p_out
+            if rng.random() < prob:
+                edges.append((u, v))
+    g = Graph(n, edges)
+    from repro.graphs.analysis import connected_components
+
+    comps = connected_components(g)
+    if len(comps) == 1:
+        return g
+    extra = []
+    for a, b in zip(comps, comps[1:]):
+        extra.append((rng.choice(sorted(a)), rng.choice(sorted(b))))
+    return g.with_edges(added=extra)
+
+
 def regular_degree_for(n: int, p: float) -> int:
     """Feasible regular degree for density knob ``p``: d <= n-1, d*n even.
 
@@ -214,8 +315,10 @@ def family_graph(family: str, n: int, p: float = 0.2, seed=0) -> Graph:
 
     The shared workload vocabulary of the CLI and the experiment sweeps:
     ``gnp`` (edge probability p), ``regular`` (degree ~ p*n, clamped
-    feasible), ``powerlaw`` (attachment ~ 10p), and ``barbell`` (p
-    ignored).
+    feasible), ``powerlaw`` (attachment ~ 10p), ``barbell`` (p ignored),
+    ``grid`` (2D lattice, p ignored), ``expander`` (random d-regular
+    lift of K_{d+1} with d ~ 16p clamped to [3, 8]), and ``planted``
+    (planted partition with p_in = p, p_out = p/8, 4 blocks).
     """
     if family == "gnp":
         return connected_gnp_graph(n, p, seed=seed)
@@ -225,6 +328,16 @@ def family_graph(family: str, n: int, p: float = 0.2, seed=0) -> Graph:
         return power_law_graph(n, attachment=max(2, int(p * 10)), seed=seed)
     if family == "barbell":
         return barbell_graph(n // 2, max(1, n // 10))
+    if family == "grid":
+        return grid_graph(n)
+    if family == "expander":
+        d = max(3, min(8, int(round(p * 16))))
+        return random_regular_lift(n, d, seed=seed)
+    if family == "planted":
+        return planted_partition_graph(
+            n, p_in=p, p_out=p / 8, blocks=min(4, max(1, n // 8)),
+            seed=seed,
+        )
     raise ReproError(f"unknown graph family {family!r}")
 
 

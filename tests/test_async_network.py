@@ -51,17 +51,51 @@ def test_message_accounting_matches_sync(gnp_small):
     assert anet.stats.messages == snet.stats.messages
 
 
-def test_round_cadence_algorithms_rejected(gnp_small):
+class Cadence(NodeAlgorithm):
+    """Minimal round-cadence algorithm: finishes at a fixed round."""
+
+    passive_when_idle = False
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 0:
+            for u in ctx.neighbor_ids:
+                ctx.send(u, "tick")
+        if ctx.round == 2:
+            ctx.done(("finished-at", ctx.round))
+
+
+def test_round_cadence_needs_budget(gnp_small):
+    """Without any synchronizer round budget the engine still refuses
+    round-cadence algorithms (Theorem A.5 needs a known bound)."""
     anet = AsyncNetwork(gnp_small, seed=4)
-
-    class Cadence(NodeAlgorithm):
-        passive_when_idle = False
-
-        def on_round(self, ctx, inbox):
-            ctx.done(None)
-
     with pytest.raises(ProtocolError):
         anet.run(Cadence)
+
+
+def test_round_cadence_auto_wrapped_with_budget(gnp_small):
+    """With a budget the engine wraps the stage in an AlphaSynchronizer
+    instead of raising, and the outputs match the synchronous run."""
+    anet = AsyncNetwork(gnp_small, seed=4, default_round_budget=4)
+    res = anet.run(Cadence, name="cadence")
+    assert anet.synchronized_stages == ["cadence"]
+    from repro.congest.network import SyncNetwork
+
+    snet = SyncNetwork(gnp_small, seed=4)
+    sres = snet.run(Cadence, name="cadence")
+    assert res.outputs == sres.outputs
+
+
+def test_round_cadence_per_stage_budgets(gnp_small):
+    """round_budgets entries carry the *synchronous* stage round counts
+    (the shadow-run recording the api layer produces)."""
+    from repro.congest.network import SyncNetwork
+
+    snet = SyncNetwork(gnp_small, seed=4)
+    sres = snet.run(Cadence, name="cadence")
+    anet = AsyncNetwork(gnp_small, seed=4,
+                        round_budgets=[("cadence", sres.rounds)])
+    res = anet.run(Cadence, name="cadence")
+    assert res.outputs == sres.outputs
 
 
 def test_unfinished_quiescence_is_error(gnp_small):

@@ -27,6 +27,7 @@ def test_subset_counts_match_committed_baseline():
     baseline = check_regression.load_baseline()
     fresh = check_regression.fresh_payload(workers=2, sizes=(80,))
     result = check_regression.compare(baseline, fresh)
-    # Both specs contribute their n=80 column: 2*4*3 + 1*4*3 cells.
-    assert result["shared"] == 36
+    # Every spec contributes its n=80 column: 2*4*3 + 1*4*3 sync cells
+    # plus the async Algorithm 1 column's 1*1*3.
+    assert result["shared"] == 39
     assert not result["mismatches"], result["mismatches"][:10]

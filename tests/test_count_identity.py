@@ -20,6 +20,7 @@ import pytest
 
 from repro.coloring.algorithm1 import run_algorithm1
 from repro.coloring.baselines import run_baseline_coloring
+from repro.congest.async_network import AsyncNetwork
 from repro.congest.network import SyncNetwork
 from repro.graphs.generators import family_graph
 from repro.mis.algorithm3 import run_algorithm3
@@ -73,3 +74,71 @@ def test_batched_vs_eager_vs_lite(family, n, method, seed):
     # Full mode's breakdowns are internally consistent with the totals.
     assert sum(batched["by_tag"].values()) == batched["messages"]
     assert sum(batched["by_sender"].values()) == batched["messages"]
+
+
+# -- async engine -------------------------------------------------------------
+#
+# The event-driven engine flushes the shared outbox once per activation
+# instead of once per round; its accounting modes must agree with each
+# other exactly like the synchronous engine's do.
+
+
+def _async_counts(graph, seed: int, **net_kwargs) -> dict:
+    net = AsyncNetwork(graph, seed=seed, **net_kwargs)
+    run_algorithm1(net, seed=seed)
+    stats = net.stats
+    return {
+        "sends": stats.sends,
+        "messages": stats.messages,
+        "words": stats.words,
+        "rounds": stats.rounds,
+        "stages": [s.as_dict() for s in stats.stages],
+        "utilized": stats.utilized,
+        "by_tag": dict(stats.by_tag),
+        "by_sender": stats.by_sender,
+    }
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_async_batched_vs_eager_vs_lite_algorithm1(seed):
+    """Satellite audit of the async/batched-outbox interaction: the
+    per-activation outbox flush, the per-send eager path, and stats-lite
+    must account Algorithm 1 identically on the event-driven engine."""
+    graph = family_graph("gnp", 40, p=0.3, seed=seed)
+    batched = _async_counts(graph, seed)
+    eager = _async_counts(graph, seed, eager_charges=True)
+    assert batched == eager
+
+    lite = _async_counts(graph, seed, collect_utilization=False)
+    for field in CORE_COUNTS:
+        assert lite[field] == batched[field]
+    assert lite["stages"] == batched["stages"]
+    assert lite["utilized"] == set()
+
+
+def test_algorithm1_sync_vs_async_stage_identity():
+    """Sync-vs-async accounting for Algorithm 1: every stage except the
+    danner's leader-election flood is count-based lockstep, so its
+    sends/messages/words are identical on both engines.  The flood is
+    legitimately delay-adaptive (nodes forward the best leader seen so
+    far, and reordering changes how many improvements each node relays),
+    so it is compared with >=: asynchrony never makes it cheaper than
+    the synchronous schedule's."""
+    graph = family_graph("gnp", 44, p=0.3, seed=3)
+    snet = SyncNetwork(graph, seed=3)
+    run_algorithm1(snet, seed=3)
+    anet = AsyncNetwork(graph, seed=3)
+    run_algorithm1(anet, seed=3)
+    sync_stages = {s.name: (s.sends, s.messages, s.words)
+                   for s in snet.stats.stages}
+    async_stages = {s.name: (s.sends, s.messages, s.words)
+                    for s in anet.stats.stages}
+    assert set(sync_stages) == set(async_stages)
+    adaptive = {name for name in sync_stages if "-flood" in name}
+    assert adaptive, "expected a leader-election flood stage"
+    for name, counts in async_stages.items():
+        if name in adaptive:
+            assert all(a >= s for a, s in zip(counts, sync_stages[name])), \
+                name
+        else:
+            assert counts == sync_stages[name], name

@@ -1,0 +1,96 @@
+"""Engine parity: async outputs match sync outputs on fixed seeds.
+
+Leader-free pipelines are engine-deterministic: the auto-synchronized
+stages (Algorithm 3's parallel greedy) are simulated faithfully by the
+alpha-synchronizer — same per-node RNG streams, same simulated-round
+delivery — and the async-native lockstep methods (Luby, the baselines)
+are count-driven, so reordering deliveries cannot change their
+decisions.  Their outputs must be *bit-identical* across engines.
+
+Pipelines that elect a broadcast root (Algorithm 2's spanning tree,
+Algorithm 1's danner) are delivery-order dependent *by design* — a
+different root is a different legitimate execution and reseeds the
+shared random string — so for them parity means: valid outputs and
+identical protocol constants, not identical colorings.  Parametrized
+across three graph families (satellite requirement) and both problem
+kinds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.graphs.generators import family_graph
+
+FAMILIES = [("gnp", 40), ("regular", 36), ("grid", 42)]
+
+
+@pytest.mark.parametrize("family,n", FAMILIES)
+@pytest.mark.parametrize("method", ["baseline-trial",
+                                    "baseline-rank-greedy"])
+def test_coloring_outputs_match_across_engines(family, n, method):
+    graph = family_graph(family, n, p=0.3, seed=1)
+    sync = api.color_graph(graph, method=method, seed=2)
+    cfg = api.color_graph(graph, method=method, seed=2, asynchronous=True)
+    assert sync.valid and cfg.valid
+    assert cfg.colors == sync.colors
+    assert cfg.report.sync_messages == sync.report.messages
+
+
+@pytest.mark.parametrize("family,n", FAMILIES)
+def test_algorithm2_async_parity_of_constants(family, n):
+    """Algorithm 2 wraps its phase cadence in the synchronizer; the
+    elected broadcast root may differ across engines, so the coloring is
+    compared on validity and the aggregate-derived constants."""
+    graph = family_graph(family, n, p=0.3, seed=1)
+    sync = api.color_graph(graph, method="kt1-eps-delta", seed=2)
+    cfg = api.color_graph(graph, method="kt1-eps-delta", seed=2,
+                          asynchronous=True)
+    assert sync.valid and cfg.valid
+    assert cfg.report.synchronized_stages >= 1
+    assert cfg.palette_bound == sync.palette_bound
+    assert cfg.detail.phases == sync.detail.phases
+    assert cfg.detail.max_degree == sync.detail.max_degree
+
+
+@pytest.mark.parametrize("family,n", FAMILIES)
+@pytest.mark.parametrize("method", ["kt2-sampled-greedy", "luby",
+                                    "rank-greedy"])
+def test_mis_outputs_match_across_engines(family, n, method):
+    graph = family_graph(family, n, p=0.3, seed=3)
+    sync = api.find_mis(graph, method=method, seed=4)
+    amis = api.find_mis(graph, method=method, seed=4, asynchronous=True)
+    assert sync.valid and amis.valid
+    assert amis.in_mis == sync.in_mis
+    assert amis.size == sync.size
+    if method == "kt2-sampled-greedy":
+        assert amis.report.synchronized_stages >= 1
+        assert amis.report.overhead_messages > 0
+
+
+@pytest.mark.parametrize("family,n", FAMILIES)
+def test_algorithm1_async_valid_with_overhead_report(family, n):
+    """Algorithm 1 runs async-native; its coloring must stay proper and
+    the overhead accounting must reconcile (the danner's flood is
+    delay-adaptive, so colors may legitimately differ from sync)."""
+    graph = family_graph(family, n, p=0.3, seed=5)
+    res = api.color_graph(graph, seed=6, asynchronous=True)
+    assert res.valid
+    rep = res.report
+    assert rep.synchronized_stages == 0
+    assert rep.overhead_messages == rep.messages - rep.sync_messages
+
+
+def test_budget_escalation_when_async_diverges_from_shadow():
+    """The shadow sync run is a heuristic budget oracle: when the async
+    execution elects a different broadcast root, a wrapped stage can
+    need more rounds than the shadow recorded.  The api layer must
+    escalate the budgets and succeed, not crash (regression: this exact
+    cell used to raise SynchronizerBudgetError)."""
+    graph = family_graph("gnp", 80, p=0.1, seed=10)
+    res = api.color_graph(graph, method="kt1-eps-delta", seed=10,
+                          epsilon=1.0, asynchronous=True,
+                          latency="heavy_tail")
+    assert res.valid
+    assert res.report.synchronized_stages >= 1

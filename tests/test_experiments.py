@@ -285,20 +285,52 @@ def test_sweep_exponent_separation():
     assert rows["kt1-delta-plus-one"] < rows["baseline-trial"]
 
 
-def test_spec_rejects_async_incapable_methods():
-    """Async cells for sync-only methods are rejected up front, not run
-    synchronously under an 'async' label or crashed mid-sweep."""
-    with pytest.raises(ReproError):
-        SweepSpec(methods=("luby",), engine="async")
-    with pytest.raises(ReproError):
-        SweepSpec(methods=("kt1-eps-delta",), engine="async")
-    with pytest.raises(ReproError):
-        run_cell(Cell("gnp", 30, 0, "luby", engine="async"))
-    # The one async-capable method is accepted.
-    spec = SweepSpec(methods=("kt1-delta-plus-one",), engine="async",
+def test_every_method_runs_async():
+    """engine="async" is accepted for every registered method; the
+    records carry the cost-of-asynchrony columns."""
+    spec = SweepSpec(methods=("luby", "kt1-eps-delta"), engine="async",
                      sizes=(30,))
-    rec = run_cell(next(spec.cells()))
-    assert rec["engine"] == "async" and rec["valid"]
+    assert spec.size == 2
+    for cell in spec.cells():
+        rec = run_cell(cell)
+        assert rec["engine"] == "async" and rec["valid"], rec["key"]
+        assert rec["latency"] == "uniform"
+        assert rec["overhead_messages"] == \
+            rec["messages"] - rec["sync_messages"]
+    # Direct Cell construction works too (no up-front gate to dodge).
+    rec = run_cell(Cell("gnp", 30, 0, "kt2-sampled-greedy",
+                        engine="async"))
+    assert rec["valid"] and rec["synchronized_stages"] >= 1
+
+
+def test_engine_and_latency_axes():
+    """engines x latencies is a real axis: async cells multiply by
+    latency model, sync cells are emitted once."""
+    spec = SweepSpec(methods=("luby",), sizes=(30,),
+                     engines=("sync", "async"),
+                     latencies=("uniform", "heavy_tail"))
+    cells = list(spec.cells())
+    assert spec.size == len(cells) == 3
+    assert len({c.key() for c in cells}) == 3
+    sync_cells = [c for c in cells if c.engine == "sync"]
+    assert len(sync_cells) == 1
+    # Latency participates in async keys only; sync keys are the
+    # historical format (old stores stay resumable).
+    assert sync_cells[0].key() == "gnp/n30/p0.2/luby/sync/eps0.5/lite/s0"
+    assert {c.latency for c in cells if c.engine == "async"} == \
+        {"uniform", "heavy_tail"}
+    with pytest.raises(ReproError):
+        SweepSpec(methods=("luby",), latencies=("warp",))
+    with pytest.raises(ReproError):
+        SweepSpec(methods=("luby",), engines=("sync", "steampunk"))
+
+
+def test_cell_key_distinguishes_latency_and_sample_constant():
+    base = Cell("gnp", 40, 0, "luby", engine="async")
+    assert base.key() != Cell("gnp", 40, 0, "luby", engine="async",
+                              latency="fixed").key()
+    assert Cell("gnp", 40, 0, "kt2-sampled-greedy").key() != \
+        Cell("gnp", 40, 0, "kt2-sampled-greedy", sample_constant=2.0).key()
 
 
 def test_spec_rejects_empty_methods():
@@ -410,3 +442,30 @@ def test_run_cell_method_extras():
     assert rec["levels"] >= 1 and rec["deferred"] >= 0
     rec3 = run_cell(Cell("gnp", 40, 0, "kt2-sampled-greedy", density=0.3))
     assert rec3["sampled"] >= 0 and rec3["remnant_deg"] >= 0
+
+
+def test_sample_constant_rejected_for_non_alg3_methods():
+    """The |S| knob only reaches Algorithm 3; other methods must reject
+    it rather than mint keys whose numbers don't measure what the key
+    claims."""
+    with pytest.raises(ReproError):
+        SweepSpec(methods=("luby", "kt2-sampled-greedy"),
+                  sample_constant=2.0)
+    with pytest.raises(ReproError):
+        run_cell(Cell("gnp", 30, 0, "luby", sample_constant=2.0))
+    # ... and it actually reaches Algorithm 3: a bigger c samples more.
+    small = run_cell(Cell("gnp", 40, 0, "kt2-sampled-greedy",
+                          density=0.3, sample_constant=0.5))
+    big = run_cell(Cell("gnp", 40, 0, "kt2-sampled-greedy",
+                        density=0.3, sample_constant=4.0))
+    assert big["sampled"] > small["sampled"]
+
+
+def test_record_n_is_built_graph_n():
+    """Families that quantize the vertex count (expander fibers) must
+    report the built graph's n, or exponent fits get a wrong x-axis."""
+    from repro.graphs.generators import family_graph
+
+    rec = run_cell(Cell("expander", 100, 0, "luby", density=0.45))
+    assert rec["n"] == family_graph("expander", 100, p=0.45, seed=0).n
+    assert rec["n"] != 100

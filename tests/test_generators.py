@@ -165,3 +165,68 @@ def test_disjoint_cycles_edge_count(c, k):
     g = disjoint_cycles(c, k)
     assert g.n == c * k
     assert g.m == c * k
+
+
+# -- grid / expander / planted partition (sweep families) ---------------------
+
+
+def test_grid_structure_and_determinism():
+    from repro.graphs.generators import grid_graph
+
+    g = grid_graph(30)
+    assert g.n == 30
+    assert g == grid_graph(30)                    # deterministic
+    assert is_connected(g)
+    assert all(g.degree(v) <= 4 for v in range(g.n))
+    # full 5x6 lattice: m = 5*(6-1) + 6*(5-1) = 49
+    assert grid_graph(30).m == 49
+    # partial last row stays connected
+    assert is_connected(grid_graph(23))
+    with pytest.raises(ReproError):
+        grid_graph(0)
+
+
+def test_expander_lift_regular_and_seeded():
+    from repro.graphs.generators import random_regular_lift
+
+    a = random_regular_lift(60, 4, seed=9)
+    b = random_regular_lift(60, 4, seed=9)
+    c = random_regular_lift(60, 4, seed=10)
+    assert a == b
+    assert a != c                                 # seed-sensitive
+    assert is_connected(a)
+    # exact d-regularity (up to the rare connectivity patch)
+    degs = [a.degree(v) for v in range(a.n)]
+    assert max(degs) <= 6 and min(degs) >= 4
+    assert sum(1 for d in degs if d == 4) >= a.n - 4
+    with pytest.raises(ReproError):
+        random_regular_lift(30, 2)
+
+
+def test_planted_partition_density_contrast():
+    from repro.graphs.generators import planted_partition_graph
+
+    a = planted_partition_graph(80, p_in=0.5, p_out=0.02, blocks=4, seed=1)
+    assert a == planted_partition_graph(80, p_in=0.5, p_out=0.02,
+                                        blocks=4, seed=1)
+    assert a != planted_partition_graph(80, p_in=0.5, p_out=0.02,
+                                        blocks=4, seed=2)
+    assert is_connected(a)
+    # the planted structure is visible: within-block edges dominate
+    block = lambda v: min(v * 4 // 80, 3)
+    within = sum(1 for u, v in a.edges() if block(u) == block(v))
+    across = a.m - within
+    assert within > 3 * across
+    with pytest.raises(ReproError):
+        planted_partition_graph(40, p_in=0.1, p_out=0.5)
+
+
+def test_new_families_via_family_graph():
+    from repro.graphs.generators import family_graph
+
+    for family in ("grid", "expander", "planted"):
+        g1 = family_graph(family, 48, p=0.25, seed=5)
+        g2 = family_graph(family, 48, p=0.25, seed=5)
+        assert g1 == g2, family
+        assert is_connected(g1), family
+        assert abs(g1.n - 48) <= 4, family        # lift rounds to fibers
