@@ -17,6 +17,14 @@ export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 (fast slice: -m 'not slow') =="
 python -m pytest -x -q -m "not slow"
 
+echo "== distributed sweep smoke (plan + two-worker end-to-end) =="
+SMOKE_OUT="$(mktemp -u "${TMPDIR:-/tmp}/repro-smoke-XXXXXX.jsonl")"
+python -m repro sweep --families gnp --sizes 30 --seeds 0 1 \
+    --methods luby --out "$SMOKE_OUT" --dry-run
+rm -f "$SMOKE_OUT"
+python -m pytest -x -q \
+    tests/test_distributed.py::test_two_worker_distributed_sweep_matches_serial
+
 echo "== fixed-seed count regression vs BENCH_engine.json =="
 python benchmarks/check_regression.py --workers "${WORKERS:-4}"
 

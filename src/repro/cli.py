@@ -5,6 +5,9 @@ Commands
 color       run a coloring algorithm on a generated graph
 mis         run an MIS algorithm on a generated graph
 sweep       run a declarative experiment matrix under a worker pool
+            (--serve hosts it for remote workers, --dry-run prints the
+            cell plan without executing)
+worker      pull cells from a 'sweep --serve' coordinator and run them
 report      aggregate a sweep's JSON-lines results (growth exponents)
 lowerbound  run the Section 2 crossing experiment
 cycles      run the Theorem 2.17 mute-cycle sweep
@@ -114,6 +117,17 @@ def cmd_mis(args) -> int:
     return 0 if result.valid else 1
 
 
+def _parse_endpoint(value: str, default_host: str, what: str):
+    """``PORT`` or ``HOST:PORT`` -> (host, port)."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        host, port = default_host, value
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"{what} takes PORT or HOST:PORT, got {value!r}")
+
+
 def cmd_sweep(args) -> int:
     from repro.experiments import ResultStore, SweepSpec, run_sweep
 
@@ -137,34 +151,75 @@ def cmd_sweep(args) -> int:
 
     store = ResultStore(args.out)
 
+    if args.dry_run:
+        # The plan a run would execute — resume-aware, nothing runs.
+        done = store.completed_keys()
+        plan = [c.key() for c in spec.cells() if c.key() not in done]
+        if args.json:
+            print(json.dumps({
+                "cells": spec.size,
+                "to_run": len(plan),
+                "resumed (skipped)": spec.size - len(plan),
+                "plan": plan,
+            }, indent=2))
+        else:
+            for key in plan:
+                print(key)
+            print(f"dry-run: {len(plan)} of {spec.size} cells to run "
+                  f"({spec.size - len(plan)} already in {args.out})")
+        return 0
+
     def progress(rec, done, total):
         if rec.get("status", "ok") != "ok":
             print(f"[{done}/{total}] {rec['key']}: {rec['status'].upper()} "
                   f"after {rec.get('attempts', 1)} attempt(s)", flush=True)
             return
+        note = (f" ({rec['attempts']} attempts)"
+                if rec.get("attempts", 1) > 1 else "")
         print(
             f"[{done}/{total}] {rec['key']}: {rec['messages']} msgs, "
-            f"{rec['rounds']} rounds, {rec['wall_s']:.2f}s",
+            f"{rec['rounds']} rounds, {rec['wall_s']:.2f}s{note}",
             flush=True,
         )
 
     t0 = time.perf_counter()
     with store:
-        fresh = run_sweep(
-            spec,
-            store=store,
-            workers=args.workers,
-            progress=None if args.json else progress,
-        )
+        if args.serve is not None:
+            from repro.experiments.distributed import serve_sweep
+
+            host, port = _parse_endpoint(args.serve, "0.0.0.0", "--serve")
+
+            def on_listen(bound_host, bound_port):
+                print(f"coordinator listening on {bound_host}:{bound_port}"
+                      f" — start workers with:\n"
+                      f"    python -m repro worker "
+                      f"--connect HOST:{bound_port}", flush=True)
+
+            fresh = serve_sweep(
+                spec,
+                store=store,
+                host=host,
+                port=port,
+                lease_s=args.lease,
+                progress=None if args.json else progress,
+                on_listen=None if args.json else on_listen,
+            )
+        else:
+            fresh = run_sweep(
+                spec,
+                store=store,
+                workers=args.workers,
+                progress=None if args.json else progress,
+            )
     wall = time.perf_counter() - t0
     failed = [r for r in fresh if r.get("status", "ok") != "ok"]
     payload = {
         "cells": spec.size,
         "ran": len(fresh),
-        # run_sweep executes exactly the cells absent from the store.
+        # both runners execute exactly the cells absent from the store.
         "resumed (skipped)": spec.size - len(fresh),
         "failed (timeout/error)": len(failed),
-        "workers": args.workers,
+        "workers": "distributed" if args.serve is not None else args.workers,
         "wall seconds": round(wall, 2),
         "results": args.out,
     }
@@ -175,27 +230,58 @@ def cmd_sweep(args) -> int:
             print(f"{key:>18}: {value}")
     # Exit nonzero if ANY of this spec's cells is invalid or failed —
     # including ones resumed from the store, so re-running a failed sweep
-    # stays red.  A key is cleared by a later successful record (failed
-    # attempts are superseded, not sticky).
+    # stays red.  Last-record-wins: a failed line is cleared by a later
+    # successful record for the same key (and vice versa — a key whose
+    # latest attempt failed is red even if an older line was ok).
     spec_keys = {c.key() for c in spec.cells()}
-    ok_keys = set()
-    bad_by_key: dict[str, str] = {}
-    for r in store.load():
-        key = r.get("key")
+    bad: dict[str, str] = {}
+    for key, rec in store.latest_per_key().items():
         if key not in spec_keys:
             continue
-        if r.get("status", "ok") != "ok":
-            bad_by_key[key] = r["status"]
-        elif not r.get("valid", True):
-            bad_by_key[key] = "invalid"
-        else:
-            ok_keys.add(key)
-    bad = {k: v for k, v in bad_by_key.items() if k not in ok_keys}
+        if rec.get("status", "ok") != "ok":
+            bad[key] = rec["status"]
+        elif not rec.get("valid", True):
+            bad[key] = "invalid"
     if bad:
         sample = [f"{k} ({v})" for k, v in list(bad.items())[:5]]
         print(f"FAILED/INVALID cells ({len(bad)}): {sample}",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_worker(args) -> int:
+    """Run cells for a ``repro sweep --serve`` coordinator until it
+    declares the sweep complete."""
+    from repro.errors import DistributedError
+    from repro.experiments.distributed import run_worker
+
+    host, port = _parse_endpoint(args.connect, "127.0.0.1", "--connect")
+
+    def progress(rec, count):
+        status = rec.get("status", "ok")
+        if status != "ok":
+            print(f"[{count}] {rec['key']}: {status.upper()}", flush=True)
+        else:
+            print(f"[{count}] {rec['key']}: {rec['messages']} msgs, "
+                  f"{rec['wall_s']:.2f}s", flush=True)
+
+    try:
+        completed = run_worker(
+            host, port,
+            worker_id=args.id,
+            poll_s=args.poll,
+            progress=None if args.json else progress,
+        )
+    except DistributedError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+    payload = {"coordinator": f"{host}:{port}", "cells run": completed}
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>18}: {value}")
     return 0
 
 
@@ -409,9 +495,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full-stats", action="store_true",
                    help="full accounting (utilized edges, per-tag) "
                         "instead of the default stats-lite mode")
+    p.add_argument("--serve", default=None, metavar="[HOST:]PORT",
+                   help="instead of running locally, serve the cells to "
+                        "'repro worker' processes over a TCP work queue "
+                        "(lease/heartbeat/requeue; records merge into "
+                        "--out); HOST defaults to 0.0.0.0")
+    p.add_argument("--lease", type=float, default=30.0, metavar="SECONDS",
+                   help="with --serve: lease duration per cell; a worker "
+                        "silent past it is presumed dead and its cells "
+                        "are re-served")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print the resume-aware cell plan (one key per "
+                        "line) and exit without running anything")
     p.add_argument("--json", action="store_true",
                    help="machine-readable summary")
     p.set_defaults(fn=cmd_sweep)
+
+    p = subs.add_parser(
+        "worker",
+        help="pull sweep cells from a 'repro sweep --serve' coordinator, "
+             "run them (timeouts/retries included), stream records back",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the coordinator's address")
+    p.add_argument("--id", default=None,
+                   help="worker name in coordinator logs/leases "
+                        "(default: hostname-pid)")
+    p.add_argument("--poll", type=float, default=1.0, metavar="SECONDS",
+                   help="idle back-off when every cell is leased out")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary")
+    p.set_defaults(fn=cmd_worker)
 
     p = subs.add_parser(
         "report",

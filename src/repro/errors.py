@@ -43,6 +43,20 @@ class SynchronizerBudgetError(ProtocolError):
     the budgets — e.g. a different elected broadcast root)."""
 
 
+class DistributedError(ReproError):
+    """A failure in the distributed sweep layer (coordinator/worker
+    communication): a lost connection, a malformed protocol message, or
+    a sweep that could not be completed by the connected workers."""
+
+
+class ProtocolMismatchError(DistributedError):
+    """Coordinator and worker speak different protocol versions.
+
+    The wire format is versioned precisely so that a newer coordinator
+    *rejects* an older worker (and vice versa) instead of silently
+    pooling records produced under different conventions."""
+
+
 class VerificationError(ReproError):
     """A produced output (coloring / MIS / tree) failed verification."""
 

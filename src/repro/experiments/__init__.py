@@ -14,9 +14,16 @@ This subsystem makes those sweeps declarative, parallel, and resumable:
   keys are skipped on re-run, so interrupted sweeps resume for free;
 * :func:`fit_exponent` / :func:`mean_ci` / :func:`growth_exponents` /
   :func:`summarize` — aggregation: mean ± CI per size and the empirical
-  growth exponent per (family, method).
+  growth exponent per (family, method), last-record-wins per cell key;
+* :class:`Coordinator` / :func:`serve_sweep` / :func:`run_worker` —
+  distributed multi-host execution: the coordinator serves cells over a
+  versioned TCP work queue (lease/heartbeat/requeue), workers pull and
+  stream records back into the same resumable store
+  (see :mod:`repro.experiments.distributed` and docs/distributed.md).
 
-Surfaced on the command line as ``repro sweep`` and ``repro report``:
+Surfaced on the command line as ``repro sweep`` (add ``--serve`` to
+host a distributed run, ``--dry-run`` to print the plan),
+``repro worker --connect HOST:PORT``, and ``repro report``:
 
     python -m repro sweep --families gnp regular --sizes 80 120 180 \\
         --seeds 0 1 2 --methods kt1-delta-plus-one luby \\
@@ -24,6 +31,13 @@ Surfaced on the command line as ``repro sweep`` and ``repro report``:
     python -m repro report --results results.jsonl
 """
 
+from repro.experiments.distributed import (
+    PROTOCOL_VERSION,
+    Coordinator,
+    WorkQueue,
+    run_worker,
+    serve_sweep,
+)
 from repro.experiments.report import bench_payload, render_report, summarize
 from repro.experiments.runner import run_cell, run_sweep
 from repro.experiments.spec import (
@@ -37,6 +51,7 @@ from repro.experiments.spec import (
 from repro.experiments.stats import (
     fit_exponent,
     growth_exponents,
+    latest_per_key,
     mean_ci,
     ok_records,
 )
@@ -46,17 +61,23 @@ __all__ = [
     "ALL_METHODS",
     "ASYNC_NATIVE_METHODS",
     "COLORING_METHODS",
+    "Coordinator",
     "MIS_METHODS",
+    "PROTOCOL_VERSION",
     "Cell",
     "ResultStore",
     "SweepSpec",
+    "WorkQueue",
     "bench_payload",
     "fit_exponent",
     "growth_exponents",
+    "latest_per_key",
     "mean_ci",
     "ok_records",
     "render_report",
     "run_cell",
     "run_sweep",
+    "run_worker",
+    "serve_sweep",
     "summarize",
 ]

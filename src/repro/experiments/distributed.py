@@ -1,0 +1,618 @@
+"""Distributed multi-host sweep execution.
+
+The exponent fits behind the paper's claims want many families x sizes
+x seeds x engines cells — more than one machine delivers in reasonable
+time.  This module splits a
+:class:`~repro.experiments.spec.SweepSpec` across hosts:
+
+* a **coordinator** (:class:`Coordinator` / :func:`serve_sweep`) serves
+  cells over a TCP work queue with lease + heartbeat + requeue-on-dead-
+  worker semantics and merges every incoming record into the one
+  resumable JSON-lines :class:`~repro.experiments.store.ResultStore`;
+* a **worker** (:func:`run_worker`, ``repro worker --connect
+  HOST:PORT``) pulls cells, runs each through the supervised process
+  farm (per-cell timeouts and retries included, exactly as a local
+  sweep would), and streams the records back.
+
+Wire protocol
+-------------
+JSON-lines over a plain TCP socket, strictly request/response from the
+worker's side, versioned so a coordinator and worker with different
+conventions refuse to mix records instead of silently mispooling them:
+
+    worker -> {"type": "hello", "protocol": "repro-sweep", "version": V,
+               "worker": ID}
+    coord  <- {"type": "welcome", "version": V, "lease_s": S}
+            | {"type": "reject", "reason": ...}        # then close
+    worker -> {"type": "lease"}
+    coord  <- {"type": "cell", "cell": {...}}          # Cell.to_dict()
+            | {"type": "idle", "retry_s": S}           # leased out, wait
+            | {"type": "shutdown"}                     # sweep complete
+    worker -> {"type": "heartbeat", "key": K}          # while running
+    coord  <- {"type": "ok"} | {"type": "gone"}        # lease reassigned
+    worker -> {"type": "result", "record": {...}}
+    coord  <- {"type": "ok", "accepted": bool}
+
+Leases are keyed on ``cell.key()``.  A worker that stops heartbeating
+(crash, network partition) has its leases expire and the cells are
+re-served to other workers; a cell requeued more than ``max_requeues``
+times is recorded with ``status="lost"`` so the sweep still terminates.
+Duplicate results for one key (a lease that expired on a worker that
+then finished anyway) are dropped at the queue, and the store's readers
+apply last-record-wins per key regardless, so the merged store is safe
+to aggregate even when races slip through.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable, Optional
+
+from repro.errors import DistributedError, ProtocolMismatchError
+from repro.experiments.runner import (
+    _failure_record,
+    _run_cells_with_timeout,
+)
+from repro.experiments.spec import Cell, SweepSpec
+from repro.experiments.store import ResultStore
+
+PROTOCOL = "repro-sweep"
+PROTOCOL_VERSION = 1
+DEFAULT_LEASE_S = 30.0
+DEFAULT_MAX_REQUEUES = 5
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def _send_msg(wfile, msg: dict) -> None:
+    wfile.write((json.dumps(msg, sort_keys=True) + "\n").encode("utf-8"))
+    wfile.flush()
+
+
+def _recv_msg(rfile) -> Optional[dict]:
+    """One JSON-lines message, or None when the peer closed the stream."""
+    line = rfile.readline()
+    if not line:
+        return None
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise DistributedError(f"malformed protocol line: {exc}")
+    if not isinstance(msg, dict):
+        raise DistributedError("protocol message is not an object")
+    return msg
+
+
+# -- the lease queue ----------------------------------------------------------
+
+
+class WorkQueue:
+    """Thread-safe cell queue with per-key leases.
+
+    The coordinator's single source of truth: every cell is either
+    pending, leased (keyed on ``cell.key()``, with an expiry a healthy
+    worker keeps pushing forward via heartbeats), or done.  Expired or
+    dropped leases put the cell back on the pending deque; a cell that
+    keeps getting requeued (``max_requeues`` exceeded) comes back from
+    :meth:`reap` as *lost* so the caller can record a failure and the
+    sweep can still finish.
+    """
+
+    def __init__(self, cells: Iterable[Cell],
+                 lease_s: float = DEFAULT_LEASE_S,
+                 max_requeues: int = DEFAULT_MAX_REQUEUES):
+        self.lease_s = lease_s
+        self.max_requeues = max_requeues
+        self._lock = threading.Lock()
+        self._pending: deque[Cell] = deque(cells)
+        #: key -> [cell, worker_id, expires_at]
+        self._leases: dict[str, list] = {}
+        self._requeues: dict[str, int] = {}
+        self._done: set[str] = set()
+        #: done keys whose recorded outcome is a failure (lost lease or
+        #: a non-ok record) — still supersedable by a real ok record.
+        self._failed: set[str] = set()
+
+    def lease(self, worker: str,
+              now: Optional[float] = None) -> Optional[Cell]:
+        """Hand the next pending cell to ``worker`` (None = none free)."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            if not self._pending:
+                return None
+            cell = self._pending.popleft()
+            self._leases[cell.key()] = [cell, worker, now + self.lease_s]
+            return cell
+
+    def heartbeat(self, worker: str, key: str,
+                  now: Optional[float] = None) -> bool:
+        """Extend ``worker``'s lease on ``key``; False if it no longer
+        holds one (expired and reassigned — the result may be dropped)."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            lease = self._leases.get(key)
+            if lease is None or lease[1] != worker:
+                return False
+            lease[2] = now + self.lease_s
+            return True
+
+    def complete(self, worker: str, key: str, ok: bool) -> bool:
+        """Mark ``key`` done; True if the caller should keep the record.
+
+        Any worker's result completes the key — even one whose lease
+        expired (its record is just as valid; the cell is fixed-seed
+        deterministic).  A key already done is a duplicate and the
+        record should be dropped, with one asymmetry: a key whose
+        recorded outcome so far is a *failure* (a lost lease, or a
+        timeout/error submitted by a presumed-dead worker while the
+        re-served copy was still running) is superseded by a later real
+        ok record — last-record-wins, the store readers' convention.
+        """
+        with self._lock:
+            if key in self._done:
+                if ok and key in self._failed:
+                    self._failed.discard(key)
+                    return True
+                return False
+            self._leases.pop(key, None)
+            # Only a previously requeued key can still sit in pending
+            # (a never-requeued one was popped when leased), so the
+            # deque scan is skipped in the common case.
+            if self._requeues.get(key):
+                self._pending = deque(
+                    c for c in self._pending if c.key() != key
+                )
+            self._done.add(key)
+            if not ok:
+                self._failed.add(key)
+            return True
+
+    def release_worker(self, worker: str) -> list[Cell]:
+        """Requeue every lease held by a disconnected worker."""
+        with self._lock:
+            keys = [k for k, lease in self._leases.items()
+                    if lease[1] == worker]
+            return [self._requeue_locked(k) for k in keys]
+
+    def reap(self, now: Optional[float] = None) -> list[Cell]:
+        """Requeue expired leases; returns the cells declared *lost*
+        (requeued more than ``max_requeues`` times, now marked done)."""
+        now = time.monotonic() if now is None else now
+        lost = []
+        with self._lock:
+            expired = [k for k, lease in self._leases.items()
+                       if lease[2] < now]
+            for key in expired:
+                cell = self._requeue_locked(key)
+                if cell is not None:
+                    lost.append(cell)
+        return lost
+
+    def _requeue_locked(self, key: str) -> Optional[Cell]:
+        """Drop ``key``'s lease; returns the cell only if it became
+        lost (otherwise it went back on the pending deque)."""
+        cell, _, _ = self._leases.pop(key)
+        self._requeues[key] = self._requeues.get(key, 0) + 1
+        if self._requeues[key] > self.max_requeues:
+            self._done.add(key)
+            self._failed.add(key)
+            return cell
+        self._pending.append(cell)
+        return None
+
+    def requeues(self, key: str) -> int:
+        with self._lock:
+            return self._requeues.get(key, 0)
+
+    def finished(self) -> bool:
+        with self._lock:
+            return not self._pending and not self._leases
+
+    def outstanding(self) -> int:
+        with self._lock:
+            return len(self._pending) + len(self._leases)
+
+
+# -- coordinator --------------------------------------------------------------
+
+
+class _WorkerConnection(socketserver.StreamRequestHandler):
+    """One coordinator-side thread per connected worker."""
+
+    def handle(self):  # noqa: C901 - one dispatch loop, clearer flat
+        coord: "Coordinator" = self.server.coordinator
+        # A healthy worker is never silent longer than a lease (it
+        # heartbeats at lease/3 while running); a socket quiet for two
+        # leases is a dead peer and its cells must go back in the queue.
+        self.connection.settimeout(max(10.0, 2 * coord.lease_s))
+        worker = None
+        try:
+            hello = _recv_msg(self.rfile)
+            if (not hello or hello.get("type") != "hello"
+                    or hello.get("protocol") != PROTOCOL):
+                _send_msg(self.wfile, {
+                    "type": "reject",
+                    "reason": "not a repro-sweep worker handshake",
+                })
+                return
+            if hello.get("version") != PROTOCOL_VERSION:
+                _send_msg(self.wfile, {
+                    "type": "reject",
+                    "reason": (
+                        f"protocol version {hello.get('version')!r} != "
+                        f"coordinator {PROTOCOL_VERSION}; records from "
+                        "mismatched conventions must not be pooled — "
+                        "upgrade the older side"
+                    ),
+                })
+                return
+            worker = str(hello.get("worker")
+                         or f"{self.client_address[0]}:{self.client_address[1]}")
+            _send_msg(self.wfile, {"type": "welcome",
+                                   "version": PROTOCOL_VERSION,
+                                   "lease_s": coord.lease_s})
+            while True:
+                msg = _recv_msg(self.rfile)
+                if msg is None:
+                    return
+                kind = msg.get("type")
+                if kind == "lease":
+                    cell = coord.queue.lease(worker)
+                    if cell is not None:
+                        _send_msg(self.wfile, {"type": "cell",
+                                               "cell": cell.to_dict()})
+                    elif coord.queue.finished():
+                        _send_msg(self.wfile, {"type": "shutdown"})
+                        return
+                    else:
+                        # Everything is leased out; work may still come
+                        # back if another worker's lease expires.
+                        _send_msg(self.wfile, {
+                            "type": "idle",
+                            "retry_s": min(1.0, coord.lease_s / 4),
+                        })
+                elif kind == "heartbeat":
+                    alive = coord.queue.heartbeat(worker, msg.get("key"))
+                    _send_msg(self.wfile,
+                              {"type": "ok" if alive else "gone"})
+                elif kind == "result":
+                    record = msg.get("record")
+                    if not isinstance(record, dict) or "key" not in record:
+                        raise DistributedError("result without a record")
+                    accepted = coord.submit(worker, record)
+                    _send_msg(self.wfile, {"type": "ok",
+                                           "accepted": accepted})
+                else:
+                    raise DistributedError(
+                        f"unknown message type {kind!r}")
+        except (DistributedError, socket.timeout, OSError):
+            # Whatever this worker held goes back in the queue; the
+            # reaper/finish logic below records anything declared lost.
+            pass
+        finally:
+            if worker is not None:
+                coord.release_worker_cells(worker)
+
+
+class _CoordinatorServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class Coordinator:
+    """Serve a sweep's cells to remote workers and merge their records.
+
+    The counterpart of :func:`repro.experiments.run_sweep` for
+    multi-host execution: the same resume semantics (cells whose key the
+    store already holds are never served), the same store (every record
+    a worker streams back is appended and flushed immediately), and the
+    same failure conventions (a cell no worker could finish is recorded
+    with ``status="lost"``, ``valid=False``, excluded from fits and
+    retried by the next resume).
+
+    Usage::
+
+        coord = Coordinator(spec, store=store)
+        host, port = coord.start()
+        ... point `repro worker --connect host:port` at it ...
+        fresh = coord.wait()
+    """
+
+    def __init__(
+        self,
+        spec: Optional[SweepSpec] = None,
+        store: Optional[ResultStore] = None,
+        cells: Optional[Iterable[Cell]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_s: float = DEFAULT_LEASE_S,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+        progress: Optional[Callable[[dict, int, int], None]] = None,
+    ):
+        if cells is None:
+            if spec is None:
+                raise DistributedError("Coordinator needs a spec or cells")
+            cells = spec.cells()
+        done = store.completed_keys() if store is not None else set()
+        todo = [c for c in cells if c.key() not in done]
+        self.total = len(todo)
+        self.lease_s = lease_s
+        self.queue = WorkQueue(todo, lease_s=lease_s,
+                               max_requeues=max_requeues)
+        self.fresh: list[dict] = []
+        self.duplicates = 0
+        self._store = store
+        self._progress = progress
+        self._lock = threading.Lock()
+        # Serializes "mark done in the queue" with "write the record":
+        # check_finished takes it too, so no thread can observe the
+        # queue finished while the final record is still unwritten
+        # (wait() returning before the last append reaches the store).
+        self._submit_lock = threading.Lock()
+        self._finished = threading.Event()
+        self._server: Optional[_CoordinatorServer] = None
+        self._threads: list[threading.Thread] = []
+        self._host, self._port = host, port
+        if not todo:
+            self._finished.set()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind, start serving in background threads; returns (host, port)."""
+        self._server = _CoordinatorServer(
+            (self._host, self._port), _WorkerConnection
+        )
+        self._server.coordinator = self
+        self.address = self._server.server_address[:2]
+        serve = threading.Thread(target=self._server.serve_forever,
+                                 kwargs={"poll_interval": 0.1},
+                                 daemon=True)
+        reap = threading.Thread(target=self._reap_loop, daemon=True)
+        serve.start()
+        reap.start()
+        self._threads = [serve, reap]
+        return self.address
+
+    def wait(self, timeout: Optional[float] = None,
+             linger_s: float = 0.0) -> list[dict]:
+        """Block until every cell is recorded; returns the fresh records.
+
+        ``linger_s`` keeps the coordinator up briefly after the last
+        record so workers parked in the idle loop can come back for
+        their shutdown message instead of finding a dead socket.
+        """
+        if not self._finished.wait(timeout):
+            raise DistributedError(
+                f"sweep not finished after {timeout}s "
+                f"({self.queue.outstanding()} cells outstanding)"
+            )
+        if linger_s > 0:
+            time.sleep(linger_s)
+        self.stop()
+        return self.fresh
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+
+    def __enter__(self) -> "Coordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- record sinks (called from handler/reaper threads) ----------------
+
+    def submit(self, worker: str, record: dict) -> bool:
+        """Merge one worker record; False if dropped as a duplicate."""
+        with self._submit_lock:
+            ok = record.get("status", "ok") == "ok"
+            if not self.queue.complete(worker, record["key"], ok):
+                self.duplicates += 1
+                accepted = False
+            else:
+                self._record(record)
+                accepted = True
+        self.check_finished()
+        return accepted
+
+    def release_worker_cells(self, worker: str) -> None:
+        """Requeue a disconnected worker's leases, recording any that
+        exhausted their requeue budget."""
+        with self._submit_lock:
+            for cell in self.queue.release_worker(worker):
+                if cell is not None:
+                    self._record_lost(cell)
+        self.check_finished()
+
+    def _record_lost(self, cell: Cell) -> None:
+        """A cell no worker could hold a lease on long enough."""
+        self._record(_failure_record(
+            cell, "lost",
+            attempts=self.queue.requeues(cell.key()),
+            error=("lease expired or worker died "
+                   f"{self.queue.requeues(cell.key())} times"),
+        ))
+
+    def _record(self, rec: dict) -> None:
+        with self._lock:
+            self.fresh.append(rec)
+            if self._store is not None:
+                self._store.append(rec)
+            count = len(self.fresh)
+        if self._progress is not None:
+            self._progress(rec, count, self.total)
+
+    def check_finished(self) -> None:
+        with self._submit_lock:
+            if self.queue.finished():
+                self._finished.set()
+
+    def _reap_loop(self) -> None:
+        interval = max(0.05, self.lease_s / 4)
+        while not self._finished.wait(interval):
+            with self._submit_lock:
+                for cell in self.queue.reap():
+                    self._record_lost(cell)
+            self.check_finished()
+
+
+def serve_sweep(
+    spec: SweepSpec,
+    store: Optional[ResultStore] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    lease_s: float = DEFAULT_LEASE_S,
+    max_requeues: int = DEFAULT_MAX_REQUEUES,
+    progress: Optional[Callable[[dict, int, int], None]] = None,
+    on_listen: Optional[Callable[[str, int], None]] = None,
+    timeout: Optional[float] = None,
+    linger_s: float = 2.0,
+) -> list[dict]:
+    """Serve ``spec``'s unfinished cells to workers until all complete.
+
+    The distributed sibling of :func:`repro.experiments.run_sweep`:
+    same resumable store, same return value (the newly produced
+    records).  ``on_listen`` receives the bound (host, port) — with
+    ``port=0`` that is the only way to learn the chosen port.
+    """
+    coord = Coordinator(spec, store=store, host=host, port=port,
+                        lease_s=lease_s, max_requeues=max_requeues,
+                        progress=progress)
+    bound_host, bound_port = coord.start()
+    if on_listen is not None:
+        on_listen(bound_host, bound_port)
+    try:
+        return coord.wait(timeout, linger_s=linger_s)
+    finally:
+        coord.stop()
+
+
+# -- worker -------------------------------------------------------------------
+
+
+def _run_leased_cell(cell: Cell, heartbeat: Callable[[], None],
+                     interval: float) -> dict:
+    """Run one cell through the supervised farm, heartbeating meanwhile.
+
+    The farm (one slot) gives the exact local-sweep semantics — the cell
+    executes in a child process with its ``timeout_s``/``retries``
+    honored and errors captured as records — while this thread stays
+    free to service the lease.
+    """
+    out: list[dict] = []
+    runner = threading.Thread(
+        target=_run_cells_with_timeout, args=([cell], 1, out.append),
+        daemon=True,
+    )
+    runner.start()
+    while runner.is_alive():
+        runner.join(interval)
+        if runner.is_alive():
+            heartbeat()
+    if not out:
+        # The farm records every outcome; an empty result means the
+        # farm thread itself died, which is a worker bug.
+        return _failure_record(cell, "error",
+                               error="farm produced no record")
+    return out[0]
+
+
+def run_worker(
+    host: str,
+    port: int,
+    worker_id: Optional[str] = None,
+    poll_s: float = 1.0,
+    progress: Optional[Callable[[dict, int], None]] = None,
+) -> int:
+    """Pull cells from a coordinator until it declares the sweep done.
+
+    Returns the number of cells this worker completed.  Raises
+    :class:`ProtocolMismatchError` when the coordinator rejects the
+    handshake and :class:`DistributedError` when the connection is lost
+    mid-sweep (the coordinator requeues whatever this worker held).
+    """
+    worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    try:
+        sock = socket.create_connection((host, port))
+    except OSError as exc:
+        raise DistributedError(
+            f"cannot reach coordinator at {host}:{port}: {exc}")
+    with sock:
+        try:
+            return _worker_loop(sock, poll_s, worker_id, progress)
+        except DistributedError:
+            raise
+        except OSError as exc:
+            # Abrupt transport failures (reset, broken pipe, timeout)
+            # surface as the same error the CLI reports for a clean
+            # close — never a raw traceback.
+            raise DistributedError(
+                f"connection to coordinator lost: {exc}")
+
+
+def _worker_loop(sock, poll_s: float, worker_id: str,
+                 progress) -> int:
+    """The protocol side of :func:`run_worker`, on an open socket."""
+    completed = 0
+    rfile = sock.makefile("rb")
+    wfile = sock.makefile("wb")
+    _send_msg(wfile, {"type": "hello", "protocol": PROTOCOL,
+                      "version": PROTOCOL_VERSION,
+                      "worker": worker_id})
+    welcome = _recv_msg(rfile)
+    if welcome is None:
+        raise DistributedError("coordinator closed during handshake")
+    if welcome.get("type") == "reject":
+        raise ProtocolMismatchError(
+            welcome.get("reason", "handshake rejected"))
+    if welcome.get("type") != "welcome":
+        raise DistributedError(
+            f"unexpected handshake reply {welcome.get('type')!r}")
+    lease_s = float(welcome.get("lease_s", DEFAULT_LEASE_S))
+    sock.settimeout(max(10.0, 2 * lease_s))
+    heartbeat_interval = max(0.05, lease_s / 3)
+
+    def _request(msg: dict) -> dict:
+        _send_msg(wfile, msg)
+        try:
+            reply = _recv_msg(rfile)
+        except socket.timeout:
+            raise DistributedError("coordinator stopped responding")
+        if reply is None:
+            raise DistributedError("connection to coordinator lost")
+        return reply
+
+    while True:
+        reply = _request({"type": "lease"})
+        kind = reply.get("type")
+        if kind == "shutdown":
+            return completed
+        if kind == "idle":
+            time.sleep(float(reply.get("retry_s", poll_s)))
+            continue
+        if kind != "cell":
+            raise DistributedError(
+                f"unexpected lease reply {kind!r}")
+        cell = Cell.from_dict(reply["cell"])
+        record = _run_leased_cell(
+            cell,
+            heartbeat=lambda: _request(
+                {"type": "heartbeat", "key": cell.key()}),
+            interval=heartbeat_interval,
+        )
+        _request({"type": "result", "record": record})
+        completed += 1
+        if progress is not None:
+            progress(record, completed)

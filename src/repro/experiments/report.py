@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 from repro.experiments.stats import (
     WORKLOAD_KEYS,
     fit_exponent,
+    group_records,
     growth_exponents,
     ok_records,
 )
@@ -38,9 +39,19 @@ def summarize(records: Sequence[dict]) -> list[dict]:
         _workload_key(r): r["exponent"]
         for r in growth_exponents(records, y_field="rounds")
     }
+    by_workload = group_records(records, WORKLOAD_KEYS)
     for row in message_rows:
         key = _workload_key(row)
         row["rounds_exponent"] = round_rows.get(key, 0.0)
+        # Farm provenance: how many of this workload's surviving records
+        # needed more than one attempt (timeout kills + retries).  A
+        # first-try success and a retry-3 success measure the same
+        # counts, but a workload that only ever succeeds on retries is a
+        # budget problem worth seeing in the report.
+        row["retried_runs"] = sum(
+            1 for r in by_workload.get(key, ())
+            if r.get("attempts", 1) > 1
+        )
         # m grows on the same sizes: the reference slope o(m) is beaten by.
         m_points = sorted(
             {(rec["n"], rec["m"]) for rec in records
@@ -55,7 +66,7 @@ def render_report(summary: Sequence[dict]) -> str:
     lines = []
     header = (
         f"{'family':>9}  {'method':>22}  {'eng':>5}  {'latency':>10}  "
-        f"{'p':>5}  {'n-range':>11}  {'runs':>4}  "
+        f"{'p':>5}  {'n-range':>11}  {'runs':>4}  {'retr':>4}  "
         f"{'mean msgs (max n)':>18}  {'msg exp':>7}  {'m exp':>6}  "
         f"{'rnd exp':>7}"
     )
@@ -75,7 +86,8 @@ def render_report(summary: Sequence[dict]) -> str:
             f"{row.get('latency') or '-':>10}  "
             f"{('%g' % density) if density is not None else '?':>5}  "
             f"{span:>11}  "
-            f"{runs:>4}  {mean_str:>18}  {row['exponent']:>7.2f}  "
+            f"{runs:>4}  {row.get('retried_runs', 0):>4}  "
+            f"{mean_str:>18}  {row['exponent']:>7.2f}  "
             f"{row['m_exponent']:>6.2f}  {row['rounds_exponent']:>7.2f}"
         )
     return "\n".join(lines)

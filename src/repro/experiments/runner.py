@@ -29,7 +29,7 @@ from repro import api
 from repro.errors import ReproError
 from repro.experiments.spec import Cell, SweepSpec
 from repro.experiments.store import ResultStore
-from repro.graphs.generators import family_graph
+from repro.graphs.generators import family_built_n, family_graph
 
 
 def _method_extras(cell: Cell, result) -> dict:
@@ -151,7 +151,10 @@ def _failure_record(cell: Cell, status: str, wall_s: float = 0.0,
     rec = {
         "key": cell.key(),
         "family": cell.family,
-        "n": cell.n,
+        # Same convention as run_cell: the n the family would *build*
+        # (expander fibers, barbell arithmetic quantize the request), so
+        # ok and failure records for one key never disagree on n.
+        "n": family_built_n(cell.family, cell.n, cell.density),
         "seed": cell.seed,
         "method": cell.method,
         "engine": cell.engine,
@@ -181,6 +184,39 @@ def _cell_worker(conn, cell: Cell) -> None:
         conn.close()
 
 
+def _spawn_cell_process(cell: Cell):
+    """Start a single-cell worker process; returns ``(proc, recv_conn)``.
+
+    A seam: the farm races (deadline vs completion, retry interleavings)
+    are nondeterministic with real processes, so tests substitute
+    scripted process/connection fakes here to drive them exactly.
+    """
+    recv_conn, send_conn = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.Process(
+        target=_cell_worker, args=(send_conn, cell), daemon=True
+    )
+    proc.start()
+    send_conn.close()
+    return proc, recv_conn
+
+
+def _stamp_attempts(rec: dict, attempt: int, now: float,
+                    t0: float) -> dict:
+    """Stamp the supervisor's attempt count on a farm record.
+
+    Every record gets ``attempts`` — a cell that succeeded on retry 3
+    must be distinguishable from a first-try success (flaky-workload
+    triage, and `repro report` surfaces it).  The worker cannot know
+    which attempt it was; for non-ok records the supervisor's wall clock
+    also replaces the worker's, so a retry failure is not misreported as
+    a zero-second first attempt.
+    """
+    rec["attempts"] = attempt + 1
+    if rec.get("status", "ok") != "ok":
+        rec["wall_s"] = round(now - t0, 6)
+    return rec
+
+
 def _run_cells_with_timeout(
     cells: list[Cell],
     workers: int,
@@ -199,12 +235,7 @@ def _run_cells_with_timeout(
     while pending or running:
         while pending and len(running) < workers:
             cell, attempt = pending.popleft()
-            recv_conn, send_conn = multiprocessing.Pipe(duplex=False)
-            proc = multiprocessing.Process(
-                target=_cell_worker, args=(send_conn, cell), daemon=True
-            )
-            proc.start()
-            send_conn.close()
+            proc, recv_conn = _spawn_cell_process(cell)
             t0 = time.monotonic()
             budget = cell.timeout_s if cell.timeout_s is not None else math.inf
             running.append([proc, recv_conn, cell, attempt, t0 + budget, t0])
@@ -215,14 +246,7 @@ def _run_cells_with_timeout(
             proc, conn, cell, attempt, deadline, t0 = item
             if conn.poll():
                 try:
-                    rec = conn.recv()
-                    if rec.get("status", "ok") != "ok":
-                        # The worker cannot know which attempt it was or
-                        # when it started; stamp the supervisor's view so
-                        # a retry failure is not misreported as a
-                        # zero-second first attempt.
-                        rec["attempts"] = attempt + 1
-                        rec["wall_s"] = round(now - t0, 6)
+                    rec = _stamp_attempts(conn.recv(), attempt, now, t0)
                 except EOFError:
                     rec = _failure_record(
                         cell, "error", wall_s=now - t0,
@@ -242,10 +266,23 @@ def _run_cells_with_timeout(
                 ))
                 progressed = True
             elif now >= deadline:
+                # Drain one last time before killing: the cell may have
+                # finished in the window between the poll above and this
+                # deadline check.  Discarding that record would re-queue
+                # a *completed* cell, and the retry's duplicate ok line
+                # for the same key would inflate per-size run counts.
+                rec = None
+                if conn.poll():
+                    try:
+                        rec = _stamp_attempts(conn.recv(), attempt, now, t0)
+                    except EOFError:
+                        rec = None
                 proc.terminate()
                 proc.join()
                 conn.close()
-                if attempt < cell.retries:
+                if rec is not None:
+                    record(rec)
+                elif attempt < cell.retries:
                     pending.append((cell, attempt + 1))
                 else:
                     record(_failure_record(

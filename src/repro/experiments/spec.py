@@ -21,7 +21,7 @@ no latency model, so sync cells are emitted once regardless of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Iterator, Optional
 
 from repro.congest.runtime import LATENCY_MODELS
@@ -111,6 +111,30 @@ class Cell:
     @property
     def problem(self) -> str:
         return "coloring" if self.method in COLORING_METHODS else "mis"
+
+    # -- wire form (distributed queue) ------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form for the distributed work queue."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Cell":
+        """Rebuild a cell shipped over the wire.
+
+        Unknown fields are an error, not silently dropped: a field this
+        side does not know about means the other side runs a newer
+        schema, and executing the cell without the knob would produce a
+        record whose key claims something the run never measured.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ReproError(
+                f"unknown Cell field(s) {', '.join(unknown)} "
+                "(coordinator/worker schema skew?)"
+            )
+        return cls(**data)
 
 
 @dataclass(frozen=True)

@@ -19,15 +19,18 @@ def fit_exponent(points: Sequence[tuple[float, float]]) -> float:
     growth exponent ("messages ~ x^alpha").
 
     Degenerate inputs are answered with 0.0 rather than an exception:
-    points with non-positive x carry no log-scale information and are
-    dropped; fewer than two surviving points (or a single distinct x)
+    points with a non-positive coordinate carry no log-scale information
+    and are dropped — symmetrically in x and y, because clamping a zero
+    y to some tiny epsilon would inject an enormous negative log (a
+    single zero-message cell could swing a fitted exponent by whole
+    units); fewer than two surviving points (or a single distinct x)
     leave the slope undetermined.
     """
-    clean = [(x, y) for x, y in points if x > 0]
+    clean = [(x, y) for x, y in points if x > 0 and y > 0]
     if len(clean) < 2:
         return 0.0
     xs = [math.log(x) for x, _ in clean]
-    ys = [math.log(max(y, 1e-9)) for _, y in clean]
+    ys = [math.log(y) for _, y in clean]
     n = len(xs)
     mean_x = sum(xs) / n
     mean_y = sum(ys) / n
@@ -62,15 +65,41 @@ WORKLOAD_KEYS = ("family", "method", "engine", "latency", "density",
                  "epsilon", "sample_constant")
 
 
+def latest_per_key(records: Sequence[dict]) -> list[dict]:
+    """Last-record-wins dedup by cell ``key``, preserving input order.
+
+    A JSON-lines store legitimately holds several lines for one key: a
+    failed attempt superseded by a later success (the documented resume
+    path), or duplicate ok lines from a supervisor/worker race.  Pooling
+    them all would inflate per-size run counts and skew every mean, so
+    aggregation keeps only the last line per key.  Keyless records
+    (hand-built aggregation inputs) pass through untouched.
+    """
+    out: list[dict] = []
+    slot: dict[str, int] = {}
+    for rec in records:
+        key = rec.get("key")
+        if key is None:
+            out.append(rec)
+        elif key in slot:
+            out[slot[key]] = rec
+        else:
+            slot[key] = len(out)
+            out.append(rec)
+    return out
+
+
 def ok_records(records: Sequence[dict]) -> list[dict]:
     """The measurable subset of a record set.
 
-    Timed-out / errored cells (``status != "ok"``) carry no counts, so
-    every aggregation starts by dropping them — they must not poison an
-    exponent fit or a mean.  Records from older stores without a status
-    field are treated as ok.
+    Records are first deduplicated per key (:func:`latest_per_key` —
+    last record wins), then timed-out / errored cells
+    (``status != "ok"``) are dropped: they carry no counts and must not
+    poison an exponent fit or a mean.  Records from older stores without
+    a status field are treated as ok.
     """
-    return [r for r in records if r.get("status", "ok") == "ok"]
+    return [r for r in latest_per_key(records)
+            if r.get("status", "ok") == "ok"]
 
 
 def group_records(records: Sequence[dict],

@@ -62,21 +62,37 @@ class ResultStore:
     def load(self) -> list[dict]:
         return list(self.iter_records())
 
+    def latest_per_key(self) -> dict[str, dict]:
+        """The last stored record for each key, in one pass.
+
+        The store's merge semantics: appends never rewrite history, so a
+        key can accumulate several lines (a failed attempt superseded by
+        a later success on resume, or records merged in from remote
+        workers).  The *last* line is the authoritative one — readers
+        that pool raw lines would double-count a cell.
+        """
+        latest: dict[str, dict] = {}
+        for rec in self.iter_records():
+            key = rec.get("key")
+            if key is not None:
+                latest[key] = rec
+        return latest
+
     def completed_keys(self, include_failed: bool = False) -> set[str]:
         """Keys of every cell already stored (the resume set).
 
-        Records with a non-``"ok"`` status (timeouts, worker errors) are
-        omitted by default so a resumed sweep attempts those cells again;
-        a later successful record for the same key supersedes the failed
-        line at aggregation time (non-``ok`` records never enter fits).
+        Last-record-wins: a key whose *latest* record has a non-``"ok"``
+        status (timeout, worker error) is omitted by default so a
+        resumed sweep attempts it again; a later successful record
+        supersedes any earlier failed line (and non-``ok`` records never
+        enter fits — see :func:`repro.experiments.stats.ok_records`).
         """
+        latest = self.latest_per_key()
         if include_failed:
-            return {
-                rec["key"] for rec in self.iter_records() if "key" in rec
-            }
+            return set(latest)
         return {
-            rec["key"] for rec in self.iter_records()
-            if "key" in rec and rec.get("status", "ok") == "ok"
+            key for key, rec in latest.items()
+            if rec.get("status", "ok") == "ok"
         }
 
     def __len__(self) -> int:

@@ -310,6 +310,25 @@ def regular_degree_for(n: int, p: float) -> int:
     return max(d, 0)
 
 
+def family_built_n(family: str, n: int, p: float = 0.2) -> int:
+    """The vertex count :func:`family_graph` will actually build.
+
+    Families that quantize the requested size — expander lifts round to
+    a whole number of fibers, barbell to clique/path arithmetic — build
+    a graph whose ``n`` differs from the request.  Records must carry
+    the *built* n (a wrong x-coordinate biases exponent fits), and
+    failure records have no graph to read it from, so this computes it
+    without constructing any edges.  Kept in lockstep with
+    :func:`family_graph`'s dispatch below.
+    """
+    if family == "barbell":
+        return 2 * (n // 2) + max(1, n // 10)
+    if family == "expander":
+        d = max(3, min(8, int(round(p * 16))))
+        return max(1, round(n / (d + 1))) * (d + 1)
+    return n
+
+
 def family_graph(family: str, n: int, p: float = 0.2, seed=0) -> Graph:
     """Build a graph from a ``(family, n, density-knob, seed)`` spec.
 
@@ -318,7 +337,9 @@ def family_graph(family: str, n: int, p: float = 0.2, seed=0) -> Graph:
     feasible), ``powerlaw`` (attachment ~ 10p), ``barbell`` (p ignored),
     ``grid`` (2D lattice, p ignored), ``expander`` (random d-regular
     lift of K_{d+1} with d ~ 16p clamped to [3, 8]), and ``planted``
-    (planted partition with p_in = p, p_out = p/8, 4 blocks).
+    (planted partition with p_in = p, p_out = p/8, 4 blocks).  Size
+    quantization here must stay in lockstep with
+    :func:`family_built_n`.
     """
     if family == "gnp":
         return connected_gnp_graph(n, p, seed=seed)

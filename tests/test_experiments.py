@@ -15,6 +15,7 @@ from repro.experiments import (
     bench_payload,
     fit_exponent,
     growth_exponents,
+    latest_per_key,
     mean_ci,
     render_report,
     run_cell,
@@ -177,8 +178,18 @@ def test_fit_exponent_degenerate_inputs():
     assert fit_exponent([(100, 10), (100, 20)]) == 0.0  # single distinct x
     # Non-positive sizes are dropped, not fatal.
     assert abs(fit_exponent([(0, 1), (10, 100), (100, 10000)]) - 2.0) < 1e-9
-    # Zero/negative y is clamped, not a domain error.
+    # All-non-positive y leaves nothing to fit.
     assert fit_exponent([(10, 0), (100, 0)]) == 0.0
+
+
+def test_fit_exponent_drops_nonpositive_y_symmetrically():
+    """Regression: a zero-y point (an empty remnant's message count) used
+    to be clamped to 1e-9, injecting log(1e-9) ~ -20.7 into the
+    regression and swinging the fitted exponent by whole units; it must
+    be dropped exactly like a non-positive x."""
+    clean = [(n, n ** 2.0) for n in (10, 100, 1000)]
+    assert abs(fit_exponent(clean + [(50, 0.0)]) - 2.0) < 1e-9
+    assert abs(fit_exponent(clean + [(50, -3.0)]) - 2.0) < 1e-9
 
 
 def test_mean_ci():
@@ -434,6 +445,174 @@ def test_timeout_records_excluded_from_fits_and_resume(tmp_path):
     # The failed key is retried on resume; the ok key is skipped.
     assert store.completed_keys() == {ok_rec["key"]}
     assert bad_rec["key"] in store.completed_keys(include_failed=True)
+
+
+# -- farm races (deterministic via the _spawn_cell_process seam) --------------
+
+
+class _FakeProc:
+    """Scripted stand-in for a single-cell farm process."""
+
+    exitcode = 0
+
+    def __init__(self):
+        self.terminated = False
+
+    def is_alive(self):
+        return not self.terminated
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self, timeout=None):
+        pass
+
+
+class _ScriptedConn:
+    """A result pipe whose poll() answers follow a script (the last entry
+    repeats forever); recv() hands out the prepared record."""
+
+    def __init__(self, polls, record=None):
+        self._polls = list(polls)
+        self._record = record
+
+    def poll(self, timeout=0):
+        if len(self._polls) > 1:
+            return self._polls.pop(0)
+        return self._polls[0]
+
+    def recv(self):
+        if self._record is None:
+            raise EOFError
+        return dict(self._record)
+
+    def close(self):
+        pass
+
+
+def _ok_record(cell, messages=123):
+    return {"key": cell.key(), "family": cell.family, "n": cell.n,
+            "seed": cell.seed, "method": cell.method, "engine": cell.engine,
+            "status": "ok", "valid": True, "messages": messages,
+            "rounds": 4, "m": 90, "wall_s": 0.01}
+
+
+def test_deadline_completion_race_drains_final_record(monkeypatch):
+    """Regression: a cell finishing between the supervisor's poll and the
+    deadline check used to lose its record — the completed cell was
+    re-queued (or recorded as a timeout), and the retry's duplicate ok
+    line for the same key inflated runs and skewed mean_ci.  The farm
+    must drain the pipe once more after the deadline fires, before
+    terminating."""
+    from repro.experiments import runner
+
+    cell = Cell("gnp", 30, 0, "luby", timeout_s=1e-9)
+    # poll: False at the in-loop completion check (the race window),
+    # True at the post-deadline drain.
+    conn = _ScriptedConn([False, True], _ok_record(cell))
+    monkeypatch.setattr(runner, "_spawn_cell_process",
+                        lambda c: (_FakeProc(), conn))
+    out = []
+    runner._run_cells_with_timeout([cell], 1, out.append)
+    assert len(out) == 1
+    assert out[0]["status"] == "ok" and out[0]["messages"] == 123
+    assert out[0]["attempts"] == 1
+
+
+def test_retry_success_stamps_attempts(monkeypatch):
+    """Regression: only non-ok farm records carried ``attempts``; a cell
+    that succeeded on its second attempt was indistinguishable from a
+    first-try success."""
+    from repro.experiments import runner
+
+    cell = Cell("gnp", 30, 0, "luby", timeout_s=0.05, retries=1)
+    conns = [
+        _ScriptedConn([False]),                    # attempt 1: never done
+        _ScriptedConn([True], _ok_record(cell)),   # attempt 2: immediate
+    ]
+    monkeypatch.setattr(runner, "_spawn_cell_process",
+                        lambda c: (_FakeProc(), conns.pop(0)))
+    out = []
+    runner._run_cells_with_timeout([cell], 1, out.append)
+    assert len(out) == 1
+    assert out[0]["status"] == "ok"
+    assert out[0]["attempts"] == 2
+
+
+def test_farm_ok_records_carry_attempts():
+    """Every record the real farm produces has ``attempts`` — successes
+    included, not just timeouts/errors."""
+    spec = SweepSpec(families=("gnp",), sizes=(30,), seeds=(0,),
+                     methods=("luby",), timeout_s=60.0)
+    records = run_sweep(spec, store=None, workers=1)
+    assert len(records) == 1
+    assert records[0]["status"] == "ok"
+    assert records[0]["attempts"] == 1
+
+
+def test_duplicate_and_superseded_lines_dedup_last_wins(tmp_path):
+    """Regression: aggregation pooled every raw store line — a failed
+    line plus its later ok line (the documented resume path), or
+    duplicate ok lines from the deadline race, all entered the pool,
+    inflating ``runs``.  Last-record-wins everywhere."""
+    cell = Cell("gnp", 40, 0, "luby", density=0.3)
+    failed = {"key": cell.key(), "family": "gnp", "n": 40, "seed": 0,
+              "method": "luby", "engine": "sync", "density": 0.3,
+              "epsilon": 0.5, "status": "timeout", "valid": False,
+              "wall_s": 1.0}
+    ok1 = {**failed, "status": "ok", "valid": True, "m": 160,
+           "messages": 500, "rounds": 5, "wall_s": 0.1}
+    ok2 = dict(ok1)
+    rows = growth_exponents([failed, ok1, ok2])
+    runs = sum(p["runs"] for row in rows for p in row["points"].values())
+    assert runs == 1
+    # Keyless aggregation inputs (hand-built records) are left alone.
+    assert latest_per_key([{"n": 1}, {"n": 2}]) == [{"n": 1}, {"n": 2}]
+    # Last-wins applies at the store too: an ok line shadowed by a later
+    # failure leaves the resume set (the cell will be re-attempted) ...
+    store = ResultStore(str(tmp_path / "dup.jsonl"))
+    with store:
+        store.append(ok1)
+        store.append(dict(failed))
+    assert store.completed_keys() == set()
+    assert store.latest_per_key()[cell.key()]["status"] == "timeout"
+    # ... and a yet-later success supersedes the failure again.
+    with store:
+        store.append(ok2)
+    assert store.completed_keys() == {cell.key()}
+
+
+def test_failure_record_uses_built_graph_n():
+    """Failure records must follow run_cell's convention — the n the
+    family actually builds (expander fibers, barbell arithmetic), not
+    the requested one — so ok and failed lines for one key agree."""
+    from repro.experiments.runner import _failure_record
+    from repro.graphs.generators import family_built_n
+
+    cell = Cell("expander", 100, 0, "luby", density=0.45)
+    rec = _failure_record(cell, "timeout")
+    built = family_graph("expander", 100, p=0.45, seed=0).n
+    assert rec["n"] == built == family_built_n("expander", 100, 0.45)
+    assert rec["n"] != 100
+    barbell = _failure_record(Cell("barbell", 101, 0, "luby"), "error")
+    assert barbell["n"] == family_graph("barbell", 101).n
+
+
+def test_report_surfaces_retried_runs():
+    """`repro report` shows how many surviving records needed retries."""
+    base = {"family": "gnp", "method": "luby", "engine": "sync",
+            "density": 0.2, "epsilon": 0.5, "status": "ok", "valid": True,
+            "rounds": 3}
+    recs = [
+        {**base, "key": "a", "n": 40, "m": 100, "messages": 400,
+         "attempts": 1},
+        {**base, "key": "b", "n": 60, "m": 220, "messages": 900,
+         "attempts": 3},
+    ]
+    summary = summarize(recs)
+    assert len(summary) == 1
+    assert summary[0]["retried_runs"] == 1
+    assert "retr" in render_report(summary)
 
 
 def test_run_cell_method_extras():
