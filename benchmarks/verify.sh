@@ -25,6 +25,25 @@ rm -f "$SMOKE_OUT"
 python -m pytest -x -q \
     tests/test_distributed.py::test_two_worker_distributed_sweep_matches_serial
 
+echo "== fault-sweep smoke (seeded drops, survivor-valid records) =="
+FAULT_OUT="$(mktemp -u "${TMPDIR:-/tmp}/repro-faults-XXXXXX.jsonl")"
+python -m repro sweep --families gnp --sizes 40 --seeds 0 1 \
+    --methods luby baseline-trial --faults drop:0.05 \
+    --out "$FAULT_OUT"
+python - "$FAULT_OUT" << 'EOF'
+import json, sys
+
+records = [json.loads(line) for line in open(sys.argv[1])]
+assert records, "fault smoke produced no records"
+assert all(r["status"] == "ok" for r in records), records
+assert all(r["faults"] == "drop:0.05" for r in records), records
+assert all(r["survivor_valid"] for r in records), records
+dropped = sum(r["dropped_messages"] for r in records)
+assert dropped > 0, "drop:0.05 sweep dropped nothing"
+print(f"fault smoke: {len(records)} cells ok, {dropped} messages dropped")
+EOF
+rm -f "$FAULT_OUT"
+
 echo "== fixed-seed count regression vs BENCH_engine.json =="
 python benchmarks/check_regression.py --workers "${WORKERS:-4}"
 

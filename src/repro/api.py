@@ -41,13 +41,16 @@ from repro.errors import SynchronizerBudgetError
 from repro.coloring.algorithm1 import run_algorithm1
 from repro.coloring.algorithm2 import run_algorithm2
 from repro.coloring.baselines import run_baseline_coloring
-from repro.coloring.verify import coloring_violations
+from repro.coloring.verify import (
+    coloring_violations,
+    survivor_coloring_violations,
+)
 from repro.errors import ReproError
 from repro.graphs.core import Graph
 from repro.mis.algorithm3 import run_algorithm3
 from repro.mis.baselines import run_rank_greedy_mis
 from repro.mis.luby import run_luby
-from repro.mis.verify import mis_violations
+from repro.mis.verify import mis_violations, survivor_mis_violations
 
 
 @dataclass
@@ -78,6 +81,17 @@ class RunReport:
     overhead_messages: Optional[int] = None
     overhead_rounds: Optional[int] = None
     synchronized_stages: int = 0
+    #: Fault seam (``docs/faults.md``): the active fault spec (None on
+    #: the fault-free path), the charged messages the faults destroyed,
+    #: how many nodes ever crashed, and which vertices are casualties.
+    #: ``survivor_valid`` is the survivor-restricted validity verdict —
+    #: it mirrors ``.valid`` on faulted runs and is None when fault-free
+    #: (where plain validity applies to every node).
+    faults: Optional[str] = None
+    dropped_messages: int = 0
+    crashed_nodes: int = 0
+    casualty_vertices: tuple = ()
+    survivor_valid: Optional[bool] = None
 
     @property
     def messages_per_edge(self) -> float:
@@ -141,10 +155,16 @@ def _report(method: str, net, engine: str = "sync",
         report.sync_rounds = baseline.stats.rounds
         report.overhead_messages = report.messages - report.sync_messages
         report.overhead_rounds = report.rounds - report.sync_rounds
+    if net.faults is not None:
+        report.faults = net.faults.spec
+        report.dropped_messages = net.stats.dropped_messages
+        report.crashed_nodes = net.faults.crashed_count
+        report.casualty_vertices = tuple(sorted(net.faults.casualties))
     return report
 
 
-def _run_engines(build, drive, asynchronous: bool, latency: str):
+def _run_engines(build, drive, asynchronous: bool, latency: str,
+                 faults=None):
     """Run a cell on the requested engine.
 
     ``build(engine_cls, **engine_kwargs)`` constructs the network;
@@ -164,23 +184,47 @@ def _run_engines(build, drive, asynchronous: bool, latency: str):
     the budgets change).  Only the successful attempt's network is
     returned and accounted.
 
+    ``faults`` (a spec string or FaultModel) applies to the *primary*
+    engine only; the shadow run stays fault-free so the synchronizer
+    budgets and the overhead baseline describe the undamaged execution.
+
     Returns ``(net, outputs, shadow_net_or_None)``.
     """
+    def run(net):
+        # Multi-stage drivers read stage outputs between stages (the
+        # danner builds its tree from the flood's parents, say); a
+        # casualty's output is None, and a driver that cannot proceed
+        # without it must fail naming the fault regime, not with a raw
+        # TypeError from deep inside its pipeline.
+        if net.faults is None:
+            return drive(net)
+        try:
+            return drive(net)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ReproError(
+                f"driver failed under fault injection "
+                f"{net.faults.spec!r}: {exc!r} (the method's "
+                "inter-stage logic needs outputs a casualty never "
+                "produced)"
+            ) from exc
+
     if not asynchronous:
-        net = build(SyncNetwork)
-        return net, drive(net), None
+        net = build(SyncNetwork, faults=faults)
+        return net, run(net), None
     shadow = build(SyncNetwork)
     drive(shadow)
     budgets = [(s.name, s.rounds) for s in shadow.stats.stages]
     last_error: Optional[SynchronizerBudgetError] = None
     for scale in (1, 2, 4, 8):
         net = build(
-            AsyncNetwork, latency=latency,
+            AsyncNetwork, latency=latency, faults=faults,
             round_budgets=[(name, rounds * scale)
                            for name, rounds in budgets],
         )
         try:
-            return net, drive(net), shadow
+            return net, run(net), shadow
         except SynchronizerBudgetError as exc:
             last_error = exc
     raise last_error
@@ -194,6 +238,7 @@ def color_graph(
     asynchronous: bool = False,
     latency: str = "uniform",
     collect_utilization: bool = True,
+    faults=None,
     **kwargs,
 ) -> ColoringResult:
     """Color a connected graph with one of the paper's algorithms.
@@ -207,7 +252,16 @@ def color_graph(
     ``collect_utilization=False`` runs the engine in stats-lite mode
     (identical message/word/round counts, no utilized-edge or per-tag
     breakdowns) — the mode bulk experiment sweeps use.
+
+    ``faults`` injects failures (a spec like ``"drop:0.05"`` /
+    ``"crash:0.1"`` / ``"adversary:64"``, or a
+    :class:`~repro.congest.runtime.FaultModel`); ``None``/``"none"`` is
+    the bit-identical fault-free path.  Under faults ``result.valid``
+    is the *survivor-validity* verdict: correctness judged only on the
+    nodes the fault model left undamaged (``docs/faults.md``).
     """
+    if faults == "none":
+        faults = None
     if method == "kt1-delta-plus-one":
         def build(engine, **engine_kwargs):
             return engine(graph, rho=1, seed=seed,
@@ -245,23 +299,31 @@ def color_graph(
         raise ReproError(f"unknown coloring method {method!r}")
 
     net, (colors, bound, detail), shadow = _run_engines(
-        build, drive, asynchronous, latency
+        build, drive, asynchronous, latency, faults=faults
     )
-    valid = (
-        not coloring_violations(graph, colors)
-        and all(c is not None for c in colors)
+    if net.faults is not None:
+        valid = not survivor_coloring_violations(
+            graph, colors, net.faults.casualties
+        )
+    else:
+        valid = (
+            not coloring_violations(graph, colors)
+            and all(c is not None for c in colors)
+        )
+    report = _report(
+        method, net,
+        engine="async" if asynchronous else "sync",
+        latency=latency if asynchronous else None,
+        baseline=shadow,
     )
+    if net.faults is not None:
+        report.survivor_valid = valid
     return ColoringResult(
         colors=colors,
         num_colors=len({c for c in colors if c is not None}),
         palette_bound=bound,
         valid=valid,
-        report=_report(
-            method, net,
-            engine="async" if asynchronous else "sync",
-            latency=latency if asynchronous else None,
-            baseline=shadow,
-        ),
+        report=report,
         detail=detail,
     )
 
@@ -274,6 +336,7 @@ def find_mis(
     asynchronous: bool = False,
     latency: str = "uniform",
     collect_utilization: bool = True,
+    faults=None,
     **kwargs,
 ) -> MISResult:
     """Compute an MIS of a connected graph.
@@ -282,8 +345,13 @@ def find_mis(
     engine (``latency`` as in :func:`color_graph`); Algorithm 3's
     round-cadence greedy stage is auto-synchronized, Luby and rank-greedy
     run async-native.  ``collect_utilization=False`` selects the
-    engine's stats-lite mode.
+    engine's stats-lite mode.  ``faults`` injects failures exactly as
+    in :func:`color_graph`; ``result.valid`` then reports
+    survivor-validity (independence strict among survivors, maximality
+    owed only where the whole closed neighborhood survived).
     """
+    if faults == "none":
+        faults = None
     if method == "kt2-sampled-greedy":
         rho = 2
     elif method in ("luby", "rank-greedy"):
@@ -308,19 +376,25 @@ def find_mis(
         return in_mis, detail
 
     net, (in_mis, detail), shadow = _run_engines(
-        build, drive, asynchronous, latency
+        build, drive, asynchronous, latency, faults=faults
     )
-    bad = mis_violations(graph, in_mis)
+    if net.faults is not None:
+        bad = survivor_mis_violations(graph, in_mis, net.faults.casualties)
+    else:
+        bad = mis_violations(graph, in_mis)
     valid = not bad["independence"] and not bad["maximality"]
+    report = _report(
+        method, net,
+        engine="async" if asynchronous else "sync",
+        latency=latency if asynchronous else None,
+        baseline=shadow,
+    )
+    if net.faults is not None:
+        report.survivor_valid = valid
     return MISResult(
         in_mis=in_mis,
         size=sum(in_mis),
         valid=valid,
-        report=_report(
-            method, net,
-            engine="async" if asynchronous else "sync",
-            latency=latency if asynchronous else None,
-            baseline=shadow,
-        ),
+        report=report,
         detail=detail,
     )

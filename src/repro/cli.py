@@ -33,17 +33,26 @@ from repro.congest.runtime import LATENCY_MODELS
 from repro.errors import ReproError
 from repro.graphs.core import Graph
 from repro.graphs.generators import family_graph
+from repro.graphs.io import load_edge_list
 
 GRAPH_FAMILIES = ("gnp", "regular", "powerlaw", "barbell",
-                  "grid", "expander", "planted")
+                  "grid", "torus", "hypercube", "expander", "planted")
 
 
 def _build_graph(args) -> Graph:
     try:
+        if getattr(args, "graph_file", None):
+            return load_edge_list(args.graph_file)
         return family_graph(args.family, args.n, p=args.p,
                             seed=args.graph_seed)
     except ReproError as exc:
         raise SystemExit(str(exc))
+
+
+def _graph_label(args, graph: Graph) -> str:
+    if getattr(args, "graph_file", None):
+        return f"{args.graph_file}(n={graph.n}, m={graph.m})"
+    return f"{args.family}(n={graph.n}, m={graph.m})"
 
 
 def _graph_args(sub) -> None:
@@ -51,6 +60,9 @@ def _graph_args(sub) -> None:
     sub.add_argument("--p", type=float, default=0.2,
                      help="density knob (edge probability for gnp)")
     sub.add_argument("--family", default="gnp", choices=GRAPH_FAMILIES)
+    sub.add_argument("--graph-file", default=None, metavar="PATH",
+                     help="run on an edge-list file instead of a "
+                          "generated graph (overrides --family/--n/--p)")
     sub.add_argument("--graph-seed", type=int, default=0)
     sub.add_argument("--seed", type=int, default=0,
                      help="algorithm randomness seed")
@@ -78,14 +90,31 @@ def _async_payload(report) -> dict:
     }
 
 
+def _fault_payload(report) -> dict:
+    """The failure-injection lines shared by ``color`` and ``mis``."""
+    if report.faults is None:
+        return {}
+    return {
+        "fault model": report.faults,
+        "dropped msgs": report.dropped_messages,
+        "crashed nodes": report.crashed_nodes,
+        "casualties": len(report.casualty_vertices),
+        "survivor valid": report.survivor_valid,
+    }
+
+
 def cmd_color(args) -> int:
     graph = _build_graph(args)
-    result = api.color_graph(
-        graph, method=args.method, seed=args.seed, epsilon=args.epsilon,
-        asynchronous=args.asynchronous, latency=args.latency,
-    )
+    try:
+        result = api.color_graph(
+            graph, method=args.method, seed=args.seed,
+            epsilon=args.epsilon, asynchronous=args.asynchronous,
+            latency=args.latency, faults=args.faults,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
     _emit(args, {
-        "graph": f"{args.family}(n={graph.n}, m={graph.m})",
+        "graph": _graph_label(args, graph),
         "method": args.method,
         "valid": result.valid,
         "colors used": result.num_colors,
@@ -95,17 +124,21 @@ def cmd_color(args) -> int:
         "rounds": result.report.rounds,
         "utilized edges": result.report.utilized_edges,
         **_async_payload(result.report),
+        **_fault_payload(result.report),
     })
     return 0 if result.valid else 1
 
 
 def cmd_mis(args) -> int:
     graph = _build_graph(args)
-    result = api.find_mis(graph, method=args.method, seed=args.seed,
-                          asynchronous=args.asynchronous,
-                          latency=args.latency)
+    try:
+        result = api.find_mis(graph, method=args.method, seed=args.seed,
+                              asynchronous=args.asynchronous,
+                              latency=args.latency, faults=args.faults)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
     _emit(args, {
-        "graph": f"{args.family}(n={graph.n}, m={graph.m})",
+        "graph": _graph_label(args, graph),
         "method": args.method,
         "valid": result.valid,
         "MIS size": result.size,
@@ -113,6 +146,7 @@ def cmd_mis(args) -> int:
         "messages/edge": round(result.report.messages_per_edge, 3),
         "rounds": result.report.rounds,
         **_async_payload(result.report),
+        **_fault_payload(result.report),
     })
     return 0 if result.valid else 1
 
@@ -139,6 +173,7 @@ def cmd_sweep(args) -> int:
             methods=tuple(args.methods),
             engines=tuple(args.engines),
             latencies=tuple(args.latencies),
+            faults=tuple(args.faults),
             density=args.p,
             epsilon=args.epsilon,
             sample_constant=args.sample_constant,
@@ -160,11 +195,17 @@ def cmd_sweep(args) -> int:
                 "cells": spec.size,
                 "to_run": len(plan),
                 "resumed (skipped)": spec.size - len(plan),
+                "engines": list(spec.engine_axis),
+                "latencies": list(spec.latencies),
+                "faults": list(spec.faults),
                 "plan": plan,
             }, indent=2))
         else:
             for key in plan:
                 print(key)
+            print(f"axes: engines={','.join(spec.engine_axis)} "
+                  f"latencies={','.join(spec.latencies)} "
+                  f"faults={','.join(spec.faults)}")
             print(f"dry-run: {len(plan)} of {spec.size} cells to run "
                   f"({spec.size - len(plan)} already in {args.out})")
         return 0
@@ -409,7 +450,7 @@ def cmd_info(args) -> int:
     graph = _build_graph(args)
     net = SyncNetwork(graph, seed=args.seed)
     _emit(args, {
-        "graph": f"{args.family}(n={graph.n}, m={graph.m})",
+        "graph": _graph_label(args, graph),
         "max degree": graph.max_degree(),
         "ID space": net.assignment.space_bound(),
         "word bits": net.word_bits,
@@ -437,6 +478,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--asynchronous", action="store_true")
     p.add_argument("--latency", default="uniform", choices=LATENCY_MODELS,
                    help="async latency model (with --asynchronous)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault model: drop:P, crash:P[:T[:R]], "
+                        "adversary[:B[:W]] (default: none)")
     p.set_defaults(fn=cmd_color)
 
     p = subs.add_parser("mis", help="run an MIS algorithm")
@@ -446,6 +490,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--asynchronous", action="store_true")
     p.add_argument("--latency", default="uniform", choices=LATENCY_MODELS,
                    help="async latency model (with --asynchronous)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault model: drop:P, crash:P[:T[:R]], "
+                        "adversary[:B[:W]] (default: none)")
     p.set_defaults(fn=cmd_mis)
 
     p = subs.add_parser(
@@ -475,6 +522,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="latency-model axis for async cells "
                         f"({', '.join(LATENCY_MODELS)}); sync cells "
                         "ignore it")
+    p.add_argument("--faults", nargs="+", default=["none"], metavar="SPEC",
+                   help="fault-model axis: none, drop:P, "
+                        "crash:P[:T[:R]], adversary[:B[:W]]; multiplies "
+                        "every cell (fault-free keys are unchanged)")
     p.add_argument("--p", type=float, default=0.2,
                    help="density knob (edge probability for gnp)")
     p.add_argument("--epsilon", type=float, default=0.5)

@@ -73,7 +73,9 @@ class RankGreedyColoring(NodeAlgorithm):
             (c,) = msg.fields
             self.taken.add(c)
             self.uncolored_above.discard(msg.sender_id)
-        ctx.done(None if self.color is None else {"color": self.color})
+        # done() fires only in _try_color (publish on decision): an
+        # uncolored node stays engine-unfinished, so losing its wake-up
+        # message under faults starves it instead of freezing a None.
         self._try_color(ctx)
 
 

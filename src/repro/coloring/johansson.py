@@ -178,7 +178,10 @@ class JohanssonListColoring(NodeAlgorithm):
                     "deferred", None,
                 )
         if ctx.round == 0:
-            self._publish(ctx)
+            # Participants publish only on *decision* (color or defer):
+            # an undecided node stays engine-unfinished, so a silence
+            # cascade under faults is a starved casualty, never a stale
+            # default output.
             self._begin_phase(ctx)
         if not self._decided():
             self._pump(ctx)

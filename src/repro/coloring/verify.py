@@ -24,6 +24,30 @@ def coloring_violations(graph: Graph, colors: Sequence[Optional[int]]
     return bad
 
 
+def survivor_coloring_violations(
+    graph: Graph,
+    colors: Sequence[Optional[int]],
+    casualties,
+) -> list[tuple[int, int]]:
+    """Monochromatic edges between two colored *survivors*.
+
+    The survivor-validity contract (``docs/faults.md``): nodes damaged
+    by the fault model (``casualties``, any iterable of vertices) owe
+    nothing — their outputs are not judged, and an uncolored survivor is
+    fine (it is starved, hence itself a casualty; a colored survivor's
+    color however must not clash with another colored survivor's).
+    """
+    damaged = set(casualties)
+    bad = []
+    for u, v in graph.edges():
+        if u in damaged or v in damaged:
+            continue
+        cu, cv = colors[u], colors[v]
+        if cu is not None and cu == cv:
+            bad.append((u, v))
+    return bad
+
+
 def check_proper_coloring(graph: Graph, colors: Sequence[Optional[int]],
                           allow_uncolored: bool = False) -> None:
     """Raise unless ``colors`` is a proper (total, unless allowed) coloring."""

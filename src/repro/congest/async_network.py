@@ -25,6 +25,12 @@ Two classes of algorithms run here:
   ``default_round_budget``.  Without any budget the engine still raises
   :class:`~repro.errors.ProtocolError`, because Theorem A.5's simulation
   is defined for algorithms with known round bounds.
+
+Failure injection (``faults=`` — a spec string or
+:class:`~repro.congest.runtime.FaultModel`) plugs into the same
+delivery path as the latency models: the event scheduler consults it on
+every charged envelope and activation, with crash windows read on the
+normalized-time clock.  See ``docs/faults.md``.
 """
 
 from __future__ import annotations

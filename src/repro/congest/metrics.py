@@ -75,6 +75,13 @@ class MessageStats:
         self.messages = 0
         self.words = 0
         self.rounds = 0
+        #: charged messages the fault seam destroyed (drops, crash
+        #: discards) — a subset of ``messages``: the sender paid, the
+        #: receiver never saw them.  Always 0 on the fault-free path.
+        self.dropped_messages = 0
+        #: nodes that ever crashed under the active fault model (the
+        #: network refreshes this from the FaultModel after each stage).
+        self.crashed_nodes = 0
         self.stages: list[StageStats] = []
         #: charged messages per protocol tag (who is spending the budget)
         self.by_tag: dict[str, int] = {}
@@ -132,6 +139,12 @@ class MessageStats:
             stage.words += words
             stage.messages += messages
 
+    def charge_dropped(self, charged_messages: int) -> None:
+        """Account charged messages lost to the fault seam (already in
+        ``messages`` — this tracks how much of the paid budget the
+        adversary destroyed)."""
+        self.dropped_messages += charged_messages
+
     def charge_round(self) -> None:
         self.charge_rounds(1)
 
@@ -188,6 +201,8 @@ class MessageStats:
             "messages": self.messages,
             "words": self.words,
             "rounds": self.rounds,
+            "dropped_messages": self.dropped_messages,
+            "crashed_nodes": self.crashed_nodes,
             "utilized_edges": len(self._utilized),
             "stages": [s.as_dict() for s in self.stages],
         }

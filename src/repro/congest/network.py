@@ -45,7 +45,12 @@ from repro.congest.knowledge import KTKnowledge, build_knowledge
 from repro.congest.message import Envelope, analyze_payload
 from repro.congest.metrics import MessageStats, StageStats
 from repro.congest.node import Context, NodeAlgorithm
-from repro.congest.runtime import RoundScheduler, Scheduler
+from repro.congest.runtime import (
+    FaultModel,
+    RoundScheduler,
+    Scheduler,
+    make_fault_model,
+)
 from repro.congest.trace import ExecutionTrace
 from repro.errors import (
     ModelViolationError,
@@ -81,6 +86,7 @@ class SyncNetwork:
         collect_utilization: bool = True,
         eager_charges: bool = False,
         scheduler: Optional[Scheduler] = None,
+        faults: Optional[FaultModel | str] = None,
     ):
         if rho < 1:
             raise ReproError("SyncNetwork supports KT-rho for rho >= 1")
@@ -139,6 +145,13 @@ class SyncNetwork:
         #: Cached bound method — the outbox flush calls it per envelope.
         self._schedule = self.scheduler.schedule
         self._current_round = 0
+        #: Failure seam (see :mod:`repro.congest.runtime`): None is the
+        #: fault-free reference path — the schedulers and the outbox
+        #: flush skip every fault branch, so counts stay bit-identical
+        #: to the pre-seam engine.
+        self.faults: Optional[FaultModel] = make_fault_model(faults)
+        if self.faults is not None:
+            self.faults.bind(self)
 
     def _default_scheduler(self) -> Scheduler:
         return RoundScheduler()
@@ -202,6 +215,8 @@ class SyncNetwork:
         )
 
         self.stats.charge_rounds(rounds)
+        if self.faults is not None:
+            self.stats.crashed_nodes = self.faults.crashed_count
         outputs = [contexts[v]._output for v in range(n)]
         if self.trace is not None:
             for v in range(n):
@@ -309,6 +324,7 @@ class SyncNetwork:
         analyze = self._analyze
         trace = self.trace
         schedule = self._schedule
+        faults = self.faults
         round_sent = self._current_round
         total_words = 0
         total_msgs = 0
@@ -347,11 +363,14 @@ class SyncNetwork:
                             and has_edge(sender, w):
                         utilized.add(sender * n + w if sender < w
                                      else w * n + sender)
-            schedule(
-                Envelope(sender, receiver, tag, fields, round_sent,
-                         words, payload_ids),
-                charged,
-            )
+            env = Envelope(sender, receiver, tag, fields, round_sent,
+                           words, payload_ids)
+            if faults is not None and faults.drops(env, charged):
+                # Charged but undelivered: the sender paid full price,
+                # the envelope never reaches the scheduler.
+                stats.charge_dropped(charged)
+                continue
+            schedule(env, charged)
             if trace is not None:
                 trace.record(
                     round_sent, sender, receiver, tag, fields,
@@ -380,6 +399,15 @@ class SyncNetwork:
                                  else w * n + receiver)
 
     # -- conveniences -----------------------------------------------------------
+
+    @property
+    def casualties(self) -> dict[int, str]:
+        """Vertices the fault model damaged, vertex -> first reason
+        (``crashed`` / ``dropped`` / ``starved``); empty when fault-free.
+        Output verification must skip these (``docs/faults.md``)."""
+        if self.faults is None:
+            return {}
+        return dict(self.faults.casualties)
 
     def outputs_by_id_value(self, outputs: Sequence[Any]) -> dict[int, Any]:
         return {

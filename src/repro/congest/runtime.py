@@ -35,6 +35,36 @@ Adding a discipline means subclassing :class:`Scheduler` (two methods:
 ``schedule`` and ``run_stage``); adding a latency model means
 subclassing :class:`LatencyModel` and registering it in
 :data:`LATENCY_MODELS`.  See ``docs/engines.md``.
+
+Fault models (the robustness seam, ``docs/faults.md``): a network may
+carry one seeded :class:`FaultModel` — a sibling of the latency seam —
+consulted on every charged envelope and every node activation by *both*
+schedulers:
+
+========== =============================================================
+``none``        no faults — the reference path, bit-identical to a
+                network built without the seam
+``drop``        ``drop:P`` — every charged envelope is lost with
+                probability P (charged but undelivered)
+``crash``       ``crash:P[:T[:R]]`` — each node crashes w.p. P at a
+                seeded time in [1, T] (default 16), recovering after R
+                time units (default: never); a crashed node neither
+                sends nor activates and envelopes to/from it are
+                discarded in flight
+``adversary``   ``adversary[:B[:W]]`` — an adaptive adversary that
+                drops every envelope of the *currently busiest sender*
+                (after a warmup of W messages, default 4), bounded by a
+                total budget of B drops (default 64) so runs terminate
+========== =============================================================
+
+Failure semantics are engine-level, not protocol-level: a stage that
+quiesces (or exhausts its round budget) with unfinished nodes under an
+active fault model marks them ``starved`` instead of raising
+:class:`~repro.errors.ConvergenceError`, and every node that crashed,
+missed a dropped envelope, or starved is a *casualty* — output
+verification is restricted to the surviving nodes (see
+``repro.api`` and ``docs/faults.md`` for the survivor-validity
+contract).
 """
 
 from __future__ import annotations
@@ -183,6 +213,250 @@ def make_latency_model(spec, min_delay: float = 0.05) -> LatencyModel:
 
 
 # ---------------------------------------------------------------------------
+# Fault models
+# ---------------------------------------------------------------------------
+
+
+class FaultModel:
+    """Seeded failure injector consulted by both schedulers.
+
+    A fault model is bound to exactly one network (like a
+    :class:`Scheduler`) and draws from its own ``random.Random`` stream
+    (``faults-{seed}``), independent of the latency stream, so a fixed
+    seed reproduces the exact failure pattern on either engine.
+
+    Two hooks, both cheap and both optional to override:
+
+    * :meth:`drops` — called once per charged envelope at flush time.
+      Returning True loses the envelope *after* it has been charged
+      (charged-but-undelivered: the sender paid for the bandwidth, the
+      receiver never sees it).
+    * :meth:`crashed_at` — called with a vertex and the engine's
+      cumulative clock (synchronous round count or normalized async
+      time, accumulated across stages).  While it returns True the node
+      neither activates nor has envelopes delivered to or from it.
+
+    Every vertex that ever suffers a fault lands in :attr:`casualties`
+    (vertex -> first reason: ``"crashed"``, ``"dropped"`` — it missed a
+    dropped envelope — or ``"starved"`` — it never finished after the
+    stage quiesced).  Output verification restricts itself to the
+    complement (the survivors); see ``docs/faults.md``.
+    """
+
+    name = "?"
+
+    def __init__(self):
+        self.net: Optional["SyncNetwork"] = None
+        self.rng: Optional[random.Random] = None
+        self.spec: str = self.name
+        self.casualties: dict[int, str] = {}
+
+    def bind(self, net: "SyncNetwork") -> None:
+        if self.net is not None and self.net is not net:
+            raise ReproError("a FaultModel instance serves a single network")
+        self.net = net
+        self.rng = random.Random(f"faults-{net.seed}")
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Hook for subclasses that pre-draw schedules at bind time."""
+
+    def drops(self, env: Envelope, charged: int) -> bool:
+        """Decide the fate of one charged envelope (True = lost)."""
+        return False
+
+    def crashed_at(self, vertex: int, now: float) -> bool:
+        """Is ``vertex`` crashed at cumulative engine time ``now``?"""
+        return False
+
+    def mark(self, vertex: int, reason: str) -> None:
+        """Record a casualty; the first reason per vertex wins."""
+        self.casualties.setdefault(vertex, reason)
+
+    @property
+    def crashed_count(self) -> int:
+        return sum(1 for r in self.casualties.values() if r == "crashed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}({self.spec!r})"
+
+
+class MessageDrop(FaultModel):
+    """Lose each charged envelope independently with probability ``p``.
+
+    The receiver of a dropped envelope is a ``"dropped"`` casualty even
+    if the protocol happens to limp to a correct answer without it — the
+    survivor-validity contract never vouches for a node that ran on
+    partial information.
+    """
+
+    name = "drop"
+
+    def __init__(self, p: float = 0.05):
+        super().__init__()
+        if not 0.0 <= p <= 1.0:
+            raise ReproError(f"drop probability must be in [0, 1], got {p}")
+        self.p = p
+        self.spec = f"drop:{p:g}"
+
+    def drops(self, env: Envelope, charged: int) -> bool:
+        if self.p and self.rng.random() < self.p:
+            self.mark(env.receiver, "dropped")
+            return True
+        return False
+
+
+class NodeCrash(FaultModel):
+    """Crash/recovery schedule on the engine's cumulative clock.
+
+    Either hand in an explicit ``schedule`` mapping
+    ``vertex -> (crash_time, recover_time | None)`` (tests do), or let
+    :meth:`bind` draw one: each vertex crashes with probability ``p`` at
+    a seeded time uniform in [1, ``at``], recovering ``recover`` time
+    units later (None = never).  A crashed node neither activates nor
+    sends, and in-flight envelopes to or from it are discarded at
+    delivery time (counted as dropped).  A node that ever crashed is a
+    ``"crashed"`` casualty even after recovery.
+    """
+
+    name = "crash"
+
+    def __init__(self, schedule=None, p: float = 0.05, at: float = 16.0,
+                 recover: Optional[float] = None):
+        super().__init__()
+        if schedule is None and not 0.0 <= p <= 1.0:
+            raise ReproError(f"crash probability must be in [0, 1], got {p}")
+        if at < 1.0:
+            raise ReproError("crash horizon must be >= 1")
+        if recover is not None and recover <= 0:
+            raise ReproError("crash recovery delay must be positive")
+        self.p = p
+        self.at = at
+        self.recover = recover
+        self._explicit = schedule
+        self._schedule: dict[int, tuple[float, float]] = {}
+        if schedule is None:
+            self.spec = f"crash:{p:g}:{at:g}" + (
+                f":{recover:g}" if recover is not None else ""
+            )
+        else:
+            self.spec = "crash:<explicit>"
+
+    def _on_bind(self) -> None:
+        if self._explicit is not None:
+            self._schedule = {
+                v: (float(t0), math.inf if t1 is None else float(t1))
+                for v, (t0, t1) in self._explicit.items()
+            }
+            return
+        rng = self.rng
+        for v in range(self.net._n):
+            if rng.random() < self.p:
+                t0 = rng.uniform(1.0, self.at)
+                t1 = math.inf if self.recover is None else t0 + self.recover
+                self._schedule[v] = (t0, t1)
+
+    def crashed_at(self, vertex: int, now: float) -> bool:
+        window = self._schedule.get(vertex)
+        if window is None or now < window[0]:
+            return False
+        self.mark(vertex, "crashed")
+        return now < window[1]
+
+
+class AdaptiveAdversary(FaultModel):
+    """Drop the traffic of whichever sender is currently busiest.
+
+    The adversary watches the charged per-sender message counts as they
+    accrue and discards every envelope whose sender holds the current
+    maximum — exactly the node the message-frugal algorithms concentrate
+    their communication through.  A warmup of ``warmup`` messages per
+    sender keeps it from shooting the first node to speak, and a total
+    ``budget`` bounds the damage so runs still terminate.  Fully
+    deterministic: no randomness, only the observed send order.
+    """
+
+    name = "adversary"
+
+    def __init__(self, budget: int = 64, warmup: int = 4):
+        super().__init__()
+        if budget < 0:
+            raise ReproError("adversary budget must be >= 0")
+        if warmup < 0:
+            raise ReproError("adversary warmup must be >= 0")
+        self.budget = budget
+        self.warmup = warmup
+        self.spec = f"adversary:{budget}:{warmup}"
+        self.remaining = budget
+        self._max = 0
+
+    def _on_bind(self) -> None:
+        self._sent = [0] * self.net._n
+
+    def drops(self, env: Envelope, charged: int) -> bool:
+        count = self._sent[env.sender] + charged
+        self._sent[env.sender] = count
+        is_busiest = count >= self._max
+        if count > self._max:
+            self._max = count
+        if is_busiest and count > self.warmup and self.remaining > 0:
+            self.remaining -= 1
+            self.mark(env.receiver, "dropped")
+            return True
+        return False
+
+
+#: Fault-model vocabulary shared by the engine, SweepSpec, and the CLI.
+#: Specs are ``name[:param[:param...]]`` strings; see ``docs/faults.md``.
+FAULT_MODELS = ("none", "drop", "crash", "adversary")
+
+
+def make_fault_model(spec) -> Optional[FaultModel]:
+    """Resolve a fault spec to a model, or None for the fault-free path.
+
+    ``None``/``"none"`` resolve to None so the engine's hot path stays
+    literally the pre-seam code; an instance passes through; strings are
+    ``drop:P``, ``crash:P[:T[:R]]``, or ``adversary[:B[:W]]``.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, FaultModel):
+        return spec
+    if not isinstance(spec, str):
+        raise ReproError(f"fault spec must be a string, got {type(spec)!r}")
+    if spec == "none":
+        return None
+    head, _, rest = spec.partition(":")
+    args = rest.split(":") if rest else []
+    try:
+        if head == "drop":
+            (p,) = args or ["0.05"]
+            return MessageDrop(p=float(p))
+        if head == "crash":
+            if len(args) > 3:
+                raise ReproError(f"crash spec takes at most 3 params: {spec!r}")
+            p = float(args[0]) if args else 0.05
+            at = float(args[1]) if len(args) > 1 else 16.0
+            recover = float(args[2]) if len(args) > 2 else None
+            return NodeCrash(p=p, at=at, recover=recover)
+        if head == "adversary":
+            if len(args) > 2:
+                raise ReproError(
+                    f"adversary spec takes at most 2 params: {spec!r}"
+                )
+            budget = int(args[0]) if args else 64
+            warmup = int(args[1]) if len(args) > 1 else 4
+            return AdaptiveAdversary(budget=budget, warmup=warmup)
+    except ReproError:
+        raise
+    except ValueError as exc:
+        raise ReproError(f"malformed fault spec {spec!r}: {exc}") from exc
+    raise ReproError(
+        f"unknown fault model {spec!r}; known: {', '.join(FAULT_MODELS)}"
+    )
+
+
+# ---------------------------------------------------------------------------
 # Schedulers
 # ---------------------------------------------------------------------------
 
@@ -224,6 +498,28 @@ class Scheduler:
         ``net._flush_outbox()`` with ``net._current_round`` set.
         """
         raise NotImplementedError
+
+    def _crash_discards(self, env: Envelope, faults: FaultModel,
+                        now: float) -> bool:
+        """Discard an in-flight envelope whose endpoint is crashed at
+        delivery time; the loss is charged to ``dropped_messages``."""
+        if (faults.crashed_at(env.receiver, now)
+                or faults.crashed_at(env.sender, now)):
+            net = self.net
+            wpm = net.words_per_message
+            words = env.words
+            net.stats.charge_dropped(
+                1 if words <= wpm else -(-words // wpm)
+            )
+            return True
+        return False
+
+    def _mark_starved(self, contexts, faults: FaultModel,
+                      now: float) -> None:
+        """Every unfinished, un-crashed node at stage end is starved."""
+        for v in range(self.net._n):
+            if not contexts[v]._finished and not faults.crashed_at(v, now):
+                faults.mark(v, "starved")
 
 
 class RoundScheduler(Scheduler):
@@ -314,6 +610,11 @@ class RoundScheduler(Scheduler):
         converged = False
         collect = net.collect_utilization
         ids = net._ids
+        faults = net.faults
+        # Faults run on the *cumulative* round clock: stats.rounds holds
+        # the total of all prior stages (this stage's rounds are charged
+        # at stage end), so a crash schedule spans stage boundaries.
+        base_time = net.stats.rounds if faults is not None else 0
 
         # Persistent per-vertex inbox buffers, cleared and refilled each
         # round instead of rebuilding a dict-of-lists; ``touched`` lists
@@ -333,6 +634,12 @@ class RoundScheduler(Scheduler):
         while True:
             work_rounds += 1
             if work_rounds > max_rounds + 1:
+                if faults is not None:
+                    # Budget exhaustion under faults is data, not a bug:
+                    # the stragglers are casualties and the stage ends.
+                    self._mark_starved(contexts, faults,
+                                       base_time + round_index)
+                    break
                 raise ConvergenceError(
                     f"stage '{stage_name}' exceeded {max_rounds} rounds"
                 )
@@ -343,6 +650,9 @@ class RoundScheduler(Scheduler):
                 self._ring[slot_index] = []
                 self._in_flight -= len(arriving)
                 for env in arriving:
+                    if faults is not None and self._crash_discards(
+                            env, faults, base_time + round_index):
+                        continue
                     buf = inbox_buffers[env.receiver]
                     if not buf:
                         touched.append(env.receiver)
@@ -353,6 +663,9 @@ class RoundScheduler(Scheduler):
                 else touched
             )
             for v in active_vertices:
+                if faults is not None and faults.crashed_at(
+                        v, base_time + round_index):
+                    continue    # crashed: no activation, no sends
                 ctx = contexts[v]
                 ctx.round = round_index
                 ctx._send_allowed = True
@@ -373,13 +686,31 @@ class RoundScheduler(Scheduler):
             touched.clear()
             if net._outbox:
                 net._flush_outbox()
-            all_done = all(c._finished for c in contexts)
+            if faults is None:
+                all_done = all(c._finished for c in contexts)
+            else:
+                # A currently-crashed node cannot finish; it does not
+                # hold the stage open.
+                now = base_time + round_index
+                all_done = all(
+                    contexts[v]._finished or faults.crashed_at(v, now)
+                    for v in range(n)
+                )
             if not self._in_flight:
                 if all_done:
                     converged = True
                     round_index += 1
                     break
                 if passive and round_index > 0:
+                    if faults is not None:
+                        # Quiescent with stragglers: under faults this is
+                        # the expected silence cascade, not a protocol
+                        # bug — mark them starved and end the stage.
+                        self._mark_starved(contexts, faults,
+                                           base_time + round_index)
+                        converged = True
+                        round_index += 1
+                        break
                     unfinished = [
                         v for v in range(n) if not contexts[v]._finished
                     ]
@@ -451,11 +782,17 @@ class EventScheduler(Scheduler):
         net._current_round = 0
         activations = [0] * n
         ids = net._ids
+        faults = net.faults
+        # Faults run on the cumulative clock (see RoundScheduler): prior
+        # stages' ceil(time) totals are already in stats.rounds.
+        base_time = net.stats.rounds if faults is not None else 0
 
         # Initial activation: every node acts once at time zero.  Sends
         # buffer in the shared outbox; one flush (submission order, so
         # identical delay draws) pushes them onto the event heap.
         for v in range(n):
+            if faults is not None and faults.crashed_at(v, base_time):
+                continue
             ctx = contexts[v]
             ctx.round = 0
             ctx._send_allowed = True
@@ -466,15 +803,22 @@ class EventScheduler(Scheduler):
 
         max_events = max_rounds * max(n, 1)
         events = 0
+        aborted = False
         collect = net.collect_utilization
         while self._queue:
             events += 1
             if events > max_events:
+                if faults is not None:
+                    aborted = True
+                    break
                 raise ConvergenceError(
                     f"async stage '{stage_name}' exceeded {max_events} events"
                 )
             arrival, _seq, env = heapq.heappop(self._queue)
             self._now = arrival
+            if faults is not None and self._crash_discards(
+                    env, faults, base_time + arrival):
+                continue
             v = env.receiver
             activations[v] += 1
             ctx = contexts[v]
@@ -491,8 +835,10 @@ class EventScheduler(Scheduler):
 
         unfinished = [v for v in range(n) if not contexts[v]._finished]
         if unfinished:
-            raise ConvergenceError(
-                f"async stage '{stage_name}' quiesced with unfinished "
-                f"nodes {unfinished[:10]} (total {len(unfinished)})"
-            )
-        return max(1, math.ceil(self._now)), True
+            if faults is None:
+                raise ConvergenceError(
+                    f"async stage '{stage_name}' quiesced with unfinished "
+                    f"nodes {unfinished[:10]} (total {len(unfinished)})"
+                )
+            self._mark_starved(contexts, faults, base_time + self._now)
+        return max(1, math.ceil(self._now)), not aborted

@@ -17,6 +17,7 @@ from repro.experiments.stats import (
     fit_exponent,
     group_records,
     growth_exponents,
+    latest_per_key,
     ok_records,
 )
 
@@ -31,15 +32,22 @@ def summarize(records: Sequence[dict]) -> list[dict]:
     One row per (family, method, engine, density, epsilon) population —
     records from sweeps with different knobs appended to the same store
     are reported separately, never pooled into one fit.  Timed-out /
-    errored cells are excluded throughout (they carry no counts).
+    errored / lost cells still carry no counts and stay out of every fit
+    and mean, but they are *surfaced*, not silently excluded: each row
+    reports its workload's non-ok cells (``failed_runs``,
+    ``failed_statuses``, ``failed_cells``), and a workload whose every
+    cell failed gets a row with empty ``points`` rather than vanishing.
     """
-    records = ok_records(records)
+    latest = latest_per_key(records)
+    records = ok_records(latest)
+    bad = [r for r in latest if r.get("status", "ok") != "ok"]
     message_rows = growth_exponents(records, y_field="messages")
     round_rows = {
         _workload_key(r): r["exponent"]
         for r in growth_exponents(records, y_field="rounds")
     }
     by_workload = group_records(records, WORKLOAD_KEYS)
+    bad_by_workload = group_records(bad, WORKLOAD_KEYS)
     for row in message_rows:
         key = _workload_key(row)
         row["rounds_exponent"] = round_rows.get(key, 0.0)
@@ -58,38 +66,97 @@ def summarize(records: Sequence[dict]) -> list[dict]:
              if tuple(rec.get(k) for k in WORKLOAD_KEYS) == key}
         )
         row["m_exponent"] = fit_exponent([(n, m) for n, m in m_points])
+        _attach_failures(row, bad_by_workload.get(key, []))
+    # Workloads with zero ok records would otherwise disappear from the
+    # report entirely — exactly the cells most in need of attention.
+    seen = {_workload_key(row) for row in message_rows}
+    for key in sorted(
+        (k for k in bad_by_workload if k not in seen),
+        key=lambda k: tuple(repr(f) for f in k),
+    ):
+        row = dict(zip(WORKLOAD_KEYS, key))
+        row.update({
+            "y_field": "messages",
+            "points": {},
+            "exponent": 0.0,
+            "rounds_exponent": 0.0,
+            "m_exponent": 0.0,
+            "retried_runs": 0,
+        })
+        _attach_failures(row, bad_by_workload[key])
+        message_rows.append(row)
     return message_rows
 
 
+def _attach_failures(row: dict, failures: list[dict]) -> None:
+    """Per-cell failure columns for one workload row."""
+    statuses: dict[str, int] = {}
+    for rec in failures:
+        status = rec.get("status", "error")
+        statuses[status] = statuses.get(status, 0) + 1
+    row["failed_runs"] = len(failures)
+    row["failed_statuses"] = statuses
+    row["failed_cells"] = [
+        {"key": rec.get("key", "?"), "status": rec.get("status", "error"),
+         "attempts": rec.get("attempts", 1)}
+        for rec in sorted(failures, key=lambda r: r.get("key") or "")
+    ]
+
+
 def render_report(summary: Sequence[dict]) -> str:
-    """An aligned text table of the per-workload summaries."""
+    """An aligned text table of the per-workload summaries.
+
+    Non-ok cells appear twice: the ``bad`` column counts them per
+    workload row (a row can be all-bad: its measurement columns render
+    as ``-``), and a trailing listing names every failed cell with its
+    status — nothing disappears from the report silently.
+    """
     lines = []
     header = (
         f"{'family':>9}  {'method':>22}  {'eng':>5}  {'latency':>10}  "
-        f"{'p':>5}  {'n-range':>11}  {'runs':>4}  {'retr':>4}  "
+        f"{'faults':>12}  "
+        f"{'p':>5}  {'n-range':>11}  {'runs':>4}  {'retr':>4}  {'bad':>4}  "
         f"{'mean msgs (max n)':>18}  {'msg exp':>7}  {'m exp':>6}  "
         f"{'rnd exp':>7}"
     )
     lines.append(header)
     lines.append("-" * len(header))
+    failed_cells: list[dict] = []
     for row in summary:
         sizes = sorted(row["points"])
         runs = sum(p["runs"] for p in row["points"].values())
-        top = row["points"][sizes[-1]]
-        span = (f"{sizes[0]}-{sizes[-1]}" if len(sizes) > 1
-                else f"{sizes[0]}")
-        mean_str = f"{top['mean']:.0f} ±{top['ci95']:.0f}"
+        if sizes:
+            top = row["points"][sizes[-1]]
+            span = (f"{sizes[0]}-{sizes[-1]}" if len(sizes) > 1
+                    else f"{sizes[0]}")
+            mean_str = f"{top['mean']:.0f} ±{top['ci95']:.0f}"
+            exp_str = f"{row['exponent']:>7.2f}  " \
+                      f"{row['m_exponent']:>6.2f}  " \
+                      f"{row['rounds_exponent']:>7.2f}"
+        else:
+            span, mean_str = "-", "-"
+            exp_str = f"{'-':>7}  {'-':>6}  {'-':>7}"
         density = row.get("density")
         lines.append(
             f"{row['family']:>9}  {row['method']:>22}  "
             f"{row.get('engine') or '?':>5}  "
             f"{row.get('latency') or '-':>10}  "
+            f"{row.get('faults') or '-':>12}  "
             f"{('%g' % density) if density is not None else '?':>5}  "
             f"{span:>11}  "
             f"{runs:>4}  {row.get('retried_runs', 0):>4}  "
-            f"{mean_str:>18}  {row['exponent']:>7.2f}  "
-            f"{row['m_exponent']:>6.2f}  {row['rounds_exponent']:>7.2f}"
+            f"{row.get('failed_runs', 0):>4}  "
+            f"{mean_str:>18}  {exp_str}"
         )
+        failed_cells.extend(row.get("failed_cells", ()))
+    if failed_cells:
+        lines.append("")
+        lines.append(f"non-ok cells ({len(failed_cells)}, excluded from "
+                     "fits and means):")
+        for cell in failed_cells:
+            attempts = cell.get("attempts", 1)
+            suffix = f" ({attempts} attempts)" if attempts > 1 else ""
+            lines.append(f"  {cell['status']:>8}  {cell['key']}{suffix}")
     return "\n".join(lines)
 
 

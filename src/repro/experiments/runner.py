@@ -82,32 +82,46 @@ def run_cell(cell: Cell) -> dict:
     graph = family_graph(cell.family, cell.n, p=cell.density,
                          seed=cell.seed)
     asynchronous = cell.engine == "async"
-    if cell.problem == "coloring":
-        result = api.color_graph(
-            graph,
-            method=cell.method,
-            seed=cell.seed,
-            epsilon=cell.epsilon,
-            asynchronous=asynchronous,
-            latency=cell.latency,
-            collect_utilization=cell.collect_utilization,
+    faulted = cell.faults != "none"
+    try:
+        if cell.problem == "coloring":
+            result = api.color_graph(
+                graph,
+                method=cell.method,
+                seed=cell.seed,
+                epsilon=cell.epsilon,
+                asynchronous=asynchronous,
+                latency=cell.latency,
+                collect_utilization=cell.collect_utilization,
+                faults=cell.faults,
+            )
+            extra = {"colors": result.num_colors,
+                     "palette_bound": result.palette_bound}
+        else:
+            mis_kwargs = {}
+            if cell.sample_constant is not None:
+                mis_kwargs["sample_constant"] = cell.sample_constant
+            result = api.find_mis(
+                graph,
+                method=cell.method,
+                seed=cell.seed,
+                asynchronous=asynchronous,
+                latency=cell.latency,
+                collect_utilization=cell.collect_utilization,
+                faults=cell.faults,
+                **mis_kwargs,
+            )
+            extra = {"mis_size": result.size}
+    except Exception as exc:
+        if not faulted:
+            raise
+        # A multi-stage driver may legitimately break when the fault
+        # model eats its control messages (that fragility is a finding,
+        # not a crash): record it as an error cell and keep sweeping.
+        return _failure_record(
+            cell, "error", wall_s=time.perf_counter() - t0,
+            error=repr(exc),
         )
-        extra = {"colors": result.num_colors,
-                 "palette_bound": result.palette_bound}
-    else:
-        mis_kwargs = {}
-        if cell.sample_constant is not None:
-            mis_kwargs["sample_constant"] = cell.sample_constant
-        result = api.find_mis(
-            graph,
-            method=cell.method,
-            seed=cell.seed,
-            asynchronous=asynchronous,
-            latency=cell.latency,
-            collect_utilization=cell.collect_utilization,
-            **mis_kwargs,
-        )
-        extra = {"mis_size": result.size}
     extra.update(_method_extras(cell, result))
     report = result.report
     record = {
@@ -124,11 +138,22 @@ def run_cell(cell: Cell) -> dict:
         "latency": cell.latency if asynchronous else None,
         "density": cell.density,
         "epsilon": cell.epsilon,
+        # None (not "none") when fault-free, pooling with records from
+        # stores written before the fault axis existed (WORKLOAD_KEYS
+        # groups missing fields under None).
+        "faults": cell.faults if faulted else None,
         "messages": report.messages,
         "rounds": report.rounds,
         "utilized": (report.utilized_edges
                      if cell.collect_utilization else None),
         "valid": result.valid,
+        # Fault columns ride every record (all-zero on the fault-free
+        # path); survivor_valid is None when fault-free — plain validity
+        # already covered every node.
+        "dropped_messages": report.dropped_messages,
+        "crashed_nodes": report.crashed_nodes,
+        "casualties": len(report.casualty_vertices),
+        "survivor_valid": report.survivor_valid,
         "status": "ok",
         "wall_s": round(time.perf_counter() - t0, 6),
     }
@@ -161,6 +186,7 @@ def _failure_record(cell: Cell, status: str, wall_s: float = 0.0,
         "latency": cell.latency if cell.engine == "async" else None,
         "density": cell.density,
         "epsilon": cell.epsilon,
+        "faults": cell.faults if cell.faults != "none" else None,
         "valid": False,
         "status": status,
         "attempts": attempts,

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Iterator, Optional
 
-from repro.congest.runtime import LATENCY_MODELS
+from repro.congest.runtime import LATENCY_MODELS, make_fault_model
 from repro.errors import ReproError
 
 #: Methods dispatched to :func:`repro.api.color_graph`.
@@ -70,7 +70,10 @@ class Cell:
     (and it stays out of their key, so historical sync keys are stable).
     ``sample_constant`` is Algorithm 3's |S| knob (None = the method
     default) — set, it becomes part of the key, as it changes what the
-    cell measures.
+    cell measures.  ``faults`` is a fault-model spec
+    (:func:`repro.congest.runtime.make_fault_model` grammar); the
+    default ``"none"`` keeps it out of the key, so historical fault-free
+    keys — and therefore old result stores — stay resumable.
     """
 
     family: str
@@ -82,6 +85,7 @@ class Cell:
     density: float = 0.2
     epsilon: float = 0.5
     sample_constant: Optional[float] = None
+    faults: str = "none"
     collect_utilization: bool = False
     #: Wall-clock budget per attempt (None = unlimited, run in-pool).
     timeout_s: Optional[float] = None
@@ -101,9 +105,10 @@ class Cell:
                   else self.engine)
         sample = (f"c{self.sample_constant:g}/"
                   if self.sample_constant is not None else "")
+        fault = f"f{self.faults}/" if self.faults != "none" else ""
         return (
             f"{self.family}/n{self.n}/p{self.density:g}/"
-            f"{self.method}/{engine}/eps{self.epsilon:g}/{sample}"
+            f"{self.method}/{engine}/eps{self.epsilon:g}/{sample}{fault}"
             f"{'full' if self.collect_utilization else 'lite'}/"
             f"s{self.seed}"
         )
@@ -150,7 +155,10 @@ class SweepSpec:
     ``engines`` is the engine axis (``engine`` remains as the historical
     single-engine spelling and is used when ``engines`` is empty);
     ``latencies`` multiplies only the async cells — a sync cell has no
-    latency model and is emitted once.
+    latency model and is emitted once.  ``faults`` is the robustness
+    axis: every entry is a fault-model spec (``"none"``, ``"drop:P"``,
+    ``"crash:P[:T[:R]]"``, ``"adversary[:B[:W]]"``) and multiplies every
+    cell, like ``latencies`` does async ones.
     """
 
     families: tuple[str, ...] = ("gnp",)
@@ -160,6 +168,7 @@ class SweepSpec:
     engine: str = "sync"
     engines: tuple[str, ...] = ()
     latencies: tuple[str, ...] = ("uniform",)
+    faults: tuple[str, ...] = ("none",)
     density: float = 0.2
     epsilon: float = 0.5
     sample_constant: Optional[float] = None
@@ -192,8 +201,13 @@ class SweepSpec:
                 )
         if len(set(self.latencies)) != len(self.latencies):
             raise ReproError("duplicate latency in latencies axis")
+        for fault in self.faults:
+            make_fault_model(fault)     # raises ReproError on a bad spec
+        if len(set(self.faults)) != len(self.faults):
+            raise ReproError("duplicate fault spec in faults axis")
         if (not self.sizes or not self.seeds or not self.families
-                or not self.methods or not self.latencies):
+                or not self.methods or not self.latencies
+                or not self.faults):
             raise ReproError("sweep spec has an empty axis")
         if self.sample_constant is not None:
             bad = [m for m in self.methods if m != "kt2-sampled-greedy"]
@@ -234,26 +248,30 @@ class SweepSpec:
             for n in self.sizes:
                 for method in self.methods:
                     for engine, latency in pairs:
-                        for seed in self.seeds:
-                            yield Cell(
-                                family=family,
-                                n=n,
-                                seed=seed,
-                                method=method,
-                                engine=engine,
-                                latency=latency,
-                                density=self.density,
-                                epsilon=self.epsilon,
-                                sample_constant=self.sample_constant,
-                                collect_utilization=self.collect_utilization,
-                                timeout_s=self.timeout_s,
-                                retries=self.retries,
-                            )
+                        for fault in self.faults:
+                            for seed in self.seeds:
+                                yield Cell(
+                                    family=family,
+                                    n=n,
+                                    seed=seed,
+                                    method=method,
+                                    engine=engine,
+                                    latency=latency,
+                                    density=self.density,
+                                    epsilon=self.epsilon,
+                                    sample_constant=self.sample_constant,
+                                    faults=fault,
+                                    collect_utilization=(
+                                        self.collect_utilization),
+                                    timeout_s=self.timeout_s,
+                                    retries=self.retries,
+                                )
 
     @property
     def size(self) -> int:
         return (len(self.families) * len(self.sizes) * len(self.methods)
-                * len(self.seeds) * len(self._engine_latency_pairs()))
+                * len(self.seeds) * len(self.faults)
+                * len(self._engine_latency_pairs()))
 
     def with_full_stats(self) -> "SweepSpec":
         return replace(self, collect_utilization=True)

@@ -60,9 +60,10 @@ def mean_ci(values: Sequence[float],
 #: or sample constants appended to the same store) would fit one
 #: meaningless exponent over two different workloads, so aggregation
 #: always separates them.  Sync records store ``latency`` as None (no
-#: delivery model), which also matches records from older schemas.
+#: delivery model) and fault-free records store ``faults`` as None —
+#: both match records from older schemas that lack the field.
 WORKLOAD_KEYS = ("family", "method", "engine", "latency", "density",
-                 "epsilon", "sample_constant")
+                 "epsilon", "sample_constant", "faults")
 
 
 def latest_per_key(records: Sequence[dict]) -> list[dict]:

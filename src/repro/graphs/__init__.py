@@ -16,9 +16,16 @@ from repro.graphs.generators import (
     disjoint_cycles,
     barbell_graph,
     grid_graph,
+    torus_graph,
+    hypercube_graph,
     random_regular_lift,
     planted_partition_graph,
     tiered_bipartite,
+)
+from repro.graphs.io import (
+    load_edge_list,
+    parse_edge_list,
+    save_edge_list,
 )
 from repro.graphs.analysis import (
     connected_components,
@@ -39,9 +46,14 @@ __all__ = [
     "disjoint_cycles",
     "barbell_graph",
     "grid_graph",
+    "torus_graph",
+    "hypercube_graph",
     "random_regular_lift",
     "planted_partition_graph",
     "tiered_bipartite",
+    "load_edge_list",
+    "parse_edge_list",
+    "save_edge_list",
     "connected_components",
     "is_connected",
     "diameter",

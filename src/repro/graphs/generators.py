@@ -220,6 +220,51 @@ def grid_graph(n: int) -> Graph:
     return Graph(n, edges)
 
 
+def torus_graph(n: int) -> Graph:
+    """A 2D torus (wraparound grid) on approximately ``n`` vertices.
+
+    cols = max(3, isqrt(n)) and rows = max(3, round(n / cols)), so the
+    built vertex count rows*cols quantizes the request (like the
+    expander lift does).  Every vertex has degree exactly 4 and the
+    diameter is Theta(sqrt n) with no boundary effects — the clean
+    bounded-degree workload for fault sweeps, where a crash's blast
+    radius is a fixed 4-neighborhood regardless of n.
+    """
+    if n < 9:
+        raise ReproError("torus needs at least 9 vertices (3x3)")
+    import math
+
+    cols = max(3, math.isqrt(n))
+    rows = max(3, round(n / cols))
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            edges.append((v, r * cols + (c + 1) % cols))
+            edges.append((v, ((r + 1) % rows) * cols + c))
+    # wraparound can duplicate edges only for rows/cols < 3, excluded above
+    return Graph(rows * cols, edges)
+
+
+def hypercube_graph(n: int) -> Graph:
+    """The d-dimensional hypercube nearest ``n`` vertices (2^d built).
+
+    d = max(1, round(log2 n)); vertices are bitstrings 0..2^d-1 and
+    u ~ v iff they differ in one bit.  Degree = diameter = d = Theta(log
+    n): the logarithmic-degree middle ground between the constant-degree
+    torus and dense gnp.
+    """
+    if n < 2:
+        raise ReproError("hypercube needs at least 2 vertices")
+    import math
+
+    d = max(1, round(math.log2(n)))
+    size = 1 << d
+    edges = [(v, v ^ (1 << b)) for v in range(size) for b in range(d)
+             if v < v ^ (1 << b)]
+    return Graph(size, edges)
+
+
 def random_regular_lift(n: int, d: int = 4, seed=0) -> Graph:
     """A random degree-``d`` lift of K_{d+1} — an expander whp.
 
@@ -326,6 +371,15 @@ def family_built_n(family: str, n: int, p: float = 0.2) -> int:
     if family == "expander":
         d = max(3, min(8, int(round(p * 16))))
         return max(1, round(n / (d + 1))) * (d + 1)
+    if family == "torus":
+        import math
+
+        cols = max(3, math.isqrt(n))
+        return cols * max(3, round(n / cols))
+    if family == "hypercube":
+        import math
+
+        return 1 << max(1, round(math.log2(n)))
     return n
 
 
@@ -335,11 +389,12 @@ def family_graph(family: str, n: int, p: float = 0.2, seed=0) -> Graph:
     The shared workload vocabulary of the CLI and the experiment sweeps:
     ``gnp`` (edge probability p), ``regular`` (degree ~ p*n, clamped
     feasible), ``powerlaw`` (attachment ~ 10p), ``barbell`` (p ignored),
-    ``grid`` (2D lattice, p ignored), ``expander`` (random d-regular
-    lift of K_{d+1} with d ~ 16p clamped to [3, 8]), and ``planted``
-    (planted partition with p_in = p, p_out = p/8, 4 blocks).  Size
-    quantization here must stay in lockstep with
-    :func:`family_built_n`.
+    ``grid`` (2D lattice, p ignored), ``torus`` (wraparound grid,
+    p ignored), ``hypercube`` (2^round(log2 n) vertices, p ignored),
+    ``expander`` (random d-regular lift of K_{d+1} with d ~ 16p clamped
+    to [3, 8]), and ``planted`` (planted partition with p_in = p,
+    p_out = p/8, 4 blocks).  Size quantization here must stay in
+    lockstep with :func:`family_built_n`.
     """
     if family == "gnp":
         return connected_gnp_graph(n, p, seed=seed)
@@ -351,6 +406,10 @@ def family_graph(family: str, n: int, p: float = 0.2, seed=0) -> Graph:
         return barbell_graph(n // 2, max(1, n // 10))
     if family == "grid":
         return grid_graph(n)
+    if family == "torus":
+        return torus_graph(n)
+    if family == "hypercube":
+        return hypercube_graph(n)
     if family == "expander":
         d = max(3, min(8, int(round(p * 16))))
         return random_regular_lift(n, d, seed=seed)

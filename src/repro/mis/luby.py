@@ -135,7 +135,10 @@ class LubyMIS(NodeAlgorithm):
             elif msg.tag == "fate":
                 self.fates.setdefault(p, {})[msg.sender_id] = msg.fields[1]
         if ctx.round == 0:
-            self._publish(ctx)
+            # Participants publish only on *decision* (_begin_phase's
+            # trivial join, or _try_fate): an undecided node stays
+            # engine-unfinished, so a silence cascade under faults shows
+            # up as a starved casualty instead of a default output.
             self._begin_phase(ctx)
         if self.state is None:
             self._pump(ctx)

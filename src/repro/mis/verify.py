@@ -27,6 +27,31 @@ def mis_violations(graph: Graph, in_mis: Sequence[bool]) -> dict:
     return {"independence": independence, "maximality": maximality}
 
 
+def survivor_mis_violations(graph: Graph, in_mis: Sequence[bool],
+                            casualties) -> dict:
+    """MIS violations restricted to *survivors* (``docs/faults.md``).
+
+    Independence stays strict among survivors: two adjacent survivors
+    both claiming membership is always wrong.  Maximality at a survivor
+    ``v`` is only owed when v's entire closed neighborhood survived — a
+    damaged neighbor might have joined the MIS in the execution v
+    observed before the fault hit, so v's abstention is excused.
+    """
+    damaged = set(casualties)
+    independence = [
+        (u, v) for u, v in graph.edges()
+        if in_mis[u] and in_mis[v]
+        and u not in damaged and v not in damaged
+    ]
+    maximality = [
+        v for v in range(graph.n)
+        if v not in damaged and not in_mis[v]
+        and all(u not in damaged for u in graph.neighbors(v))
+        and not any(in_mis[u] for u in graph.neighbors(v))
+    ]
+    return {"independence": independence, "maximality": maximality}
+
+
 def check_mis(graph: Graph, in_mis: Sequence[bool]) -> None:
     """Raise unless ``in_mis`` marks a maximal independent set."""
     bad = mis_violations(graph, in_mis)

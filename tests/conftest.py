@@ -73,6 +73,33 @@ def small_net(gnp_small) -> SyncNetwork:
     return SyncNetwork(gnp_small, rho=1, seed=3)
 
 
+# -- fault-model seam ---------------------------------------------------------
+#
+# The shared entry points for adversarial tests: build networks (optionally
+# faulted) through one factory instead of ad-hoc constructor calls, and
+# parametrize over the whole fault-model vocabulary in one place.
+
+
+@pytest.fixture
+def net_factory():
+    """Build a :class:`SyncNetwork`, optionally with failure injection.
+
+    ``build(graph, seed=..., faults="drop:0.1"|FaultModel|None, **kw)`` —
+    the single place adversarial tests construct networks, so the fault
+    seam is exercised (or explicitly bypassed with ``faults=None``) the
+    same way everywhere.
+    """
+    def build(graph, *, seed=0, faults=None, **kwargs):
+        return SyncNetwork(graph, seed=seed, faults=faults, **kwargs)
+    return build
+
+
+@pytest.fixture(params=["drop:0.15", "crash:0.2:6", "adversary:24:2"])
+def fault_spec(request) -> str:
+    """Each of the three fault models, with deliberately harsh knobs."""
+    return request.param
+
+
 def connected_families(seed: int = 0):
     """A spread of connected test graphs (helper, not a fixture)."""
     return [

@@ -116,6 +116,21 @@ def test_async_batched_vs_eager_vs_lite_algorithm1(seed):
     assert lite["utilized"] == set()
 
 
+# -- fault seam ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("method", sorted(RUNNERS))
+def test_faults_none_is_count_identical(method):
+    """``faults="none"`` must be literally the fault-free engine path:
+    every count the engine produces, down to the per-stage breakdown and
+    per-sender loads, is bit-identical with and without the spec.  The
+    guarantee the 156-cell regression gate rests on, in-process."""
+    graph = family_graph("gnp", 40, p=0.3, seed=5)
+    plain = _run_counts(graph, method, 5)
+    named = _run_counts(graph, method, 5, faults="none")
+    assert named == plain
+
+
 def test_algorithm1_sync_vs_async_stage_identity():
     """Sync-vs-async accounting for Algorithm 1: every stage except the
     danner's leader-election flood is count-based lockstep, so its

@@ -648,3 +648,121 @@ def test_record_n_is_built_graph_n():
     rec = run_cell(Cell("expander", 100, 0, "luby", density=0.45))
     assert rec["n"] == family_graph("expander", 100, p=0.45, seed=0).n
     assert rec["n"] != 100
+
+
+# -- non-ok cells surface in the report (never silently excluded) -------------
+
+
+def _fake_rec(key, n, status="ok", messages=100, **extra):
+    rec = {"key": key, "family": "gnp", "method": "luby", "engine": "sync",
+           "latency": None, "faults": None, "density": 0.2, "epsilon": 0.5,
+           "sample_constant": None, "n": n, "m": 4 * n, "seed": 0,
+           "status": status, "valid": status == "ok",
+           "messages": messages, "rounds": 5, "wall_s": 0.1}
+    rec.update(extra)
+    return rec
+
+
+def test_summarize_surfaces_non_ok_cells():
+    recs = [
+        _fake_rec("k1", 40),
+        _fake_rec("k2", 60, messages=180),
+        _fake_rec("k3", 80, status="timeout", messages=0, attempts=3),
+        _fake_rec("k4", 90, status="error", messages=0),
+    ]
+    summary = summarize(recs)
+    assert len(summary) == 1
+    row = summary[0]
+    # Failed cells stay out of the fit points but are counted per row...
+    assert sorted(row["points"]) == [40, 60]
+    assert row["failed_runs"] == 2
+    assert row["failed_statuses"] == {"timeout": 1, "error": 1}
+    # ... and named individually, with their attempt counts.
+    cells = {c["key"]: c for c in row["failed_cells"]}
+    assert cells["k3"]["status"] == "timeout"
+    assert cells["k3"]["attempts"] == 3
+    # The rendered table shows the bad column and the trailing listing.
+    text = render_report(summary)
+    assert "bad" in text
+    assert "non-ok cells (2" in text
+    assert "timeout" in text and "k3" in text
+
+
+def test_summarize_keeps_all_failed_workloads_visible():
+    """A workload whose every cell failed must still get a row (with
+    empty points), not vanish from the report."""
+    recs = [
+        _fake_rec("ok1", 40),
+        _fake_rec("bad1", 40, status="timeout", messages=0,
+                  method="rank-greedy"),
+        _fake_rec("bad2", 60, status="timeout", messages=0,
+                  method="rank-greedy"),
+    ]
+    summary = summarize(recs)
+    rows = {r["method"]: r for r in summary}
+    assert rows["rank-greedy"]["points"] == {}
+    assert rows["rank-greedy"]["failed_runs"] == 2
+    text = render_report(summary)
+    assert "rank-greedy" in text
+    json.dumps(summary)     # synthetic rows stay serializable
+
+
+def test_summarize_failure_columns_use_latest_record():
+    """A failed line superseded by a later ok line for the same key is
+    not a failure anymore (and vice versa)."""
+    recs = [
+        _fake_rec("k1", 40, status="timeout", messages=0),
+        _fake_rec("k1", 40),                      # retry succeeded
+    ]
+    row = summarize(recs)[0]
+    assert row["failed_runs"] == 0
+    assert row["points"][40]["runs"] == 1
+
+
+# -- faults axis end-to-end ---------------------------------------------------
+
+
+def test_sweep_with_faults_axis(tmp_path):
+    spec = SweepSpec(families=("gnp",), sizes=(36,), seeds=(0, 1),
+                     methods=("luby",), faults=("none", "drop:0.1"))
+    records = run_sweep(spec, store=None, workers=0)
+    assert len(records) == 4
+    by_fault = {}
+    for r in records:
+        by_fault.setdefault(r["faults"], []).append(r)
+    assert set(by_fault) == {None, "drop:0.1"}
+    assert all(r["dropped_messages"] == 0 for r in by_fault[None])
+    assert sum(r["dropped_messages"] for r in by_fault["drop:0.1"]) > 0
+    assert all(r["survivor_valid"] for r in by_fault["drop:0.1"])
+    # Aggregation separates the faulted population from the clean one.
+    summary = summarize(records)
+    assert {row["faults"] for row in summary} == {None, "drop:0.1"}
+
+
+def test_cli_dry_run_prints_axes(tmp_path, capsys):
+    out = str(tmp_path / "axes.jsonl")
+    argv = ["sweep", "--families", "gnp", "--sizes", "36", "--seeds", "0",
+            "--methods", "luby", "--engines", "sync", "async",
+            "--latencies", "uniform", "--faults", "none", "drop:0.05",
+            "--out", out, "--dry-run"]
+    rc = cli.main(argv)
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "engines=sync,async" in text
+    assert "latencies=uniform" in text
+    assert "faults=none,drop:0.05" in text
+
+    rc = cli.main(argv + ["--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["engines"] == ["sync", "async"]
+    assert payload["latencies"] == ["uniform"]
+    assert payload["faults"] == ["none", "drop:0.05"]
+    assert payload["cells"] == 4 == payload["to_run"]
+
+
+def test_cli_sweep_rejects_bad_fault_spec(tmp_path):
+    with pytest.raises(SystemExit):
+        cli.main(["sweep", "--families", "gnp", "--sizes", "36",
+                  "--faults", "drop:lots", "--dry-run",
+                  "--out", str(tmp_path / "x.jsonl")])

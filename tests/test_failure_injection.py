@@ -2,14 +2,17 @@
 
 Production-quality distributed code is defined by how it fails: these
 tests feed the engine and algorithms deliberately broken inputs and
-assert loud, early, specific failures (never silent corruption).
+assert loud, early, specific failures (never silent corruption).  Every
+network is built through the shared ``net_factory`` fixture — the same
+seam the first-class fault models (``repro.congest.runtime.FaultModel``)
+plug into — so adversarial setups stay uniform across the suite.
 """
 
 import pytest
 
 from repro.congest.ids import IdAssignment, NodeId
-from repro.congest.network import SyncNetwork
 from repro.congest.node import FunctionAlgorithm, NodeAlgorithm
+from repro.congest.runtime import MessageDrop, make_fault_model
 from repro.coloring.johansson import johansson_color
 from repro.errors import (
     ConvergenceError,
@@ -21,8 +24,8 @@ from repro.graphs.core import Graph
 from repro.graphs.generators import connected_gnp_graph, disjoint_cycles
 
 
-def test_unencodable_payload_rejected_at_send(path4):
-    net = SyncNetwork(path4, seed=1)
+def test_unencodable_payload_rejected_at_send(net_factory, path4):
+    net = net_factory(path4, seed=1)
 
     def fn(ctx, inbox):
         if ctx.round == 0 and ctx.neighbor_ids:
@@ -33,8 +36,8 @@ def test_unencodable_payload_rejected_at_send(path4):
         net.run(lambda: FunctionAlgorithm(fn))
 
 
-def test_float_payload_rejected(path4):
-    net = SyncNetwork(path4, seed=2)
+def test_float_payload_rejected(net_factory, path4):
+    net = net_factory(path4, seed=2)
 
     def fn(ctx, inbox):
         if ctx.round == 0 and ctx.neighbor_ids:
@@ -45,39 +48,39 @@ def test_float_payload_rejected(path4):
         net.run(lambda: FunctionAlgorithm(fn))
 
 
-def test_danner_on_disconnected_graph_fails_loudly():
+def test_danner_on_disconnected_graph_fails_loudly(net_factory):
     from repro.substrates.danner import build_danner
 
     g = disjoint_cycles(2, 6)
-    net = SyncNetwork(g, seed=3)
+    net = net_factory(g, seed=3)
     with pytest.raises(ConvergenceError):
         build_danner(net, seed=4)
 
 
-def test_algorithm1_on_disconnected_graph_fails_loudly():
+def test_algorithm1_on_disconnected_graph_fails_loudly(net_factory):
     from repro.coloring.algorithm1 import run_algorithm1
 
     g = disjoint_cycles(3, 5)
-    net = SyncNetwork(g, seed=5)
+    net = net_factory(g, seed=5)
     with pytest.raises((ConvergenceError, ProtocolError)):
         run_algorithm1(net, seed=6)
 
 
-def test_johansson_with_all_empty_palettes_defers_everywhere():
+def test_johansson_with_all_empty_palettes_defers_everywhere(net_factory):
     g = connected_gnp_graph(20, 0.3, seed=7)
-    net = SyncNetwork(g, seed=8)
+    net = net_factory(g, seed=8)
     res = johansson_color(net, [None] * g.n,
                           [frozenset()] * g.n)
     assert all(o and o.get("deferred") for o in res.outputs)
 
 
-def test_johansson_with_overlapping_singletons_partial_progress():
+def test_johansson_with_overlapping_singletons_partial_progress(net_factory):
     """Adversarial lists: clique with palette {0,1}: two nodes can color
     (0 and 1), the rest must defer — never a wrong output."""
     from repro.graphs.generators import complete_graph
 
     g = complete_graph(5)
-    net = SyncNetwork(g, seed=9)
+    net = net_factory(g, seed=9)
     res = johansson_color(net, [None] * 5,
                           [frozenset({0, 1})] * 5)
     colors = [o.get("color") for o in res.outputs if o and "color" in o]
@@ -87,14 +90,14 @@ def test_johansson_with_overlapping_singletons_partial_progress():
     assert deferred >= 3
 
 
-def test_assignment_must_match_graph():
+def test_assignment_must_match_graph(net_factory):
     g = Graph(3, [(0, 1)])
     with pytest.raises(ReproError):
-        SyncNetwork(g, assignment=IdAssignment([1, 2, 3, 4]), seed=10)
+        net_factory(g, assignment=IdAssignment([1, 2, 3, 4]), seed=10)
 
 
-def test_node_never_calling_done_times_out(path4):
-    net = SyncNetwork(path4, seed=11)
+def test_node_never_calling_done_times_out(net_factory, path4):
+    net = net_factory(path4, seed=11)
 
     class Forever(NodeAlgorithm):
         def on_round(self, ctx, inbox):
@@ -105,8 +108,8 @@ def test_node_never_calling_done_times_out(path4):
         net.run(Forever, max_rounds=50)
 
 
-def test_self_send_impossible(path4):
-    net = SyncNetwork(path4, seed=12)
+def test_self_send_impossible(net_factory, path4):
+    net = net_factory(path4, seed=12)
 
     def fn(ctx, inbox):
         if ctx.round == 0:
@@ -117,24 +120,24 @@ def test_self_send_impossible(path4):
         net.run(lambda: FunctionAlgorithm(fn))
 
 
-def test_algorithm3_sampling_cap():
+def test_algorithm3_sampling_cap(net_factory):
     """sample_constant large enough to exceed probability 1 must cap."""
     from repro.mis.algorithm3 import run_algorithm3
     from repro.mis.verify import check_mis
 
     g = connected_gnp_graph(30, 0.3, seed=13)
-    net = SyncNetwork(g, rho=2, seed=14)
+    net = net_factory(g, rho=2, seed=14)
     r = run_algorithm3(net, seed=15, sample_constant=100.0)
     assert r.sampled == g.n     # everyone sampled
     check_mis(g, r.in_mis)
 
 
-def test_opaque_ids_cannot_leak_through_outputs():
+def test_opaque_ids_cannot_leak_through_outputs(net_factory):
     """Harness-side code reading outputs still cannot read opaque values."""
     from repro.errors import ComparisonDisciplineError
 
     g = connected_gnp_graph(10, 0.4, seed=16)
-    net = SyncNetwork(g, seed=17, comparison_based=True)
+    net = net_factory(g, seed=17, comparison_based=True)
 
     def fn(ctx, inbox):
         ctx.done(ctx.my_id)
@@ -144,8 +147,8 @@ def test_opaque_ids_cannot_leak_through_outputs():
         _ = res.outputs[0].value
 
 
-def test_zero_round_budget(path4):
-    net = SyncNetwork(path4, seed=18)
+def test_zero_round_budget(net_factory, path4):
+    net = net_factory(path4, seed=18)
 
     class Chat(NodeAlgorithm):
         def on_round(self, ctx, inbox):
@@ -156,7 +159,55 @@ def test_zero_round_budget(path4):
         net.run(Chat, max_rounds=0)
 
 
-def test_unknown_id_value_lookup(path4):
-    net = SyncNetwork(path4, seed=19)
+def test_unknown_id_value_lookup(net_factory, path4):
+    net = net_factory(path4, seed=19)
     with pytest.raises(KeyError):
         net.vertex_of(NodeId(123456789))
+
+
+# -- fault-model seam: bad configurations fail loudly -------------------------
+
+
+def test_malformed_fault_spec_rejected_at_construction(net_factory, path4):
+    with pytest.raises(ReproError):
+        net_factory(path4, seed=20, faults="drop:lots")
+
+
+def test_unknown_fault_model_rejected(net_factory, path4):
+    with pytest.raises(ReproError):
+        net_factory(path4, seed=21, faults="gremlins")
+
+
+def test_out_of_range_fault_knobs_rejected():
+    with pytest.raises(ReproError):
+        make_fault_model("drop:1.5")
+    with pytest.raises(ReproError):
+        make_fault_model("crash:-0.1")
+    with pytest.raises(ReproError):
+        make_fault_model("adversary:-3")
+    with pytest.raises(ReproError):
+        make_fault_model("crash:0.1:8:2:9")   # too many params
+
+
+def test_fault_model_instance_serves_one_network(net_factory, path4,
+                                                 triangle):
+    model = MessageDrop(p=0.5)
+    net_factory(path4, seed=22, faults=model)
+    with pytest.raises(ReproError):
+        net_factory(triangle, seed=23, faults=model)
+
+
+def test_every_fault_model_terminates_loud_or_converged(net_factory,
+                                                        fault_spec):
+    """Under any fault model the engine must terminate with an explicit
+    outcome — casualties recorded, never a hang or silent corruption."""
+    from repro.mis.luby import run_luby
+
+    g = connected_gnp_graph(30, 0.25, seed=24)
+    net = net_factory(g, seed=24, faults=fault_spec)
+    run_luby(net)
+    # Whatever was undelivered or undecided is recorded, not ignored:
+    # every casualty names a vertex and a reason from the fixed vocabulary.
+    assert all(r in ("crashed", "dropped", "starved")
+               for r in net.casualties.values())
+    assert all(0 <= v < g.n for v in net.casualties)

@@ -230,3 +230,58 @@ def test_new_families_via_family_graph():
         assert g1 == g2, family
         assert is_connected(g1), family
         assert abs(g1.n - 48) <= 4, family        # lift rounds to fibers
+
+
+def test_torus_graph_structure():
+    from repro.graphs.generators import family_built_n, torus_graph
+
+    g = torus_graph(49)
+    assert g == torus_graph(49)                   # deterministic
+    assert is_connected(g)
+    assert g.n == family_built_n("torus", 49)
+    # exact 4-regularity, no boundary
+    assert all(g.degree(v) == 4 for v in range(g.n))
+    assert g.m == 2 * g.n
+    with pytest.raises(ReproError):
+        torus_graph(5)
+
+
+def test_torus_quantizes_like_family_built_n():
+    from repro.graphs.generators import family_built_n, torus_graph
+
+    for n in (9, 20, 49, 100, 137):
+        assert torus_graph(n).n == family_built_n("torus", n)
+
+
+def test_hypercube_graph_structure():
+    from repro.graphs.generators import family_built_n, hypercube_graph
+
+    g = hypercube_graph(32)
+    assert g == hypercube_graph(32)               # deterministic
+    assert is_connected(g)
+    assert g.n == 32 == family_built_n("hypercube", 32)
+    # d-regular with d = log2 n, diameter d
+    assert all(g.degree(v) == 5 for v in range(g.n))
+    from repro.graphs.analysis import diameter
+    assert diameter(g) == 5
+    with pytest.raises(ReproError):
+        hypercube_graph(1)
+
+
+def test_hypercube_rounds_to_power_of_two():
+    from repro.graphs.generators import family_built_n, hypercube_graph
+
+    for n, built in ((2, 2), (3, 4), (48, 64), (100, 128)):
+        g = hypercube_graph(n)
+        assert g.n == built == family_built_n("hypercube", n)
+
+
+def test_torus_hypercube_via_family_graph():
+    from repro.graphs.generators import family_built_n, family_graph
+
+    for family, n in (("torus", 60), ("hypercube", 60)):
+        g1 = family_graph(family, n, p=0.25, seed=5)
+        g2 = family_graph(family, n, p=0.25, seed=6)
+        assert g1 == g2, family                   # seed-independent
+        assert is_connected(g1), family
+        assert g1.n == family_built_n(family, n), family

@@ -1,0 +1,67 @@
+"""Edge-list I/O: deterministic label mapping and round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graphs.generators import connected_gnp_graph
+from repro.graphs.io import load_edge_list, parse_edge_list, save_edge_list
+
+
+def test_parse_skips_comments_blanks_selfloops_and_extras():
+    g = parse_edge_list([
+        "# SNAP-style comment",
+        "% KONECT-style comment",
+        "",
+        "0 1 7.5 1999",       # extra columns ignored
+        "1 2",
+        "2 2",                # self-loop skipped
+        "2 0",
+    ])
+    assert g.n == 3
+    assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+
+def test_duplicate_edges_collapse():
+    g = parse_edge_list(["0 1", "1 0", "0 1"])
+    assert g.m == 1
+
+
+def test_integer_labels_sort_numerically():
+    """'10' must map above '2' — numeric order, not string order — so
+    files listing vertices 0..n-1 keep their natural ids."""
+    g = parse_edge_list(["2 10", "0 2"])
+    # labels 0, 2, 10 -> ids 0, 1, 2
+    assert g.n == 3
+    assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+
+def test_string_labels_sort_lexicographically():
+    g = parse_edge_list(["carol alice", "alice bob"])
+    # alice=0, bob=1, carol=2
+    assert sorted(g.edges()) == [(0, 1), (0, 2)]
+
+
+def test_mapping_is_independent_of_line_order():
+    a = parse_edge_list(["a b", "b c", "c d"])
+    b = parse_edge_list(["c d", "a b", "b c"])
+    assert a == b
+
+
+def test_malformed_and_empty_inputs_fail_loudly():
+    with pytest.raises(ReproError):
+        parse_edge_list(["0"])
+    with pytest.raises(ReproError):
+        parse_edge_list(["# nothing but comments"])
+    with pytest.raises(ReproError):
+        load_edge_list("/nonexistent/edges.txt")
+
+
+def test_save_load_round_trip(tmp_path):
+    g = connected_gnp_graph(30, 0.2, seed=3)
+    path = str(tmp_path / "g.txt")
+    save_edge_list(g, path, header="gnp n=30 p=0.2 seed=3")
+    assert load_edge_list(path) == g
+    with open(path, encoding="utf-8") as fh:
+        assert fh.readline().startswith("# ")

@@ -9,6 +9,7 @@ from repro.congest.synchronizer import AlphaSynchronizer, synchronize
 from repro.coloring.johansson import JohanssonListColoring
 from repro.coloring.verify import check_proper_coloring
 from repro.errors import ModelViolationError, ProtocolError
+from repro.congest.synchronizer import SynchronizerBudgetError
 from repro.graphs.generators import connected_gnp_graph
 
 
@@ -145,14 +146,15 @@ def test_inner_send_outside_active_rejected():
         synchronize(anet, Leaky, 4, active_sets=empty_active)
 
 
-def test_budget_too_small_yields_incomplete_output():
-    """A quiescence-style inner algorithm cut off early returns
-    observably incomplete outputs (it reports done-with-None)."""
+def test_budget_too_small_raises_for_undecided_inner():
+    """Publish-on-decide: an inner node cut off before deciding is
+    engine-unfinished, so exhausting the synchronizer budget fails
+    loudly instead of freezing a stale done-with-None output."""
     g = connected_gnp_graph(25, 0.3, seed=12)
     anet = AsyncNetwork(g, seed=13)
-    res = synchronize(anet, JohanssonListColoring, 1,
-                      inner_inputs=johansson_inputs(g))
-    assert any(o is None or o.get("color") is None for o in res.outputs)
+    with pytest.raises(SynchronizerBudgetError):
+        synchronize(anet, JohanssonListColoring, 1,
+                    inner_inputs=johansson_inputs(g))
 
 
 def test_budget_too_small_raises_for_non_quiescent_inner():
