@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Chaos smoke: kill real processes mid-sweep, prove the store heals.
+
+The acceptance scenario for the self-healing farm, with nothing faked:
+
+1. A coordinator subprocess (``repro sweep --serve``) hosts a small
+   sweep with the queue journal enabled.
+2. Worker ``w0`` starts pulling cells and is **SIGKILL**ed while the
+   coordinator's ``status`` verb shows it holding a lease (mid-cell).
+3. Worker ``w1`` takes over; once it has made progress *and* is
+   mid-cell itself, the coordinator is **bounced**: SIGTERM (graceful
+   drain — must exit 0), then restarted on the same port with
+   ``--resume-journal``.
+4. ``w1`` reconnects through its backoff loop, finishes the sweep, and
+   the restarted coordinator exits 0.
+
+Afterwards the merged store must be **bit-identical per key** to a
+serial in-process ``run_cell`` pass (modulo the volatile ``wall_s`` /
+``attempts`` fields), contain **zero lost records**, and ``w1`` must
+have demonstrably reconnected (its stderr logs the attempts; its
+completion count covers every post-bounce cell).
+
+Run directly (``python benchmarks/chaos_smoke.py``) or via the
+slow-marked test in tests/test_chaos.py; verify.sh runs it as the
+chaos stage.  Wall clock is a few seconds — the sweep is 8 cells of
+~0.1-0.4s each, big enough to kill things mid-flight, small enough
+for CI.
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+sys.path.insert(0, SRC)
+
+from repro.errors import DistributedError  # noqa: E402
+from repro.experiments import ResultStore, SweepSpec, run_cell  # noqa: E402
+from repro.experiments.distributed import fetch_status  # noqa: E402
+
+# ~0.1-0.4s per cell on a laptop: long enough that a SIGKILL lands
+# mid-cell, short enough that the whole scenario stays CI-sized.
+SPEC_ARGS = ["--families", "gnp", "--sizes", "90", "120",
+             "--seeds", "0", "1", "2", "3", "--methods", "kt1-eps-delta"]
+SPEC = SweepSpec(families=("gnp",), sizes=(90, 120), seeds=(0, 1, 2, 3),
+                 methods=("kt1-eps-delta",))
+#: Record fields that legitimately differ between a farm run and a
+#: serial one: how long it took and how many supervised attempts.
+VOLATILE = ("wall_s", "attempts")
+
+
+def _env():
+    env = dict(os.environ)
+    extra = os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    env["PYTHONPATH"] = SRC + extra
+    return env
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn(argv, stdout, stderr):
+    return subprocess.Popen([sys.executable, "-m", "repro"] + argv,
+                            env=_env(), stdout=stdout, stderr=stderr)
+
+
+def _poll_status(port, predicate, what, deadline_s=60.0):
+    """Spin on the read-only status verb until ``predicate(snap)``."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            snap = fetch_status("127.0.0.1", port, timeout_s=2.0)
+        except DistributedError:
+            time.sleep(0.02)
+            continue
+        if predicate(snap):
+            return snap
+        time.sleep(0.02)
+    raise SystemExit(f"chaos smoke: timed out waiting for {what}")
+
+
+def _wait(proc, what, timeout_s=90.0):
+    try:
+        return proc.wait(timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise SystemExit(f"chaos smoke: {what} did not exit "
+                         f"within {timeout_s:.0f}s")
+
+
+def _holds_lease(snap, worker):
+    entry = snap["workers"].get(worker)
+    return entry is not None and entry["connected"] and entry["leases"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tmpdir)")
+    args = parser.parse_args()
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    os.makedirs(workdir, exist_ok=True)
+    out = os.path.join(workdir, "chaos.jsonl")
+    port = _free_port()
+    serve_argv = (["sweep", "--serve", f"127.0.0.1:{port}", "--out", out,
+                   "--lease", "5", "--journal-interval", "0.2",
+                   "--drain-grace", "0.05", "--status-interval", "0"]
+                  + SPEC_ARGS)
+    worker_argv = ["worker", "--connect", f"127.0.0.1:{port}",
+                   "--poll", "0.1", "--reconnect", "25",
+                   "--backoff", "0.2", "--backoff-max", "2", "--json"]
+    total = SPEC.size
+    procs = []
+    logs = {}
+
+    def spawn(name, argv):
+        logs[name] = (open(os.path.join(workdir, name + ".out"), "w+"),
+                      open(os.path.join(workdir, name + ".err"), "w+"))
+        proc = _spawn(argv, *logs[name])
+        procs.append(proc)
+        return proc
+
+    try:
+        coord_a = spawn("coord-a", serve_argv)
+
+        # -- scenario 1: SIGKILL a worker mid-cell ------------------------
+        w0 = spawn("w0", worker_argv + ["--id", "w0"])
+        _poll_status(port, lambda s: _holds_lease(s, "w0"),
+                     "w0 to hold a lease")
+        os.kill(w0.pid, signal.SIGKILL)      # no goodbye, no cleanup
+        print(f"chaos smoke: SIGKILLed w0 mid-cell (pid {w0.pid})")
+
+        # -- scenario 2: bounce the coordinator mid-sweep ----------------
+        w1 = spawn("w1", worker_argv + ["--id", "w1"])
+        snap = _poll_status(
+            port,
+            lambda s: (s["done"] >= 2 and s["pending"] >= 1
+                       and _holds_lease(s, "w1")),
+            "w1 to be mid-cell with work remaining")
+        done_at_bounce = snap["done"]
+        coord_a.send_signal(signal.SIGTERM)
+        rc = _wait(coord_a, "draining coordinator", timeout_s=30.0)
+        if rc != 0:
+            raise SystemExit(
+                f"chaos smoke: drained coordinator exited {rc}, want 0")
+        print(f"chaos smoke: coordinator drained at "
+              f"{done_at_bounce}/{total} done (exit 0)")
+
+        coord_b = spawn("coord-b", serve_argv + ["--resume-journal"])
+        rc = _wait(coord_b, "restarted coordinator")
+        if rc != 0:
+            raise SystemExit(
+                f"chaos smoke: restarted coordinator exited {rc}, want 0")
+        rc = _wait(w1, "surviving worker w1")
+        if rc != 0:
+            raise SystemExit(f"chaos smoke: w1 exited {rc}, want 0")
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+
+    # -- the proof: store vs serial, bit for bit -------------------------
+    for fh, _ in logs.values():
+        fh.flush()
+    latest = ResultStore(out).latest_per_key()
+    serial = {c.key(): run_cell(c) for c in SPEC.cells()}
+    if set(latest) != set(serial):
+        raise SystemExit(
+            f"chaos smoke: store keys != spec keys "
+            f"(missing {sorted(set(serial) - set(latest))}, "
+            f"extra {sorted(set(latest) - set(serial))})")
+    lost = [r for r in ResultStore(out).iter_records()
+            if r.get("status") == "lost"]
+    if lost:
+        raise SystemExit(f"chaos smoke: {len(lost)} lost record(s): "
+                         f"{[r['key'] for r in lost]}")
+    for key, rec in latest.items():
+        want = dict(serial[key])
+        got = dict(rec)
+        for field in VOLATILE:
+            want.pop(field, None)
+            got.pop(field, None)
+        if got != want:
+            diff = {k for k in set(want) | set(got)
+                    if want.get(k) != got.get(k)}
+            raise SystemExit(
+                f"chaos smoke: record for {key} differs from serial "
+                f"run in field(s) {sorted(diff)}")
+
+    # -- the survivor really reconnected ---------------------------------
+    w1_err = open(os.path.join(workdir, "w1.err")).read()
+    if "reconnect attempt" not in w1_err:
+        raise SystemExit("chaos smoke: w1 never logged a reconnect "
+                         "attempt — the bounce was not exercised")
+    w1_out = open(os.path.join(workdir, "w1.out")).read()
+    w1_count = json.loads(w1_out)["cells run"]
+    # Every post-bounce cell was w1's (w0 is dead), and it may have run
+    # one more mid-bounce than the last pre-bounce status showed.
+    if w1_count < total - done_at_bounce - 1 or w1_count < 1:
+        raise SystemExit(
+            f"chaos smoke: w1 completed {w1_count} cells, expected at "
+            f"least {total - done_at_bounce - 1} (post-bounce work)")
+
+    print(f"chaos smoke: OK — {total} cells bit-identical to serial, "
+          f"0 lost, w0 SIGKILLed, coordinator bounced, w1 reconnected "
+          f"and completed {w1_count}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

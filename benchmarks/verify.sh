@@ -44,6 +44,17 @@ print(f"fault smoke: {len(records)} cells ok, {dropped} messages dropped")
 EOF
 rm -f "$FAULT_OUT"
 
+echo "== chaos smoke (SIGKILL a worker, bounce the coordinator) =="
+# Real subprocesses, real signals: one worker SIGKILLed mid-cell, the
+# coordinator SIGTERM-drained (must exit 0) and restarted with
+# --resume-journal; the merged store must be bit-identical per key to a
+# serial run, with zero lost records and the surviving worker
+# reconnecting through its backoff loop.  Heavier scenarios live behind
+# the slow marker in tests/test_chaos.py.
+CHAOS_DIR="$(mktemp -d "${TMPDIR:-/tmp}/repro-chaos-XXXXXX")"
+python benchmarks/chaos_smoke.py --workdir "$CHAOS_DIR"
+rm -rf "$CHAOS_DIR"
+
 echo "== fixed-seed count regression vs BENCH_engine.json =="
 python benchmarks/check_regression.py --workers "${WORKERS:-4}"
 

@@ -8,6 +8,9 @@ sweep       run a declarative experiment matrix under a worker pool
             (--serve hosts it for remote workers, --dry-run prints the
             cell plan without executing)
 worker      pull cells from a 'sweep --serve' coordinator and run them
+            (reconnects with backoff when the coordinator bounces)
+farm        inspect a running coordinator (farm status: queue counts,
+            per-worker health, throughput/ETA)
 report      aggregate a sweep's JSON-lines results (growth exponents)
 lowerbound  run the Section 2 crossing experiment
 cycles      run the Theorem 2.17 mute-cycle sweep
@@ -25,7 +28,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 import time
 
 from repro import api
@@ -224,27 +229,11 @@ def cmd_sweep(args) -> int:
         )
 
     t0 = time.perf_counter()
+    drained = False
     with store:
         if args.serve is not None:
-            from repro.experiments.distributed import serve_sweep
-
-            host, port = _parse_endpoint(args.serve, "0.0.0.0", "--serve")
-
-            def on_listen(bound_host, bound_port):
-                print(f"coordinator listening on {bound_host}:{bound_port}"
-                      f" — start workers with:\n"
-                      f"    python -m repro worker "
-                      f"--connect HOST:{bound_port}", flush=True)
-
-            fresh = serve_sweep(
-                spec,
-                store=store,
-                host=host,
-                port=port,
-                lease_s=args.lease,
-                progress=None if args.json else progress,
-                on_listen=None if args.json else on_listen,
-            )
+            fresh, drained = _serve_with_signals(args, spec, store,
+                                                 progress)
         else:
             fresh = run_sweep(
                 spec,
@@ -264,11 +253,20 @@ def cmd_sweep(args) -> int:
         "wall seconds": round(wall, 2),
         "results": args.out,
     }
+    if drained:
+        payload["drained"] = True
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         for key, value in payload.items():
             print(f"{key:>18}: {value}")
+    if drained:
+        # A drain is a *requested* early exit, not a failure: the store
+        # and journal are flushed, and re-serving with --resume-journal
+        # picks up exactly where this process stopped.
+        print("drained: sweep incomplete by request; re-run with "
+              "--serve --resume-journal to continue", file=sys.stderr)
+        return 0
     # Exit nonzero if ANY of this spec's cells is invalid or failed —
     # including ones resumed from the store, so re-running a failed sweep
     # stays red.  Last-record-wins: a failed line is cleared by a later
@@ -291,6 +289,107 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _serve_with_signals(args, spec, store, progress):
+    """Host a distributed sweep with drain-on-signal and a journal.
+
+    Returns ``(fresh_records, drained)``.  SIGTERM/SIGINT initiate a
+    graceful drain — stop leasing, give in-flight cells ``--drain-grace``
+    seconds to land, fsync store + journal, exit 0 — instead of killing
+    the coordinator mid-write; the periodic status summary keeps long
+    unattended serves from being silent.
+    """
+    from repro.experiments.distributed import Coordinator, QueueJournal
+
+    host, port = _parse_endpoint(args.serve, "0.0.0.0", "--serve")
+    journal_path = args.journal or (args.out + ".journal")
+    try:
+        coord = Coordinator(
+            spec, store=store, host=host, port=port,
+            lease_s=args.lease,
+            progress=None if args.json else progress,
+            journal=QueueJournal(journal_path),
+            resume_journal=args.resume_journal,
+            journal_interval_s=args.journal_interval,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    bound_host, bound_port = coord.start()
+    if not args.json:
+        print(f"coordinator listening on {bound_host}:{bound_port}"
+              f" — start workers with:\n"
+              f"    python -m repro worker "
+              f"--connect HOST:{bound_port}", flush=True)
+
+    def _drain_handler(signum, frame):
+        name = signal.Signals(signum).name
+        print(f"{name}: draining — no new leases, up to "
+              f"{args.drain_grace:g}s for in-flight cells "
+              f"(journal: {journal_path})", file=sys.stderr, flush=True)
+        coord.drain(grace_s=args.drain_grace)
+
+    previous = {sig: signal.signal(sig, _drain_handler)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
+
+    if args.status_interval > 0 and not args.json:
+        def _summary_loop():
+            while True:
+                time.sleep(args.status_interval)
+                snap = coord.status_snapshot()
+                if snap["finished"]:
+                    return
+                eta = ("?" if snap["eta_s"] is None
+                       else f"{snap['eta_s']:.0f}s")
+                print(f"[serve] {snap['done']}/{snap['total']} done, "
+                      f"{snap['active_workers']} worker(s), "
+                      f"{snap['cells_per_s']:.2f} cells/s, eta {eta}",
+                      flush=True)
+        threading.Thread(target=_summary_loop, daemon=True).start()
+
+    try:
+        fresh = coord.wait()
+    finally:
+        coord.stop()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return fresh, coord.drained
+
+
+def cmd_farm_status(args) -> int:
+    """One read-only status round trip against a live coordinator."""
+    from repro.errors import DistributedError
+    from repro.experiments.distributed import fetch_status
+
+    host, port = _parse_endpoint(args.connect, "127.0.0.1", "--connect")
+    try:
+        snap = fetch_status(host, port, timeout_s=args.timeout)
+    except DistributedError as exc:
+        print(f"farm status: {exc}", file=sys.stderr)
+        return 1
+    snap.pop("type", None)
+    if args.json:
+        print(json.dumps(snap, indent=2))
+        return 0
+    eta = "-" if snap["eta_s"] is None else f"{snap['eta_s']:g}s"
+    _emit(args, {
+        "coordinator": f"{host}:{port}",
+        "cells": (f"{snap['done']}/{snap['total']} done, "
+                  f"{snap['leased']} leased, {snap['pending']} pending"),
+        "lost": snap["lost"],
+        "cells/s": snap["cells_per_s"],
+        "eta": eta,
+        "elapsed": f"{snap['elapsed_s']:.0f}s",
+        "draining": "yes" if snap["draining"] else "no",
+        "workers": snap["active_workers"],
+    })
+    for wid, w in sorted(snap["workers"].items()):
+        beat = ("never" if w["last_heartbeat_age_s"] is None
+                else f"heartbeat {w['last_heartbeat_age_s']:.1f}s ago")
+        state = "up" if w["connected"] else "gone"
+        print(f"    {wid}: {state}, {w['completed']} done, "
+              f"{len(w['leases'])} lease(s), {beat}")
+    return 0
+
+
 def cmd_worker(args) -> int:
     """Run cells for a ``repro sweep --serve`` coordinator until it
     declares the sweep complete."""
@@ -307,12 +406,23 @@ def cmd_worker(args) -> int:
             print(f"[{count}] {rec['key']}: {rec['messages']} msgs, "
                   f"{rec['wall_s']:.2f}s", flush=True)
 
+    def on_reconnect(attempt, delay, reason):
+        # Always on stderr (even with --json): operators watching a
+        # flapping farm need the evidence, and stdout stays parseable.
+        print(f"worker: connection problem ({reason}); reconnect "
+              f"attempt {attempt}/{args.reconnect} in {delay:.1f}s",
+              file=sys.stderr, flush=True)
+
     try:
         completed = run_worker(
             host, port,
             worker_id=args.id,
             poll_s=args.poll,
             progress=None if args.json else progress,
+            reconnect=args.reconnect,
+            backoff_s=args.backoff,
+            backoff_max_s=args.backoff_max,
+            on_reconnect=on_reconnect,
         )
     except DistributedError as exc:
         print(f"worker: {exc}", file=sys.stderr)
@@ -555,6 +665,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --serve: lease duration per cell; a worker "
                         "silent past it is presumed dead and its cells "
                         "are re-served")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="with --serve: queue-journal file (default: "
+                        "<out>.journal) — an fsync'd snapshot of done "
+                        "keys, requeue counts, and live leases so a "
+                        "bounced coordinator can restart mid-sweep")
+    p.add_argument("--resume-journal", action="store_true",
+                   help="with --serve: restore the queue journal at "
+                        "startup — completed cells are not re-run and "
+                        "requeue history (max_requeues) survives the "
+                        "coordinator restart")
+    p.add_argument("--journal-interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="with --serve: seconds between journal writes")
+    p.add_argument("--drain-grace", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="with --serve: on SIGTERM/SIGINT, how long to "
+                        "wait for in-flight cells before exiting "
+                        "(leasing stops immediately; exit code 0)")
+    p.add_argument("--status-interval", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="with --serve: print a one-line progress summary "
+                        "(done/total, workers, cells/s, eta) this often; "
+                        "0 disables")
     p.add_argument("--dry-run", action="store_true",
                    help="print the resume-aware cell plan (one key per "
                         "line) and exit without running anything")
@@ -574,9 +707,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: hostname-pid)")
     p.add_argument("--poll", type=float, default=1.0, metavar="SECONDS",
                    help="idle back-off when every cell is leased out")
+    p.add_argument("--reconnect", type=int, default=5, metavar="N",
+                   help="consecutive failed (re)connection attempts "
+                        "before giving up (exponential backoff with "
+                        "jitter between attempts; 0 = fail immediately)")
+    p.add_argument("--backoff", type=float, default=0.5, metavar="SECONDS",
+                   help="base reconnect backoff (doubles per attempt)")
+    p.add_argument("--backoff-max", type=float, default=15.0,
+                   metavar="SECONDS", help="reconnect backoff ceiling")
     p.add_argument("--json", action="store_true",
                    help="machine-readable summary")
     p.set_defaults(fn=cmd_worker)
+
+    p = subs.add_parser(
+        "farm",
+        help="inspect a running 'repro sweep --serve' coordinator",
+    )
+    farm_subs = p.add_subparsers(dest="farm_command", required=True)
+    ps = farm_subs.add_parser(
+        "status",
+        help="live queue counts, per-worker heartbeat ages, cells/s, eta "
+             "(read-only; never leases or disturbs the sweep)",
+    )
+    ps.add_argument("--connect", required=True, metavar="HOST:PORT",
+                    help="the coordinator's address")
+    ps.add_argument("--timeout", type=float, default=10.0,
+                    metavar="SECONDS", help="status request deadline")
+    ps.add_argument("--json", action="store_true",
+                    help="machine-readable status")
+    ps.set_defaults(fn=cmd_farm_status)
 
     p = subs.add_parser(
         "report",

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.congest.node import Context, NodeAlgorithm
-from repro.errors import ProtocolError, VerificationError
+from repro.errors import ProtocolError
 from repro.substrates.flooding import ShareRandomBits, TreeAggregate
 from repro.substrates.spanning_tree import build_spanning_tree
 from repro.util.hashing import KWiseHashFamily
@@ -100,17 +100,19 @@ class EpsilonDeltaColoring(NodeAlgorithm):
 
     def on_round(self, ctx: Context, inbox) -> None:
         # Answer queries regardless of our own state: "do you hold c?"
+        # (and fallback probes: "what is your color right now?")
         for msg in inbox:
             if msg.tag == "query":
                 (c,) = msg.fields
                 ctx.send(msg.sender_id, "hold", self.color == c)
+            elif msg.tag == "probe":
+                ctx.send(msg.sender_id, "shade", self.color)
         phase, step = self._phase_of_round(ctx.round)
         if phase >= self.total_phases:
-            if self.color is None:
-                raise VerificationError(
-                    "node ran out of phases while uncolored (whp event)"
-                )
-            self._publish(ctx)
+            if self.color is not None:
+                self._publish(ctx)
+            else:
+                self._fallback(ctx, inbox, ctx.round - 3 * self.total_phases)
             return
         h = self.hashes[phase]
         if step == 0 and self.color is None:
@@ -136,8 +138,35 @@ class EpsilonDeltaColoring(NodeAlgorithm):
             if not self.conflicted and not any(holds):
                 self.color = self.candidate
             self.candidate = None
-        if self.color is not None or phase == self.total_phases - 1:
+        if self.color is not None:
             self._publish(ctx)
+
+    def _fallback(self, ctx: Context, inbox, fallback_round: int) -> None:
+        """Deterministic cleanup for a node that failed every hashed
+        phase — the whp-failure tail, which the shared-randomness
+        analysis leaves unhandled but a sweep must still survive.
+
+        On the same 3-round cadence: probe every neighbor's current
+        color, then — lowest ID first among still-uncolored neighbors,
+        so adjacent stragglers never grab the same color — take the
+        smallest free palette color.  One always exists: the palette
+        has at least Δ+1 >= deg(v)+1 colors.  Costs O(deg) messages
+        per straggler iteration, charged only on this rare path, so
+        Theorem 3.8's Õ(n/ε²) expectation stands; termination is now
+        guaranteed (Las Vegas), not just whp.
+        """
+        step = fallback_round % 3
+        if step == 0:
+            ctx.broadcast(ctx.neighbor_ids, "probe")
+        elif step == 2:
+            shades = [(m.sender_id.value, m.fields[0])
+                      for m in inbox if m.tag == "shade"]
+            taken = {c for _, c in shades if c is not None}
+            waiting = [v for v, c in shades if c is None]
+            if not waiting or self.my_value < min(waiting):
+                self.color = next(c for c in range(self.palette_size)
+                                  if c not in taken)
+                self._publish(ctx)
 
 
 @dataclass

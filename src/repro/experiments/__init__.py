@@ -34,7 +34,9 @@ host a distributed run, ``--dry-run`` to print the plan),
 from repro.experiments.distributed import (
     PROTOCOL_VERSION,
     Coordinator,
+    QueueJournal,
     WorkQueue,
+    fetch_status,
     run_worker,
     serve_sweep,
 )
@@ -65,10 +67,12 @@ __all__ = [
     "MIS_METHODS",
     "PROTOCOL_VERSION",
     "Cell",
+    "QueueJournal",
     "ResultStore",
     "SweepSpec",
     "WorkQueue",
     "bench_payload",
+    "fetch_status",
     "fit_exponent",
     "growth_exponents",
     "latest_per_key",

@@ -29,9 +29,12 @@ conventions refuse to mix records instead of silently mispooling them:
             | {"type": "idle", "retry_s": S}           # leased out, wait
             | {"type": "shutdown"}                     # sweep complete
     worker -> {"type": "heartbeat", "key": K}          # while running
-    coord  <- {"type": "ok"} | {"type": "gone"}        # lease reassigned
+    coord  <- {"type": "ok"} | {"type": "gone"}        # lease revoked:
+                                                       # kill the cell
     worker -> {"type": "result", "record": {...}}
     coord  <- {"type": "ok", "accepted": bool}
+    any    -> {"type": "status"}                       # read-only
+    coord  <- {"type": "status", pending/leased/done/workers/...}
 
 Leases are keyed on ``cell.key()``.  A worker that stops heartbeating
 (crash, network partition) has its leases expire and the cells are
@@ -41,12 +44,36 @@ Duplicate results for one key (a lease that expired on a worker that
 then finished anyway) are dropped at the queue, and the store's readers
 apply last-record-wins per key regardless, so the merged store is safe
 to aggregate even when races slip through.
+
+Self-healing semantics (the reasons hour-long robustness sweeps survive
+real faults, not just simulated ones):
+
+* **Worker reconnect.**  A worker that loses its coordinator retries
+  the connection with exponential backoff + deterministic jitter,
+  bounded by ``reconnect`` consecutive failed attempts, resuming the
+  same ``worker_id``.  A result whose submission was cut off mid-send
+  is re-submitted on the next connection instead of recomputed.
+* **Lease-revocation cancellation.**  A heartbeat answered ``gone``
+  means the coordinator re-served the cell; the worker terminates the
+  in-flight child process (the ``cancel`` seam on
+  :func:`~repro.experiments.runner._run_cells_with_timeout`) and drops
+  the stale record instead of computing to completion.
+* **Coordinator drain.**  SIGTERM/SIGINT on ``repro sweep --serve``
+  stops leasing, answers ``shutdown`` to lease requests, gives
+  in-flight cells a grace window to land, fsyncs the store + journal,
+  and exits 0.
+* **Queue journal.**  The coordinator periodically writes an fsync'd
+  snapshot of the queue (done keys, requeue counts, live leases) beside
+  the store; ``repro sweep --serve --resume-journal`` restores it so a
+  bounced coordinator neither re-runs completed cells nor forgets
+  ``max_requeues`` history.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import socketserver
 import threading
@@ -60,12 +87,22 @@ from repro.experiments.runner import (
     _run_cells_with_timeout,
 )
 from repro.experiments.spec import Cell, SweepSpec
-from repro.experiments.store import ResultStore
+from repro.experiments.store import ResultStore, write_json_atomic
 
 PROTOCOL = "repro-sweep"
 PROTOCOL_VERSION = 1
 DEFAULT_LEASE_S = 30.0
 DEFAULT_MAX_REQUEUES = 5
+#: Worker-side deadline for one request/response exchange (the
+#: coordinator answers every verb immediately; only a dead or wedged
+#: coordinator is slower).
+DEFAULT_REQUEST_TIMEOUT_S = 10.0
+#: Consecutive failed (re)connection attempts before a worker gives up.
+DEFAULT_RECONNECT_ATTEMPTS = 5
+DEFAULT_BACKOFF_S = 0.5
+DEFAULT_BACKOFF_MAX_S = 15.0
+DEFAULT_JOURNAL_INTERVAL_S = 2.0
+DEFAULT_DRAIN_GRACE_S = 5.0
 
 
 # -- framing ------------------------------------------------------------------
@@ -119,6 +156,11 @@ class WorkQueue:
         #: done keys whose recorded outcome is a failure (lost lease or
         #: a non-ok record) — still supersedable by a real ok record.
         self._failed: set[str] = set()
+        #: keys this queue instance has handed out at least once; a key
+        #: completed without ever being leased here (a reconnecting
+        #: worker re-submitting to a journal-restored queue) may still
+        #: sit in the pending deque and must be scanned out.
+        self._ever_leased: set[str] = set()
 
     def lease(self, worker: str,
               now: Optional[float] = None) -> Optional[Cell]:
@@ -129,6 +171,7 @@ class WorkQueue:
                 return None
             cell = self._pending.popleft()
             self._leases[cell.key()] = [cell, worker, now + self.lease_s]
+            self._ever_leased.add(cell.key())
             return cell
 
     def heartbeat(self, worker: str, key: str,
@@ -162,10 +205,12 @@ class WorkQueue:
                     return True
                 return False
             self._leases.pop(key, None)
-            # Only a previously requeued key can still sit in pending
-            # (a never-requeued one was popped when leased), so the
-            # deque scan is skipped in the common case.
-            if self._requeues.get(key):
+            # Only a requeued key — or one this queue never leased (a
+            # reconnecting worker re-submitting into a journal-restored
+            # queue) — can still sit in pending; a never-requeued key
+            # leased here was popped when leased, so the deque scan is
+            # skipped in the common case.
+            if self._requeues.get(key) or key not in self._ever_leased:
                 self._pending = deque(
                     c for c in self._pending if c.key() != key
                 )
@@ -219,6 +264,132 @@ class WorkQueue:
         with self._lock:
             return len(self._pending) + len(self._leases)
 
+    def has_leases(self) -> bool:
+        with self._lock:
+            return bool(self._leases)
+
+    def counts(self) -> dict:
+        """Live queue counts for the ``status`` verb / progress lines."""
+        with self._lock:
+            return {
+                "pending": len(self._pending),
+                "leased": len(self._leases),
+                "done": len(self._done),
+                "failed": len(self._failed),
+            }
+
+    def leases_by_worker(self) -> dict[str, list[str]]:
+        """Current leases grouped by holder (key lists, sorted)."""
+        out: dict[str, list[str]] = {}
+        with self._lock:
+            for key, (_, worker, _) in self._leases.items():
+                out.setdefault(worker, []).append(key)
+        for keys in out.values():
+            keys.sort()
+        return out
+
+    # -- journal (crash-restart) snapshot ---------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe queue state for the coordinator's journal.
+
+        Pending cells are *not* serialized — a restart re-expands them
+        from the spec minus the store's completed keys; the journal only
+        has to carry what that re-expansion can't reconstruct: done keys
+        (including failed/lost ones a store-based resume would retry),
+        requeue counts, and the keys leased at snapshot time.
+        """
+        with self._lock:
+            return {
+                "done": sorted(self._done),
+                "failed": sorted(self._failed),
+                "requeues": dict(self._requeues),
+                "leased": sorted(self._leases),
+            }
+
+    def restore(self, snapshot: dict) -> list[Cell]:
+        """Apply a journal snapshot to a freshly built queue.
+
+        Keys the journal says are done leave the pending deque; requeue
+        counts are restored so ``max_requeues`` history survives the
+        restart; keys that were *leased* when the journal was written
+        lost their worker with the old coordinator, so each one is
+        charged a requeue exactly as a dead-worker release would.
+        Returns the cells that exhausted their requeue budget in the
+        process (declared lost — the caller records them).
+        """
+        lost: list[Cell] = []
+        with self._lock:
+            for key, count in snapshot.get("requeues", {}).items():
+                self._requeues[key] = max(
+                    self._requeues.get(key, 0), int(count))
+            self._done.update(snapshot.get("done", ()))
+            self._failed.update(snapshot.get("failed", ()))
+            for key in snapshot.get("leased", ()):
+                if key not in self._done:
+                    self._requeues[key] = self._requeues.get(key, 0) + 1
+            still: deque[Cell] = deque()
+            for cell in self._pending:
+                key = cell.key()
+                if key in self._done:
+                    continue
+                if self._requeues.get(key, 0) > self.max_requeues:
+                    self._done.add(key)
+                    self._failed.add(key)
+                    lost.append(cell)
+                else:
+                    still.append(cell)
+            self._pending = still
+        return lost
+
+
+class QueueJournal:
+    """Durable queue snapshots beside the result store.
+
+    The store alone cannot restart a mid-sweep coordinator faithfully:
+    it knows the *ok* cells (resume skips them) but not the requeue
+    history (``max_requeues`` would reset, so a worker-killing cell
+    could loop forever across coordinator bounces) nor which failed/lost
+    keys the dying coordinator had already given up on.  The journal is
+    a single atomically-replaced, fsync'd JSON file carrying exactly
+    that (:meth:`WorkQueue.snapshot`) plus the sweep's spec fingerprint,
+    written periodically and at drain.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def write(self, snapshot: dict, fingerprint: Optional[str] = None,
+              drained: bool = False) -> None:
+        write_json_atomic(self.path, {
+            "format": "repro-queue-journal",
+            "version": PROTOCOL_VERSION,
+            "fingerprint": fingerprint,
+            "drained": drained,
+            **snapshot,
+        })
+
+    def load(self) -> Optional[dict]:
+        """The last snapshot, or None when no journal exists yet."""
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DistributedError(
+                f"unreadable queue journal {self.path}: {exc}")
+        if payload.get("format") != "repro-queue-journal":
+            raise DistributedError(
+                f"{self.path} is not a repro queue journal")
+        return payload
+
+    def remove(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
 
 # -- coordinator --------------------------------------------------------------
 
@@ -255,6 +426,12 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
                 return
             worker = str(hello.get("worker")
                          or f"{self.client_address[0]}:{self.client_address[1]}")
+            # Status probes (`repro farm status`) are read-only peers:
+            # they never lease, so they don't enter the worker registry
+            # that drain/status report on.
+            registered = hello.get("role") != "status"
+            if registered:
+                coord.worker_connected(worker)
             _send_msg(self.wfile, {"type": "welcome",
                                    "version": PROTOCOL_VERSION,
                                    "lease_s": coord.lease_s})
@@ -264,6 +441,12 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
                     return
                 kind = msg.get("type")
                 if kind == "lease":
+                    coord.touch_worker(worker)
+                    if coord.draining:
+                        # Drain: no new work leaves the coordinator; the
+                        # worker is released cleanly mid-sweep.
+                        _send_msg(self.wfile, {"type": "shutdown"})
+                        return
                     cell = coord.queue.lease(worker)
                     if cell is not None:
                         _send_msg(self.wfile, {"type": "cell",
@@ -279,6 +462,7 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
                             "retry_s": min(1.0, coord.lease_s / 4),
                         })
                 elif kind == "heartbeat":
+                    coord.touch_worker(worker, heartbeat=True)
                     alive = coord.queue.heartbeat(worker, msg.get("key"))
                     _send_msg(self.wfile,
                               {"type": "ok" if alive else "gone"})
@@ -289,6 +473,9 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
                     accepted = coord.submit(worker, record)
                     _send_msg(self.wfile, {"type": "ok",
                                            "accepted": accepted})
+                elif kind == "status":
+                    _send_msg(self.wfile, {"type": "status",
+                                           **coord.status_snapshot()})
                 else:
                     raise DistributedError(
                         f"unknown message type {kind!r}")
@@ -299,6 +486,8 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
         finally:
             if worker is not None:
                 coord.release_worker_cells(worker)
+                if registered:
+                    coord.worker_disconnected(worker)
 
 
 class _CoordinatorServer(socketserver.ThreadingTCPServer):
@@ -335,6 +524,9 @@ class Coordinator:
         lease_s: float = DEFAULT_LEASE_S,
         max_requeues: int = DEFAULT_MAX_REQUEUES,
         progress: Optional[Callable[[dict, int, int], None]] = None,
+        journal: Optional[QueueJournal] = None,
+        resume_journal: bool = False,
+        journal_interval_s: float = DEFAULT_JOURNAL_INTERVAL_S,
     ):
         if cells is None:
             if spec is None:
@@ -348,20 +540,46 @@ class Coordinator:
                                max_requeues=max_requeues)
         self.fresh: list[dict] = []
         self.duplicates = 0
+        self.drained = False
+        self._fingerprint = (spec.fingerprint()
+                             if spec is not None else None)
+        self._journal = journal
+        self._journal_interval_s = journal_interval_s
         self._store = store
         self._progress = progress
         self._lock = threading.Lock()
+        #: worker_id -> {connections, completed, last_seen,
+        #:               last_heartbeat} (monotonic clocks)
+        self._workers: dict[str, dict] = {}
+        self._started_at = time.monotonic()
         # Serializes "mark done in the queue" with "write the record":
         # check_finished takes it too, so no thread can observe the
         # queue finished while the final record is still unwritten
         # (wait() returning before the last append reaches the store).
         self._submit_lock = threading.Lock()
         self._finished = threading.Event()
+        self._draining = threading.Event()
         self._server: Optional[_CoordinatorServer] = None
         self._threads: list[threading.Thread] = []
         self._host, self._port = host, port
-        if not todo:
-            self._finished.set()
+        if journal is not None and resume_journal:
+            snapshot = journal.load()
+            if snapshot is not None:
+                self._restore_journal(snapshot)
+        self.check_finished()
+
+    def _restore_journal(self, snapshot: dict) -> None:
+        theirs = snapshot.get("fingerprint")
+        if (theirs is not None and self._fingerprint is not None
+                and theirs != self._fingerprint):
+            raise DistributedError(
+                f"queue journal {self._journal.path} was written for a "
+                f"different sweep (fingerprint {theirs} != "
+                f"{self._fingerprint}); refusing to replay its requeue "
+                "history into this one"
+            )
+        for cell in self.queue.restore(snapshot):
+            self._record_lost(cell)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -379,11 +597,17 @@ class Coordinator:
         serve.start()
         reap.start()
         self._threads = [serve, reap]
+        if self._journal is not None:
+            journal = threading.Thread(target=self._journal_loop,
+                                       daemon=True)
+            journal.start()
+            self._threads.append(journal)
         return self.address
 
     def wait(self, timeout: Optional[float] = None,
              linger_s: float = 0.0) -> list[dict]:
-        """Block until every cell is recorded; returns the fresh records.
+        """Block until every cell is recorded (or the coordinator is
+        drained); returns the fresh records.
 
         ``linger_s`` keeps the coordinator up briefly after the last
         record so workers parked in the idle loop can come back for
@@ -396,8 +620,52 @@ class Coordinator:
             )
         if linger_s > 0:
             time.sleep(linger_s)
+        self._flush_durable()
         self.stop()
         return self.fresh
+
+    # -- graceful drain ----------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self, grace_s: float = DEFAULT_DRAIN_GRACE_S) -> None:
+        """Stop leasing and wind the coordinator down within ``grace_s``.
+
+        Signal-handler safe (returns immediately; a watcher thread does
+        the waiting): lease requests are answered ``shutdown`` from now
+        on, in-flight cells get up to ``grace_s`` to land their results,
+        then the store and journal are fsync'd and :meth:`wait` returns
+        whatever completed.  ``drained`` distinguishes this exit from a
+        completed sweep.
+        """
+        if self._draining.is_set():
+            return
+        self.drained = True
+        self._draining.set()
+        watcher = threading.Thread(target=self._drain_watch,
+                                   args=(grace_s,), daemon=True)
+        watcher.start()
+        self._threads.append(watcher)
+
+    def _drain_watch(self, grace_s: float) -> None:
+        deadline = time.monotonic() + grace_s
+        while (time.monotonic() < deadline
+                and not self._finished.is_set()
+                and self.queue.has_leases()):
+            time.sleep(0.05)
+        self._flush_durable()
+        self._finished.set()
+
+    def _flush_durable(self) -> None:
+        """Push the store to disk and journal the final queue state."""
+        if self._store is not None:
+            try:
+                self._store.sync()
+            except (OSError, ValueError):
+                pass    # a closed store has nothing left to sync
+        self._journal_write()
 
     def stop(self) -> None:
         if self._server is not None:
@@ -416,6 +684,7 @@ class Coordinator:
 
     def submit(self, worker: str, record: dict) -> bool:
         """Merge one worker record; False if dropped as a duplicate."""
+        self.touch_worker(worker, completed=True)
         with self._submit_lock:
             ok = record.get("status", "ok") == "ok"
             if not self.queue.complete(worker, record["key"], ok):
@@ -426,6 +695,84 @@ class Coordinator:
                 accepted = True
         self.check_finished()
         return accepted
+
+    # -- worker registry (drives `repro farm status`) ----------------------
+
+    def worker_connected(self, worker: str) -> None:
+        now = time.monotonic()
+        with self._lock:
+            entry = self._workers.setdefault(worker, {
+                "connections": 0, "completed": 0,
+                "last_seen": now, "last_heartbeat": None,
+            })
+            entry["connections"] += 1
+            entry["last_seen"] = now
+
+    def worker_disconnected(self, worker: str) -> None:
+        with self._lock:
+            entry = self._workers.get(worker)
+            if entry is not None:
+                entry["connections"] = max(0, entry["connections"] - 1)
+
+    def touch_worker(self, worker: str, heartbeat: bool = False,
+                     completed: bool = False) -> None:
+        now = time.monotonic()
+        with self._lock:
+            entry = self._workers.get(worker)
+            if entry is None:
+                return
+            entry["last_seen"] = now
+            if heartbeat:
+                entry["last_heartbeat"] = now
+            if completed:
+                entry["completed"] += 1
+
+    def status_snapshot(self) -> dict:
+        """The read-only ``status`` verb's payload (JSON-safe).
+
+        Live queue counts, per-worker health (connection state, cells
+        completed, heartbeat/last-message ages, held leases), and the
+        session throughput — ``cells_per_s`` over this coordinator's
+        lifetime and the ETA it implies for the outstanding cells.
+        """
+        now = time.monotonic()
+        counts = self.queue.counts()
+        leases = self.queue.leases_by_worker()
+        with self._lock:
+            workers = {
+                wid: {
+                    "connected": entry["connections"] > 0,
+                    "completed": entry["completed"],
+                    "last_seen_age_s": round(now - entry["last_seen"], 3),
+                    "last_heartbeat_age_s": (
+                        round(now - entry["last_heartbeat"], 3)
+                        if entry["last_heartbeat"] is not None else None),
+                    "leases": leases.get(wid, []),
+                }
+                for wid, entry in self._workers.items()
+            }
+        outstanding = counts["pending"] + counts["leased"]
+        elapsed = max(1e-9, now - self._started_at)
+        rate = len(self.fresh) / elapsed
+        return {
+            "total": self.total,
+            "pending": counts["pending"],
+            "leased": counts["leased"],
+            "done": self.total - outstanding,
+            "lost": counts["failed"],
+            "records": len(self.fresh),
+            "duplicates": self.duplicates,
+            "active_workers": sum(
+                1 for w in workers.values() if w["connected"]),
+            "workers": workers,
+            "elapsed_s": round(elapsed, 3),
+            "cells_per_s": round(rate, 4),
+            "eta_s": (round(outstanding / rate, 1) if rate > 0
+                      and outstanding else (0.0 if not outstanding
+                                            else None)),
+            "draining": self.draining,
+            "finished": self._finished.is_set(),
+        }
 
     def release_worker_cells(self, worker: str) -> None:
         """Requeue a disconnected worker's leases, recording any that
@@ -467,6 +814,23 @@ class Coordinator:
                     self._record_lost(cell)
             self.check_finished()
 
+    def _journal_loop(self) -> None:
+        interval = max(0.05, self._journal_interval_s)
+        while not self._finished.wait(interval):
+            self._journal_write()
+
+    def _journal_write(self) -> None:
+        if self._journal is None:
+            return
+        try:
+            self._journal.write(self.queue.snapshot(),
+                                fingerprint=self._fingerprint,
+                                drained=self.drained)
+        except OSError:
+            # A journal that cannot be written degrades restart fidelity,
+            # not the live sweep; the store still holds every record.
+            pass
+
 
 def serve_sweep(
     spec: SweepSpec,
@@ -479,6 +843,9 @@ def serve_sweep(
     on_listen: Optional[Callable[[str, int], None]] = None,
     timeout: Optional[float] = None,
     linger_s: float = 2.0,
+    journal_path: Optional[str] = None,
+    resume_journal: bool = False,
+    journal_interval_s: float = DEFAULT_JOURNAL_INTERVAL_S,
 ) -> list[dict]:
     """Serve ``spec``'s unfinished cells to workers until all complete.
 
@@ -486,10 +853,16 @@ def serve_sweep(
     same resumable store, same return value (the newly produced
     records).  ``on_listen`` receives the bound (host, port) — with
     ``port=0`` that is the only way to learn the chosen port.
+    ``journal_path`` enables the fsync'd queue journal;
+    ``resume_journal`` additionally restores it at startup (see
+    :class:`QueueJournal`).
     """
+    journal = QueueJournal(journal_path) if journal_path else None
     coord = Coordinator(spec, store=store, host=host, port=port,
                         lease_s=lease_s, max_requeues=max_requeues,
-                        progress=progress)
+                        progress=progress, journal=journal,
+                        resume_journal=resume_journal,
+                        journal_interval_s=journal_interval_s)
     bound_host, bound_port = coord.start()
     if on_listen is not None:
         on_listen(bound_host, bound_port)
@@ -499,28 +872,85 @@ def serve_sweep(
         coord.stop()
 
 
+def fetch_status(host: str, port: int,
+                 timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S) -> dict:
+    """One read-only ``status`` round trip against a live coordinator.
+
+    The client behind ``repro farm status``: handshakes with
+    ``role="status"`` (so it never appears in the worker registry),
+    asks once, returns the snapshot dict.
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout_s)
+    except OSError as exc:
+        raise DistributedError(
+            f"cannot reach coordinator at {host}:{port}: {exc}")
+    with sock:
+        sock.settimeout(timeout_s)
+        rfile, wfile = sock.makefile("rb"), sock.makefile("wb")
+        try:
+            _send_msg(wfile, {"type": "hello", "protocol": PROTOCOL,
+                              "version": PROTOCOL_VERSION,
+                              "worker": f"status-{os.getpid()}",
+                              "role": "status"})
+            welcome = _recv_msg(rfile)
+            if welcome is None:
+                raise DistributedError(
+                    "coordinator closed during handshake")
+            if welcome.get("type") == "reject":
+                raise ProtocolMismatchError(
+                    welcome.get("reason", "handshake rejected"))
+            _send_msg(wfile, {"type": "status"})
+            reply = _recv_msg(rfile)
+        except socket.timeout:
+            raise DistributedError("coordinator stopped responding")
+        except OSError as exc:
+            raise DistributedError(f"status query failed: {exc}")
+    if reply is None or reply.get("type") != "status":
+        raise DistributedError(
+            f"unexpected status reply "
+            f"{(reply or {}).get('type')!r} (old coordinator?)")
+    return reply
+
+
 # -- worker -------------------------------------------------------------------
 
 
-def _run_leased_cell(cell: Cell, heartbeat: Callable[[], None],
-                     interval: float) -> dict:
+def _run_leased_cell(cell: Cell, heartbeat: Callable[[], bool],
+                     interval: float) -> Optional[dict]:
     """Run one cell through the supervised farm, heartbeating meanwhile.
 
     The farm (one slot) gives the exact local-sweep semantics — the cell
     executes in a child process with its ``timeout_s``/``retries``
     honored and errors captured as records — while this thread stays
     free to service the lease.
+
+    ``heartbeat`` returns False when the coordinator revoked the lease
+    (``gone``): the in-flight child process is terminated through the
+    farm's cancel seam and ``None`` comes back — the caller must *not*
+    submit anything, the cell now belongs to another worker.  A
+    heartbeat that *raises* (connection loss) gets the same reaping on
+    the way out: the farm child never outlives its lease.
     """
     out: list[dict] = []
+    cancel = threading.Event()
     runner = threading.Thread(
         target=_run_cells_with_timeout, args=([cell], 1, out.append),
+        kwargs={"cancel": cancel},
         daemon=True,
     )
     runner.start()
-    while runner.is_alive():
-        runner.join(interval)
-        if runner.is_alive():
-            heartbeat()
+    try:
+        while runner.is_alive():
+            runner.join(interval)
+            if runner.is_alive() and not heartbeat():
+                cancel.set()
+                runner.join()
+                return None
+    except BaseException:
+        cancel.set()
+        runner.join()
+        raise
     if not out:
         # The farm records every outcome; an empty result means the
         # farm thread itself died, which is a worker bug.
@@ -529,49 +959,112 @@ def _run_leased_cell(cell: Cell, heartbeat: Callable[[], None],
     return out[0]
 
 
+class _WorkerState:
+    """What survives a worker's reconnects: the completion count and a
+    record whose submission was cut off mid-send (re-submitted on the
+    next connection instead of recomputed)."""
+
+    def __init__(self):
+        self.completed = 0
+        self.pending_record: Optional[dict] = None
+        self.progressed = 0     # successful exchanges; resets backoff
+
+
 def run_worker(
     host: str,
     port: int,
     worker_id: Optional[str] = None,
     poll_s: float = 1.0,
     progress: Optional[Callable[[dict, int], None]] = None,
+    reconnect: int = DEFAULT_RECONNECT_ATTEMPTS,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+    backoff_max_s: float = DEFAULT_BACKOFF_MAX_S,
+    request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+    on_reconnect: Optional[Callable[[int, float, str], None]] = None,
+    connect: Optional[Callable[[], socket.socket]] = None,
 ) -> int:
     """Pull cells from a coordinator until it declares the sweep done.
 
-    Returns the number of cells this worker completed.  Raises
-    :class:`ProtocolMismatchError` when the coordinator rejects the
-    handshake and :class:`DistributedError` when the connection is lost
-    mid-sweep (the coordinator requeues whatever this worker held).
+    Returns the number of cells this worker completed (across every
+    connection — the same ``worker_id`` is resumed after a reconnect).
+    A lost or refused connection is retried with exponential backoff
+    and deterministic jitter, up to ``reconnect`` *consecutive* failed
+    attempts (any successful exchange resets the budget); only then
+    does :class:`DistributedError` surface.  A version-rejected
+    handshake (:class:`ProtocolMismatchError`) is never retried —
+    reconnecting cannot fix a protocol skew.
+
+    ``on_reconnect(attempt, delay_s, reason)`` observes each retry
+    (the CLI logs it); ``connect`` is a seam returning a connected
+    socket, substituted by tests with scripted flaky sockets.
     """
     worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
-    try:
-        sock = socket.create_connection((host, port))
-    except OSError as exc:
-        raise DistributedError(
-            f"cannot reach coordinator at {host}:{port}: {exc}")
-    with sock:
+    if connect is None:
+        def connect() -> socket.socket:
+            return socket.create_connection((host, port),
+                                            timeout=request_timeout_s)
+    # Deterministic jitter: seeded per worker id, so a fleet of workers
+    # bounced by one coordinator restart de-synchronizes its retries
+    # reproducibly rather than stampeding back in lockstep.
+    jitter = random.Random(f"{worker_id}/reconnect")
+    state = _WorkerState()
+    failures = 0
+    while True:
+        progressed_before = state.progressed
         try:
-            return _worker_loop(sock, poll_s, worker_id, progress)
-        except DistributedError:
+            sock = connect()
+            with sock:
+                return _worker_loop(sock, poll_s, worker_id, progress,
+                                    state, request_timeout_s)
+        except ProtocolMismatchError:
             raise
-        except OSError as exc:
-            # Abrupt transport failures (reset, broken pipe, timeout)
-            # surface as the same error the CLI reports for a clean
-            # close — never a raw traceback.
-            raise DistributedError(
-                f"connection to coordinator lost: {exc}")
+        except (DistributedError, OSError) as exc:
+            if state.progressed > progressed_before:
+                failures = 0    # the link worked; this is a new outage
+            failures += 1
+            if failures > reconnect:
+                raise DistributedError(
+                    f"connection to coordinator lost and {reconnect} "
+                    f"reconnect attempt(s) failed: {exc}")
+            delay = min(backoff_max_s, backoff_s * 2 ** (failures - 1))
+            delay *= 0.5 + jitter.random()      # [0.5x, 1.5x) jitter
+            if on_reconnect is not None:
+                on_reconnect(failures, delay, str(exc))
+            time.sleep(delay)
 
 
-def _worker_loop(sock, poll_s: float, worker_id: str,
-                 progress) -> int:
+def _worker_loop(sock, poll_s: float, worker_id: str, progress,
+                 state: _WorkerState,
+                 request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S) -> int:
     """The protocol side of :func:`run_worker`, on an open socket."""
-    completed = 0
     rfile = sock.makefile("rb")
     wfile = sock.makefile("wb")
+    # Per-request deadlines, not one blanket timeout: every exchange is
+    # an immediate request/response, so each send/recv pair gets its own
+    # short deadline — a coordinator that stops answering is detected in
+    # seconds regardless of how long the lease (and therefore the old
+    # blanket 2x-lease timeout) is.
+    sock.settimeout(request_timeout_s)
+
+    def _request(msg: dict) -> dict:
+        sock.settimeout(request_timeout_s)
+        try:
+            _send_msg(wfile, msg)
+            reply = _recv_msg(rfile)
+        except socket.timeout:
+            raise DistributedError("coordinator stopped responding")
+        if reply is None:
+            raise DistributedError("connection to coordinator lost")
+        state.progressed += 1
+        return reply
+
     _send_msg(wfile, {"type": "hello", "protocol": PROTOCOL,
                       "version": PROTOCOL_VERSION,
                       "worker": worker_id})
-    welcome = _recv_msg(rfile)
+    try:
+        welcome = _recv_msg(rfile)
+    except socket.timeout:
+        raise DistributedError("coordinator stopped responding")
     if welcome is None:
         raise DistributedError("coordinator closed during handshake")
     if welcome.get("type") == "reject":
@@ -580,25 +1073,29 @@ def _worker_loop(sock, poll_s: float, worker_id: str,
     if welcome.get("type") != "welcome":
         raise DistributedError(
             f"unexpected handshake reply {welcome.get('type')!r}")
+    state.progressed += 1
     lease_s = float(welcome.get("lease_s", DEFAULT_LEASE_S))
-    sock.settimeout(max(10.0, 2 * lease_s))
     heartbeat_interval = max(0.05, lease_s / 3)
 
-    def _request(msg: dict) -> dict:
-        _send_msg(wfile, msg)
-        try:
-            reply = _recv_msg(rfile)
-        except socket.timeout:
-            raise DistributedError("coordinator stopped responding")
-        if reply is None:
-            raise DistributedError("connection to coordinator lost")
-        return reply
+    def _submit(record: dict) -> None:
+        # Stash before sending: if the connection dies mid-send the
+        # reconnected loop re-submits instead of recomputing (the queue
+        # dedups if the coordinator did receive it).
+        state.pending_record = record
+        _request({"type": "result", "record": record})
+        state.pending_record = None
+        state.completed += 1
+        if progress is not None:
+            progress(record, state.completed)
+
+    if state.pending_record is not None:
+        _submit(state.pending_record)
 
     while True:
         reply = _request({"type": "lease"})
         kind = reply.get("type")
         if kind == "shutdown":
-            return completed
+            return state.completed
         if kind == "idle":
             time.sleep(float(reply.get("retry_s", poll_s)))
             continue
@@ -606,13 +1103,15 @@ def _worker_loop(sock, poll_s: float, worker_id: str,
             raise DistributedError(
                 f"unexpected lease reply {kind!r}")
         cell = Cell.from_dict(reply["cell"])
-        record = _run_leased_cell(
-            cell,
-            heartbeat=lambda: _request(
-                {"type": "heartbeat", "key": cell.key()}),
-            interval=heartbeat_interval,
-        )
-        _request({"type": "result", "record": record})
-        completed += 1
-        if progress is not None:
-            progress(record, completed)
+
+        def _heartbeat() -> bool:
+            reply = _request({"type": "heartbeat", "key": cell.key()})
+            return reply.get("type") == "ok"
+
+        record = _run_leased_cell(cell, heartbeat=_heartbeat,
+                                  interval=heartbeat_interval)
+        if record is None:
+            # Lease revoked mid-run: the child was killed, the record
+            # dropped; whoever re-leased the cell owns it now.
+            continue
+        _submit(record)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import threading
 import time
 from collections import deque
 from typing import Callable, Optional
@@ -248,17 +249,30 @@ def _run_cells_with_timeout(
     workers: int,
     record: Callable[[dict], None],
     poll_interval: float = 0.02,
+    cancel: Optional[threading.Event] = None,
 ) -> None:
     """Process farm with per-cell deadlines.
 
     Keeps at most ``workers`` single-cell processes alive; a process past
     its cell's deadline is terminated (the farm keeps running) and the
     cell is re-queued while it has retries left.
+
+    ``cancel`` is the cooperative kill seam: setting it terminates every
+    in-flight child process, drops the still-pending cells, and returns
+    without recording anything for them.  A distributed worker whose
+    lease was revoked (heartbeat answered ``gone``) uses this to stop
+    burning CPU on a cell whose record would be discarded anyway.
     """
     workers = max(1, workers)
     pending: deque[tuple[Cell, int]] = deque((c, 0) for c in cells)
     running: list[list] = []   # [proc, conn, cell, attempt, deadline, t0]
     while pending or running:
+        if cancel is not None and cancel.is_set():
+            for proc, conn, *_ in running:
+                proc.terminate()
+                proc.join()
+                conn.close()
+            return
         while pending and len(running) < workers:
             cell, attempt = pending.popleft()
             proc, recv_conn = _spawn_cell_process(cell)

@@ -21,6 +21,7 @@ no latency model, so sync cells are emitted once regardless of
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Iterator, Optional
 
@@ -272,6 +273,24 @@ class SweepSpec:
         return (len(self.families) * len(self.sizes) * len(self.methods)
                 * len(self.seeds) * len(self.faults)
                 * len(self._engine_latency_pairs()))
+
+    def fingerprint(self) -> str:
+        """Stable identity of this spec's cell plan.
+
+        The digest of every cell key in expansion order.  The
+        coordinator stamps it on its queue journal so that
+        ``--resume-journal`` refuses a journal written for a *different*
+        sweep — replaying another matrix's requeue counts and done keys
+        would silently corrupt this one's lease accounting.  Fields that
+        don't participate in keys (``timeout_s``, ``retries``) don't
+        participate here either: re-serving the same matrix with more
+        patience is the same sweep.
+        """
+        digest = hashlib.sha256()
+        for cell in self.cells():
+            digest.update(cell.key().encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()[:16]
 
     def with_full_stats(self) -> "SweepSpec":
         return replace(self, collect_utilization=True)

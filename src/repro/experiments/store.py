@@ -10,7 +10,36 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import Iterator, Optional
+
+
+def write_json_atomic(path: str, payload: dict) -> None:
+    """Write ``payload`` as JSON to ``path`` atomically and durably.
+
+    Write-to-temp + fsync + rename, so a reader (or a crash-restarted
+    process) sees either the previous complete file or the new complete
+    file, never a torn write.  This is the durability primitive behind
+    the coordinator's queue journal
+    (:class:`repro.experiments.distributed.QueueJournal`).
+    """
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=os.path.basename(path) + ".",
+                               suffix=".tmp", dir=parent)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 class ResultStore:
@@ -30,6 +59,18 @@ class ResultStore:
             self._fh = open(self.path, "a", encoding="utf-8")
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
+
+    def sync(self) -> None:
+        """Flush *and* fsync the store file.
+
+        ``append`` already flushes to the OS per record; ``sync`` pushes
+        through to the disk — the durability point a draining
+        coordinator takes before exiting, so a restart (power loss
+        included) resumes from exactly the records it acknowledged.
+        """
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         if self._fh is not None:

@@ -92,3 +92,31 @@ def test_broadcast_bits_match_phase_budget(gnp_small):
     net = SyncNetwork(gnp_small, seed=22)
     result = run_algorithm2(net, epsilon=0.5, seed=23)
     assert result.broadcast_bits % result.phases == 0
+
+
+def test_phase_exhaustion_falls_back_to_proper_coloring():
+    """Regression: a node that fails every hashed phase (found by
+    hypothesis: n=19, p=0.598, eps=0.281, seed=41081 leaves vertex 0
+    uncolored) must not publish ``color=None`` — the deterministic
+    fallback colors it properly within the palette.  Pinned here so the
+    case is covered without the hypothesis example database."""
+    g = connected_gnp_graph(19, 0.59765625, seed=41081)
+    net = SyncNetwork(g, seed=41081)
+    result = run_algorithm2(net, epsilon=0.28125, seed=41082)
+    assert all(c is not None for c in result.colors)
+    check_proper_coloring(g, result.colors)
+    check_color_bound(result.colors, result.palette_size)
+
+
+def test_tight_epsilon_always_terminates_properly():
+    """Small eps shrinks the palette toward Delta+1, making per-phase
+    success rare and stragglers common — every run must still end in a
+    proper in-palette coloring (the fallback makes Algorithm 2 Las
+    Vegas, not just whp)."""
+    for seed in range(8):
+        g = connected_gnp_graph(24, 0.5, seed=900 + seed)
+        net = SyncNetwork(g, seed=900 + seed)
+        result = run_algorithm2(net, epsilon=0.2, seed=901 + seed)
+        assert all(c is not None for c in result.colors)
+        check_proper_coloring(g, result.colors)
+        check_color_bound(result.colors, result.palette_size)

@@ -298,7 +298,10 @@ def test_cli_sweep_dry_run(tmp_path, capsys):
 
 
 def test_cli_worker_unreachable_coordinator(capsys):
-    rc = cli.main(["worker", "--connect", "127.0.0.1:1"])
+    # --reconnect 0: fail immediately instead of the default backoff
+    # retries (the reconnect path has its own tests in test_chaos.py).
+    rc = cli.main(["worker", "--connect", "127.0.0.1:1",
+                   "--reconnect", "0"])
     assert rc == 1
     assert "worker:" in capsys.readouterr().err
 
