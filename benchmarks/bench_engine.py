@@ -70,7 +70,56 @@ ASYNC_SPEC = SweepSpec(
 SPECS = (REFERENCE_SPEC, DENSE_SPEC, ASYNC_SPEC)
 
 
+def _dense_pass(scheduler: str | None) -> list[dict]:
+    """One serial dense-column pass in a fresh worker process.
+
+    ``workers=1`` gives a brand-new pool process per pass: serial cell
+    execution (no sibling contention inflating numpy's memory-bandwidth
+    appetite) and no allocator warm-up bias from a previous pass in the
+    same interpreter — the two disciplines get identical conditions.
+    """
+    if scheduler:
+        os.environ["REPRO_SCHEDULER"] = scheduler
+    try:
+        return run_sweep(DENSE_SPEC, store=None, workers=1)
+    finally:
+        os.environ.pop("REPRO_SCHEDULER", None)
+
+
+def columnar_column() -> dict:
+    """Measure the dense column under both synchronous schedulers.
+
+    The dense gnp sweep is where per-send engine costs dominate, so it
+    is the honest place to measure the columnar engine: same cells, same
+    keys (``REPRO_SCHEDULER`` overrides delivery without touching the
+    cell key), counts asserted identical between the two passes, wall
+    clock recorded as its own column next to the scalar one.  ``run``
+    calls this *before* the 4-way main sweep so both passes see the
+    same quiet machine.
+    """
+    base = {r["key"]: r for r in _dense_pass(None)}
+    col = {r["key"]: r for r in _dense_pass("columnar")}
+    mismatches = sorted(
+        key for key in col
+        if (col[key]["messages"], col[key]["rounds"])
+        != (base[key]["messages"], base[key]["rounds"])
+    )
+    rounds_wall = sum(r["wall_s"] for r in base.values())
+    columnar_wall = sum(r["wall_s"] for r in col.values())
+    return {
+        "spec": "gnp p=0.45 dense column (serial passes)",
+        "cells": {key: col[key]["wall_s"] for key in sorted(col)},
+        "rounds_cell_wall_s": round(rounds_wall, 3),
+        "columnar_cell_wall_s": round(columnar_wall, 3),
+        "speedup": (round(rounds_wall / columnar_wall, 3)
+                    if columnar_wall else None),
+        "count_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
 def run(workers: int = 4, out: str | None = None) -> dict:
+    columnar_dense = columnar_column()
     t0 = time.perf_counter()
     records: list[dict] = []
     for spec in SPECS:
@@ -78,9 +127,13 @@ def run(workers: int = 4, out: str | None = None) -> dict:
     wall = time.perf_counter() - t0
     summary = summarize(records)
     payload = bench_payload(records, summary, wall_s=wall)
+    payload["columnar_dense"] = columnar_dense
     print(render_report(summary))
     print(f"\n{len(records)} cells in {wall:.1f}s "
           f"({workers} workers)")
+    cd = payload["columnar_dense"]
+    print(f"columnar dense column: x{cd['speedup']} vs scalar rounds "
+          f"(counts identical: {cd['count_identical']})")
     path = out or os.path.join(REPO_ROOT, "BENCH_engine.json")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -104,6 +157,10 @@ def test_engine_sweep_benchmark(benchmark):
                             ("gnp", 0.45)):
         assert exps[(family, density, "kt1-delta-plus-one")] < \
             exps[(family, density, "baseline-trial")]
+    # The columnar engine must be a pure delivery change: every dense
+    # cell's messages/rounds identical to the scalar run.
+    assert payload["columnar_dense"]["count_identical"], \
+        payload["columnar_dense"]["mismatches"]
 
 
 if __name__ == "__main__":

@@ -52,8 +52,9 @@ SPEC_ARGS = ["--families", "gnp", "--sizes", "90", "120",
 SPEC = SweepSpec(families=("gnp",), sizes=(90, 120), seeds=(0, 1, 2, 3),
                  methods=("kt1-eps-delta",))
 #: Record fields that legitimately differ between a farm run and a
-#: serial one: how long it took and how many supervised attempts.
-VOLATILE = ("wall_s", "attempts")
+#: serial one: how long it took (total and per stage) and how many
+#: supervised attempts.
+VOLATILE = ("wall_s", "stage_wall", "attempts")
 
 
 def _env():

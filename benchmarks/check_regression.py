@@ -89,8 +89,17 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--baseline", default=BASELINE_PATH)
+    parser.add_argument(
+        "--scheduler", default=None, choices=("rounds", "columnar"),
+        help="run the fresh sweep under this synchronous scheduler "
+             "(via REPRO_SCHEDULER, inherited by pool workers); counts "
+             "must still match the committed baseline bit-for-bit — "
+             "that identity is the columnar parity contract",
+    )
     args = parser.parse_args(argv)
 
+    if args.scheduler:
+        os.environ["REPRO_SCHEDULER"] = args.scheduler
     baseline = load_baseline(args.baseline)
     fresh = fresh_payload(workers=args.workers)
     result = compare(baseline, fresh)

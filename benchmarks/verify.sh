@@ -58,4 +58,33 @@ rm -rf "$CHAOS_DIR"
 echo "== fixed-seed count regression vs BENCH_engine.json =="
 python benchmarks/check_regression.py --workers "${WORKERS:-4}"
 
+echo "== columnar engine: same counts, numpy scheduler =="
+# The whole reference matrix again under the columnar scheduler: every
+# cell's messages/rounds must still match the committed baseline
+# bit-for-bit (the columnar parity contract, docs/columnar.md).
+python benchmarks/check_regression.py --workers "${WORKERS:-4}" \
+    --scheduler columnar
+
+echo "== columnar engine: numpy-free fallback smoke =="
+# A shadow 'numpy' that refuses to import: the columnar scheduler must
+# warn once, fall back to the scalar path, and finish with a valid run.
+NONUMPY_DIR="$(mktemp -d "${TMPDIR:-/tmp}/repro-nonumpy-XXXXXX")"
+cat > "$NONUMPY_DIR/numpy.py" << 'EOF'
+raise ImportError("numpy disabled for the columnar fallback smoke")
+EOF
+PYTHONPATH="$NONUMPY_DIR:$PYTHONPATH" python - << 'EOF'
+import sys
+from repro import api
+from repro.graphs.generators import family_graph
+
+res = api.find_mis(family_graph("gnp", 40, p=0.3, seed=0),
+                   method="luby", seed=0, scheduler="columnar")
+assert res.valid, "numpy-free columnar run produced an invalid MIS"
+import repro.congest.columnar as columnar
+assert columnar.get_numpy() is None, "shadow numpy was importable"
+print(f"no-numpy smoke: valid MIS of {res.size}, "
+      f"{res.report.messages} msgs via scalar fallback")
+EOF
+rm -rf "$NONUMPY_DIR"
+
 echo "verify.sh: OK"

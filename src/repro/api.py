@@ -32,11 +32,14 @@ baseline for the *cost-of-asynchrony* metrics
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.congest.async_network import AsyncNetwork
 from repro.congest.network import SyncNetwork
+from repro.congest.runtime import make_scheduler
 from repro.errors import SynchronizerBudgetError
 from repro.coloring.algorithm1 import run_algorithm1
 from repro.coloring.algorithm2 import run_algorithm2
@@ -74,6 +77,12 @@ class RunReport:
     rounds: int
     utilized_edges: int
     stage_messages: dict = field(default_factory=dict)
+    #: wall-clock seconds per stage name (aggregated like
+    #: ``stage_messages``) — where the engine actually spent its time;
+    #: diagnostic only, never part of count identity.
+    stage_wall: dict = field(default_factory=dict)
+    #: wall-clock seconds of the primary engine's driver run.
+    wall: Optional[float] = None
     engine: str = "sync"
     latency: Optional[str] = None
     sync_messages: Optional[int] = None
@@ -136,8 +145,10 @@ def _report(method: str, net, engine: str = "sync",
     # retry loop), and assignment would silently drop the earlier stages
     # from the breakdown, breaking sum(stage_messages) == messages.
     per_stage: dict = {}
+    per_stage_wall: dict = {}
     for s in net.stats.stages:
         per_stage[s.name] = per_stage.get(s.name, 0) + s.messages
+        per_stage_wall[s.name] = per_stage_wall.get(s.name, 0.0) + s.wall
     report = RunReport(
         method=method,
         n=net.graph.n,
@@ -146,6 +157,7 @@ def _report(method: str, net, engine: str = "sync",
         rounds=net.stats.rounds,
         utilized_edges=net.stats.utilized_count,
         stage_messages=per_stage,
+        stage_wall=per_stage_wall,
         engine=engine,
         latency=latency,
         synchronized_stages=len(getattr(net, "synchronized_stages", ())),
@@ -164,7 +176,7 @@ def _report(method: str, net, engine: str = "sync",
 
 
 def _run_engines(build, drive, asynchronous: bool, latency: str,
-                 faults=None):
+                 faults=None, scheduler=None):
     """Run a cell on the requested engine.
 
     ``build(engine_cls, **engine_kwargs)`` constructs the network;
@@ -188,7 +200,14 @@ def _run_engines(build, drive, asynchronous: bool, latency: str,
     engine only; the shadow run stays fault-free so the synchronizer
     budgets and the overhead baseline describe the undamaged execution.
 
-    Returns ``(net, outputs, shadow_net_or_None)``.
+    ``scheduler`` (``"rounds"`` / ``"columnar"`` / None) selects the
+    synchronous delivery discipline; it applies to every synchronous
+    network built here — the primary sync engine *and* the async
+    shadow (whose counts are scheduler-invariant by the columnar parity
+    contract).  The event-driven engine keeps its own scheduler.
+
+    Returns ``(net, outputs, shadow_net_or_None, wall_seconds)`` where
+    ``wall_seconds`` times the successful primary drive.
     """
     def run(net):
         # Multi-stage drivers read stage outputs between stages (the
@@ -211,9 +230,12 @@ def _run_engines(build, drive, asynchronous: bool, latency: str,
             ) from exc
 
     if not asynchronous:
-        net = build(SyncNetwork, faults=faults)
-        return net, run(net), None
-    shadow = build(SyncNetwork)
+        net = build(SyncNetwork, faults=faults,
+                    scheduler=make_scheduler(scheduler))
+        t0 = time.perf_counter()
+        outputs = run(net)
+        return net, outputs, None, time.perf_counter() - t0
+    shadow = build(SyncNetwork, scheduler=make_scheduler(scheduler))
     drive(shadow)
     budgets = [(s.name, s.rounds) for s in shadow.stats.stages]
     last_error: Optional[SynchronizerBudgetError] = None
@@ -224,7 +246,9 @@ def _run_engines(build, drive, asynchronous: bool, latency: str,
                            for name, rounds in budgets],
         )
         try:
-            return net, run(net), shadow
+            t0 = time.perf_counter()
+            outputs = run(net)
+            return net, outputs, shadow, time.perf_counter() - t0
         except SynchronizerBudgetError as exc:
             last_error = exc
     raise last_error
@@ -239,6 +263,7 @@ def color_graph(
     latency: str = "uniform",
     collect_utilization: bool = True,
     faults=None,
+    scheduler: Optional[str] = None,
     **kwargs,
 ) -> ColoringResult:
     """Color a connected graph with one of the paper's algorithms.
@@ -259,9 +284,18 @@ def color_graph(
     the bit-identical fault-free path.  Under faults ``result.valid``
     is the *survivor-validity* verdict: correctness judged only on the
     nodes the fault model left undamaged (``docs/faults.md``).
+
+    ``scheduler`` selects the synchronous delivery discipline:
+    ``"rounds"`` (the scalar reference), ``"columnar"`` (numpy-
+    vectorized rounds, bit-identical counts, see ``docs/columnar.md``),
+    or None to consult the ``REPRO_SCHEDULER`` environment variable
+    (which is how sweep workers inherit the choice) and fall back to
+    the default.
     """
     if faults == "none":
         faults = None
+    if scheduler is None:
+        scheduler = os.environ.get("REPRO_SCHEDULER") or None
     if method == "kt1-delta-plus-one":
         def build(engine, **engine_kwargs):
             return engine(graph, rho=1, seed=seed,
@@ -298,8 +332,9 @@ def color_graph(
     else:
         raise ReproError(f"unknown coloring method {method!r}")
 
-    net, (colors, bound, detail), shadow = _run_engines(
-        build, drive, asynchronous, latency, faults=faults
+    net, (colors, bound, detail), shadow, wall = _run_engines(
+        build, drive, asynchronous, latency, faults=faults,
+        scheduler=scheduler,
     )
     if net.faults is not None:
         valid = not survivor_coloring_violations(
@@ -316,6 +351,7 @@ def color_graph(
         latency=latency if asynchronous else None,
         baseline=shadow,
     )
+    report.wall = wall
     if net.faults is not None:
         report.survivor_valid = valid
     return ColoringResult(
@@ -337,6 +373,7 @@ def find_mis(
     latency: str = "uniform",
     collect_utilization: bool = True,
     faults=None,
+    scheduler: Optional[str] = None,
     **kwargs,
 ) -> MISResult:
     """Compute an MIS of a connected graph.
@@ -349,9 +386,14 @@ def find_mis(
     in :func:`color_graph`; ``result.valid`` then reports
     survivor-validity (independence strict among survivors, maximality
     owed only where the whole closed neighborhood survived).
+    ``scheduler`` selects the synchronous delivery discipline exactly
+    as in :func:`color_graph` (``REPRO_SCHEDULER`` supplies the
+    default).
     """
     if faults == "none":
         faults = None
+    if scheduler is None:
+        scheduler = os.environ.get("REPRO_SCHEDULER") or None
     if method == "kt2-sampled-greedy":
         rho = 2
     elif method in ("luby", "rank-greedy"):
@@ -375,8 +417,9 @@ def find_mis(
         in_mis, detail = run_rank_greedy_mis(net)
         return in_mis, detail
 
-    net, (in_mis, detail), shadow = _run_engines(
-        build, drive, asynchronous, latency, faults=faults
+    net, (in_mis, detail), shadow, wall = _run_engines(
+        build, drive, asynchronous, latency, faults=faults,
+        scheduler=scheduler,
     )
     if net.faults is not None:
         bad = survivor_mis_violations(graph, in_mis, net.faults.casualties)
@@ -389,6 +432,7 @@ def find_mis(
         latency=latency if asynchronous else None,
         baseline=shadow,
     )
+    report.wall = wall
     if net.faults is not None:
         report.survivor_valid = valid
     return MISResult(

@@ -34,7 +34,7 @@ import threading
 import time
 
 from repro import api
-from repro.congest.runtime import LATENCY_MODELS
+from repro.congest.runtime import LATENCY_MODELS, SCHEDULERS
 from repro.errors import ReproError
 from repro.graphs.core import Graph
 from repro.graphs.generators import family_graph
@@ -115,6 +115,7 @@ def cmd_color(args) -> int:
             graph, method=args.method, seed=args.seed,
             epsilon=args.epsilon, asynchronous=args.asynchronous,
             latency=args.latency, faults=args.faults,
+            scheduler=args.scheduler,
         )
     except ReproError as exc:
         raise SystemExit(str(exc))
@@ -139,7 +140,8 @@ def cmd_mis(args) -> int:
     try:
         result = api.find_mis(graph, method=args.method, seed=args.seed,
                               asynchronous=args.asynchronous,
-                              latency=args.latency, faults=args.faults)
+                              latency=args.latency, faults=args.faults,
+                              scheduler=args.scheduler)
     except ReproError as exc:
         raise SystemExit(str(exc))
     _emit(args, {
@@ -548,6 +550,15 @@ def cmd_profile(args) -> int:
     profiler.disable()
     stats = pstats.Stats(profiler)
     stats.sort_stats("cumulative").print_stats(args.top)
+    stage_wall = record.get("stage_wall") or {}
+    if stage_wall:
+        print("per-stage wall (engine time inside run_stage):")
+        total = sum(stage_wall.values())
+        for name, wall in sorted(stage_wall.items(),
+                                 key=lambda kv: -kv[1])[:args.top]:
+            print(f"  {name:32s} {wall * 1000:9.2f} ms")
+        print(f"  {'(stage total)':32s} {total * 1000:9.2f} ms "
+              f"of {record['wall_s'] * 1000:.2f} ms cell wall")
     print(f"cell {record['key']}: {record['messages']} msgs, "
           f"{record['rounds']} rounds, {record['wall_s']:.3f}s, "
           f"valid={record['valid']}")
@@ -591,6 +602,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", default=None, metavar="SPEC",
                    help="fault model: drop:P, crash:P[:T[:R]], "
                         "adversary[:B[:W]] (default: none)")
+    p.add_argument("--scheduler", default=None, choices=SCHEDULERS,
+                   help="synchronous delivery engine: rounds (scalar "
+                        "per-node loop) or columnar (numpy whole-round "
+                        "batches; identical counts, see docs/columnar.md)")
     p.set_defaults(fn=cmd_color)
 
     p = subs.add_parser("mis", help="run an MIS algorithm")
@@ -603,6 +618,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", default=None, metavar="SPEC",
                    help="fault model: drop:P, crash:P[:T[:R]], "
                         "adversary[:B[:W]] (default: none)")
+    p.add_argument("--scheduler", default=None, choices=SCHEDULERS,
+                   help="synchronous delivery engine: rounds (scalar "
+                        "per-node loop) or columnar (numpy whole-round "
+                        "batches; identical counts, see docs/columnar.md)")
     p.set_defaults(fn=cmd_mis)
 
     p = subs.add_parser(
@@ -622,11 +641,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "baseline-trial, baseline-rank-greedy; "
                         "MIS: kt2-sampled-greedy, luby, rank-greedy")
     p.add_argument("--engines", "--engine", nargs="+", dest="engines",
-                   default=["sync"], choices=("sync", "async"),
+                   default=["sync"], choices=("sync", "columnar", "async"),
                    metavar="ENGINE",
-                   help="engine axis: sync, async, or both (every method "
-                        "runs async — round-cadence ones via the "
-                        "alpha-synchronizer)")
+                   help="engine axis: sync (scalar rounds), columnar "
+                        "(numpy whole-round scheduler; counts identical "
+                        "to sync, wall clock differs — docs/columnar.md), "
+                        "async (event-driven; every method runs async, "
+                        "round-cadence ones via the alpha-synchronizer)")
     p.add_argument("--latencies", nargs="+", default=["uniform"],
                    choices=LATENCY_MODELS, metavar="MODEL",
                    help="latency-model axis for async cells "
@@ -779,7 +800,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="kt1-delta-plus-one",
                    metavar="METHOD",
                    help="any sweep method (coloring or MIS)")
-    p.add_argument("--engine", default="sync", choices=("sync", "async"))
+    p.add_argument("--engine", default="sync",
+                   choices=("sync", "columnar", "async"))
     p.add_argument("--latency", default="uniform", choices=LATENCY_MODELS)
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--top", type=int, default=20,

@@ -138,9 +138,27 @@ def build_knowledge(
             s = nbhd_set[u] = frozenset(id_of[w] for w in graph.neighbors(u))
         return s
 
+    # Integer adjacency sets shared across all observers — the rho <= 2
+    # fast paths below compose them instead of running one BFS per node
+    # (the BFS costs O(m) per node in dict/deque churn; KT-2 knowledge
+    # for the whole network is just unions of these shared sets).
+    adj: list[set[int]] = [set(graph.neighbors(v)) for v in range(n)]
+
     knowledge: list[KTKnowledge] = []
     for v in range(n):
-        layers = _bfs_within(graph, v, rho)
+        if rho == 1:
+            layers = [[v], list(adj[v])]
+        elif rho == 2:
+            # Distance 2 = union of the neighbors' neighborhoods minus
+            # the closed 1-ball; identical contents to the BFS layers
+            # (layer order is irrelevant — they become frozensets).
+            ball = adj[v] | {v}
+            two = set()
+            for u in adj[v]:
+                two |= adj[u]
+            layers = [[v], list(adj[v]), list(two - ball)]
+        else:
+            layers = _bfs_within(graph, v, rho)
         # Distance-1 is exactly v's neighborhood; share the cached set.
         ids_by_distance = tuple(
             neighborhood_set(v) if d == 1

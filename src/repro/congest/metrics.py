@@ -50,6 +50,10 @@ class StageStats:
     messages: int = 0
     words: int = 0
     rounds: int = 0
+    #: wall-clock seconds the engine spent driving this stage (measured
+    #: by the network around the scheduler's run_stage call).  Excluded
+    #: from count identity: timing is diagnostic, never a count.
+    wall: float = 0.0
 
     def as_dict(self) -> dict:
         return {

@@ -37,6 +37,7 @@ event-driven scheduler with seeded latency models instead.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
@@ -201,7 +202,9 @@ class SyncNetwork:
         algorithms = [algorithm_factory() for _ in range(n)]
         contexts = []
         for v in range(n):
-            rng = random.Random(f"{self.seed}-{stage_name}-node-{v}")
+            # Seed string only — Context materializes the Random lazily
+            # on first ctx.rng access (same stream either way).
+            rng = f"{self.seed}-{stage_name}-node-{v}"
             node_input = inputs[v] if inputs is not None else None
             contexts.append(Context(self, v, self.knowledge[v], rng, node_input))
         self._contexts = contexts
@@ -210,9 +213,11 @@ class SyncNetwork:
             algorithms[v].setup(contexts[v])
 
         self._outbox.clear()
+        t0 = time.perf_counter()
         rounds, converged = self.scheduler.run_stage(
             stage_name, algorithms, contexts, max_rounds
         )
+        stage.wall += time.perf_counter() - t0
 
         self.stats.charge_rounds(rounds)
         if self.faults is not None:

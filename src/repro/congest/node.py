@@ -25,6 +25,7 @@ changing semantics (such protocols never act on silence).
 
 from __future__ import annotations
 
+import random
 from typing import Any, Optional
 
 from repro.congest.ids import NodeId
@@ -37,7 +38,7 @@ class Context:
     """A node's interface to the network (created by the engine)."""
 
     __slots__ = (
-        "knowledge", "n", "input", "rng", "round",
+        "knowledge", "n", "input", "_rng", "round",
         "_network", "_vertex", "_finished", "_output", "_send_allowed",
     )
 
@@ -46,7 +47,11 @@ class Context:
         self.knowledge = knowledge
         self.n = knowledge.n
         self.input = node_input
-        self.rng = rng
+        # ``rng`` may be a ready random.Random or a seed string; a string
+        # is materialized lazily on first ``ctx.rng`` access.  Seeding a
+        # Random hashes the seed string (SHA-512), and most stages never
+        # draw randomness — per stage x per node that cost is measurable.
+        self._rng = rng
         self.round = 0
         self._network = network
         self._vertex = vertex
@@ -55,6 +60,14 @@ class Context:
         self._send_allowed = False
 
     # -- identity ------------------------------------------------------------
+
+    @property
+    def rng(self):
+        """Private per-node randomness (materialized on first use)."""
+        r = self._rng
+        if type(r) is str:
+            r = self._rng = random.Random(r)
+        return r
 
     @property
     def my_id(self) -> NodeId:
@@ -143,6 +156,29 @@ class NodeAlgorithm:
     def on_round(self, ctx: Context, inbox: list[Msg]) -> None:
         """Handle one synchronous round.  Override in subclasses."""
         raise NotImplementedError
+
+
+class ColumnarStage:
+    """Opt-in marker: this algorithm can run under the columnar engine.
+
+    A stage class that mixes in ColumnarStage promises a
+    :meth:`build_columnar_kernel` classmethod that inspects the
+    *post-setup* per-node instances and either returns a kernel driving
+    the whole stage as array operations, or None when this particular
+    instance of the stage is irregular (asymmetric active sets,
+    unsupported payload values, ...), in which case the scheduler runs
+    the ordinary node-by-node path.  The kernel contract — ``begin()`` /
+    ``deliver(arrivals)`` returning
+    :class:`~repro.congest.columnar.SendBatch` lists, outputs published
+    through the regular ``ctx.done`` — is specified in
+    ``docs/columnar.md``; counts must be bit-identical to the scalar
+    execution (gated by the parity suite and check_regression.py).
+    """
+
+    @classmethod
+    def build_columnar_kernel(cls, net, algorithms, contexts):
+        """Return a columnar kernel for this stage, or None to decline."""
+        return None
 
 
 class FunctionAlgorithm(NodeAlgorithm):

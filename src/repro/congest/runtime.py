@@ -734,6 +734,222 @@ class RoundScheduler(Scheduler):
         return round_index, converged
 
 
+class ColumnarRoundScheduler(RoundScheduler):
+    """Synchronous rounds executed as numpy array operations.
+
+    Drop-in replacement for :class:`RoundScheduler` that, for stages
+    whose algorithm opts in via
+    :class:`~repro.congest.node.ColumnarStage`, runs the whole round as
+    a handful of array ops: the kernel emits
+    :class:`~repro.congest.columnar.SendBatch` fan-outs, the scheduler
+    charges and link-schedules each batch over the flat
+    ``sender*n + receiver`` occupancy array in one vectorized pass, and
+    deliveries scatter back into the kernel's per-phase banks via the
+    reverse-edge involution.  Counts are bit-identical to the scalar
+    path (same per-round envelope multiset, same link arithmetic, same
+    per-node RNG draws); the parity suite and check_regression.py gate
+    it.  Everything irregular — fault models, tracing, eager charging,
+    non-columnar stages, asymmetric active sets, missing numpy — falls
+    back to the inherited scalar ``run_stage``.  See
+    ``docs/columnar.md``.
+    """
+
+    def run_stage(self, stage_name, algorithms, contexts, max_rounds):
+        kernel = self._columnar_kernel(algorithms, contexts)
+        if kernel is None:
+            return super().run_stage(
+                stage_name, algorithms, contexts, max_rounds
+            )
+        return self._run_columnar(
+            kernel, stage_name, algorithms, contexts, max_rounds
+        )
+
+    def _columnar_kernel(self, algorithms, contexts):
+        """Build the stage kernel, or None for the scalar fallback.
+
+        Builder exceptions propagate: a kernel that *declines* returns
+        None, a kernel that *breaks* is a bug we want loud.
+        """
+        from repro.congest.columnar import get_numpy
+        from repro.congest.node import ColumnarStage
+
+        net = self.net
+        if (net.faults is not None or net.trace is not None
+                or net.eager_charges):
+            return None
+        n = net._n
+        if n == 0 or n * n > self._LINK_ARRAY_MAX:
+            return None
+        if not algorithms:
+            return None
+        first = algorithms[0]
+        cls = type(first)
+        if not isinstance(first, ColumnarStage):
+            return None
+        if not cls.passive_when_idle:
+            return None
+        if any(type(a) is not cls for a in algorithms):
+            return None
+        if get_numpy(warn=True) is None:
+            return None
+        return cls.build_columnar_kernel(net, algorithms, contexts)
+
+    def _run_columnar(self, kernel, stage_name, algorithms, contexts,
+                      max_rounds):
+        """The columnar stage loop — a vectorized mirror of the scalar
+        ``run_stage``: same work-round budget, same quiescence and
+        deadlock conditions, same fast-forward to the next delivery."""
+        from repro.congest.columnar import sender_counts_view
+
+        net = self.net
+        n = net._n
+        np_ = kernel.np
+        graph = kernel.graph
+        esrc = graph.esrc
+        edst = graph.edst
+        stats = net.stats
+        collect = net.collect_utilization
+        wpm = net.words_per_message
+        link_free = np_.zeros(n * n, dtype=np_.int64)
+        #: deliver_round -> list of (SendBatch, index-subset or None).
+        pending: dict[int, list] = {}
+        if collect:
+            by_tag = stats.by_tag
+            utilized = stats._utilized
+            senders_view = sender_counts_view(np_, stats)
+
+        def flush(batches, cur):
+            """Charge and link-schedule one round's emissions.
+
+            Batches run sequentially in emission order (so repeated
+            sends on one link queue exactly as the scalar path queues
+            them); within a batch every directed link appears at most
+            once, so the occupancy update is a plain gather/scatter.
+            """
+            total_sends = 0
+            total_words = 0
+            total_msgs = 0
+            for batch in batches:
+                eids = batch.eids
+                if not len(eids):
+                    continue
+                words = batch.words
+                charged = (words + wpm - 1) // wpm
+                senders = esrc[eids]
+                receivers = edst[eids]
+                keys = senders * n + receivers
+                deliver = (
+                    np_.maximum(link_free[keys], cur + 1) + charged - 1
+                )
+                link_free[keys] = deliver + 1
+                msgs = int(charged.sum())
+                total_sends += len(eids)
+                total_words += int(words.sum())
+                total_msgs += msgs
+                if collect:
+                    if batch.tag:
+                        by_tag[batch.tag] = (
+                            by_tag.get(batch.tag, 0) + msgs
+                        )
+                    if senders_view is not None:
+                        # bincount's float64 weights are exact here
+                        # (charges are tiny integers, totals << 2^53).
+                        np_.add(
+                            senders_view,
+                            np_.bincount(
+                                senders, weights=charged, minlength=n
+                            ).astype(np_.int64),
+                            out=senders_view,
+                        )
+                    else:  # pragma: no cover - read-only buffer platform
+                        counts = stats._sender_counts
+                        for s, c in zip(senders.tolist(),
+                                        charged.tolist()):
+                            counts[s] += c
+                    utilized.update(np_.unique(
+                        np_.where(senders < receivers, keys,
+                                  receivers * n + senders)
+                    ).tolist())
+                rounds_out = np_.unique(deliver)
+                if len(rounds_out) == 1:
+                    pending.setdefault(int(rounds_out[0]), []).append(
+                        (batch, None)
+                    )
+                else:
+                    for r in rounds_out.tolist():
+                        pending.setdefault(r, []).append(
+                            (batch, np_.flatnonzero(deliver == r))
+                        )
+            stats.charge_send_batch(total_sends, total_words, total_msgs)
+
+        round_index = 0
+        converged = False
+        work_rounds = 0
+        while True:
+            work_rounds += 1
+            if work_rounds > max_rounds + 1:
+                raise ConvergenceError(
+                    f"stage '{stage_name}' exceeded {max_rounds} rounds"
+                )
+            net._current_round = round_index
+            arriving = pending.pop(round_index, None)
+            if round_index == 0:
+                batches = kernel.begin()
+            elif arriving is not None:
+                batches = kernel.deliver(arriving)
+            else:
+                batches = ()
+            if batches:
+                flush(batches, round_index)
+            all_done = all(c._finished for c in contexts)
+            if not pending:
+                if all_done:
+                    converged = True
+                    round_index += 1
+                    break
+                if round_index > 0:
+                    unfinished = [
+                        v for v in range(n) if not contexts[v]._finished
+                    ]
+                    raise ConvergenceError(
+                        f"stage '{stage_name}' deadlocked with unfinished "
+                        f"nodes {unfinished[:10]} (total {len(unfinished)})"
+                    )
+                round_index += 1
+            else:
+                # Idle rounds are free: jump to the next delivery, like
+                # the scalar scheduler's ring fast-forward.
+                round_index = min(pending)
+        return round_index, converged
+
+
+#: Scheduler vocabulary shared by the API, the CLI, and SweepSpec.
+SCHEDULERS = ("rounds", "columnar")
+
+
+def make_scheduler(spec) -> Optional[Scheduler]:
+    """Resolve a scheduler spec for a synchronous network.
+
+    ``None``/``"rounds"`` resolve to None (the network builds its
+    default :class:`RoundScheduler`); an instance passes through;
+    ``"columnar"`` builds a :class:`ColumnarRoundScheduler` — or, when
+    numpy is missing, returns None so the engine runs the scalar
+    reference path (a one-line warning notes the fallback).
+    """
+    if spec is None or spec == "rounds":
+        return None
+    if isinstance(spec, Scheduler):
+        return spec
+    if spec == "columnar":
+        from repro.congest.columnar import get_numpy
+        if get_numpy(warn=True) is None:
+            return None
+        return ColumnarRoundScheduler()
+    raise ReproError(
+        f"unknown scheduler {spec!r}; known: {', '.join(SCHEDULERS)}"
+    )
+
+
 class EventScheduler(Scheduler):
     """Event-driven delivery with per-packet latency draws (FIFO links).
 

@@ -83,6 +83,9 @@ def run_cell(cell: Cell) -> dict:
     graph = family_graph(cell.family, cell.n, p=cell.density,
                          seed=cell.seed)
     asynchronous = cell.engine == "async"
+    # The columnar engine is the sync semantics on the numpy scheduler:
+    # identical counts (parity contract), different wall clock.
+    scheduler = "columnar" if cell.engine == "columnar" else None
     faulted = cell.faults != "none"
     try:
         if cell.problem == "coloring":
@@ -95,6 +98,7 @@ def run_cell(cell: Cell) -> dict:
                 latency=cell.latency,
                 collect_utilization=cell.collect_utilization,
                 faults=cell.faults,
+                scheduler=scheduler,
             )
             extra = {"colors": result.num_colors,
                      "palette_bound": result.palette_bound}
@@ -110,6 +114,7 @@ def run_cell(cell: Cell) -> dict:
                 latency=cell.latency,
                 collect_utilization=cell.collect_utilization,
                 faults=cell.faults,
+                scheduler=scheduler,
                 **mis_kwargs,
             )
             extra = {"mis_size": result.size}
@@ -157,6 +162,10 @@ def run_cell(cell: Cell) -> dict:
         "survivor_valid": report.survivor_valid,
         "status": "ok",
         "wall_s": round(time.perf_counter() - t0, 6),
+        # Diagnostic only (never part of count identity): where the
+        # engine spent its time, per protocol stage.
+        "stage_wall": {name: round(w, 6)
+                       for name, w in report.stage_wall.items()},
     }
     if cell.sample_constant is not None:
         record["sample_constant"] = cell.sample_constant

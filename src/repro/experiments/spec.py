@@ -45,7 +45,11 @@ MIS_METHODS = (
 
 ALL_METHODS = COLORING_METHODS + MIS_METHODS
 
-ENGINES = ("sync", "async")
+#: ``sync`` and ``columnar`` are the same synchronous semantics under
+#: two delivery engines (scalar per-node loop vs numpy whole-round
+#: batches; counts are bit-identical by the columnar parity contract,
+#: only wall-clock differs); ``async`` is the event-driven engine.
+ENGINES = ("sync", "columnar", "async")
 
 #: Methods whose every protocol stage is count-based lockstep
 #: (``passive_when_idle``), so they run the event-driven engine without
@@ -154,7 +158,10 @@ class SweepSpec:
     need those.
 
     ``engines`` is the engine axis (``engine`` remains as the historical
-    single-engine spelling and is used when ``engines`` is empty);
+    single-engine spelling and is used when ``engines`` is empty) —
+    ``columnar`` cells run the synchronous semantics on the numpy
+    columnar scheduler, so their counts match the ``sync`` cells and
+    only ``wall_s`` differs;
     ``latencies`` multiplies only the async cells — a sync cell has no
     latency model and is emitted once.  ``faults`` is the robustness
     axis: every entry is a fault-model spec (``"none"``, ``"drop:P"``,

@@ -33,8 +33,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.congest.ids import NodeId
-from repro.congest.node import Context, NodeAlgorithm
+from repro.congest.ids import NodeId, OpaqueId
+from repro.congest.node import ColumnarStage, Context, NodeAlgorithm
 from repro.errors import ConvergenceError
 from repro.substrates.boruvka import ForestState, run_boruvka
 from repro.substrates.flooding import (
@@ -52,7 +52,7 @@ def is_landmark(id_value: int, seed, probability: float) -> bool:
     return h < probability * (1 << 32)
 
 
-class DannerLocalStage(NodeAlgorithm):
+class DannerLocalStage(ColumnarStage, NodeAlgorithm):
     """Local sparsification + one KEEP notification per kept edge."""
 
     passive_when_idle = True
@@ -83,6 +83,120 @@ class DannerLocalStage(NodeAlgorithm):
         for msg in inbox:
             self.active.add(msg.sender_id)
         ctx.done(frozenset(self.active))
+
+    # -- columnar engine (docs/columnar.md) ----------------------------------
+
+    @classmethod
+    def build_columnar_kernel(cls, net, algorithms, contexts):
+        from repro.congest.columnar import full_graph, get_numpy
+
+        np_ = get_numpy()
+        if np_ is None:
+            return None
+        n = net._n
+        if n and isinstance(net._ids[0], OpaqueId):
+            # The scalar stage evaluates ``u.value``, which a
+            # comparison-based network must reject — keep that path.
+            return None
+        first = algorithms[0]
+        if any(
+            (a.tau, a.probability, a.seed)
+            != (first.tau, first.probability, first.seed)
+            for a in algorithms
+        ):
+            return None
+        graph = full_graph(np_, net)
+        if graph is None:
+            return None
+        return _DannerLocalKernel(np_, net, graph, first, contexts)
+
+
+class _DannerLocalKernel:
+    """One vectorized KEEP wave.
+
+    The landmark hash is a pure function of the target's ID, so the
+    kernel evaluates it once per *vertex* instead of once per directed
+    edge (the scalar stage re-hashes each neighbor at every observer).
+    Message multiset and outputs are unchanged: one no-field KEEP per
+    kept edge, active sets = kept ∪ keepers.
+    """
+
+    def __init__(self, np_, net, graph, alg, contexts):
+        self.np = np_
+        self.net = net
+        self.graph = graph
+        self.contexts = contexts
+        self.kept_ids: list = []
+        n = net._n
+        landmark = np_.fromiter(
+            (
+                is_landmark(
+                    net.assignment.value_of(v), alg.seed, alg.probability
+                )
+                for v in range(n)
+            ),
+            dtype=bool, count=n,
+        )
+        deg = graph.indptr[1:] - graph.indptr[:-1]
+        small = deg <= alg.tau
+        keep = small[graph.esrc] | landmark[graph.edst]
+        # Whp-impossible fallback (mirrors the scalar stage): a heavy
+        # node with no landmark neighbor keeps everything.
+        kept_deg = np_.bincount(graph.esrc[keep], minlength=n)
+        keep |= ((~small) & (kept_deg == 0))[graph.esrc]
+        self.keep_eids = np_.flatnonzero(keep)
+
+    def begin(self):
+        from repro.congest.columnar import SendBatch
+
+        np_ = self.np
+        net = self.net
+        graph = self.graph
+        contexts = self.contexts
+        ids = net._ids
+        eids = self.keep_eids
+        n = net._n
+        # Round-0 provisional outputs: the kept sets themselves.
+        bounds = np_.searchsorted(graph.esrc[eids], np_.arange(n + 1))
+        dst = graph.edst[eids].tolist()
+        kept_ids = self.kept_ids
+        for v in range(n):
+            lo, hi = bounds[v], bounds[v + 1]
+            kept = frozenset(ids[u] for u in dst[lo:hi])
+            kept_ids.append(kept)
+            contexts[v].done(kept)
+        if not len(eids):
+            return []
+        return [SendBatch(
+            "keep", 0, eids,
+            np_.zeros(len(eids), dtype=np_.int64),
+            np_.ones(len(eids), dtype=np_.int64),  # empty payload: 1 word
+        )]
+
+    def deliver(self, arrivals):
+        np_ = self.np
+        esrc = self.graph.esrc
+        edst = self.graph.edst
+        ids = self.net._ids
+        contexts = self.contexts
+        kept_ids = self.kept_ids
+        eids = np_.concatenate([
+            b.eids if sub is None else b.eids[sub] for b, sub in arrivals
+        ])
+        order = np_.argsort(edst[eids], kind="stable")
+        rs = edst[eids][order]
+        senders = esrc[eids][order].tolist()
+        bounds = np_.flatnonzero(
+            np_.concatenate(([True], rs[1:] != rs[:-1]))
+        ).tolist()
+        bounds.append(len(senders))
+        receivers = rs[bounds[:-1]].tolist()
+        for i, v in enumerate(receivers):
+            lo, hi = bounds[i], bounds[i + 1]
+            contexts[v].done(
+                kept_ids[v] | frozenset(ids[s] for s in senders[lo:hi])
+            )
+        return []
 
 
 @dataclass
