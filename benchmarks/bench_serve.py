@@ -1,0 +1,170 @@
+"""SERVE — the query service under seeded concurrent traffic.
+
+Boots an in-process :class:`repro.serving.QueryServer`, drives it with a
+closed-loop fleet of client threads replaying a seeded request mix (hot
+repeats that should hit the LRU cache, a cold tail of fresh graphs, a
+pinch of short-deadline queries), and writes ``BENCH_serve.json`` at the
+repo root: queries/s, p50/p99 latency, cache hit rate, and the
+shed/degraded/error counters.  Future PRs diff this artifact to see
+whether the serving layer got faster or started shedding.
+
+The traffic is generated from a fixed seed, so the request *mix* is
+reproducible run to run; wall-clock figures are hardware-dependent, as
+with every benchmark here.
+
+Run directly (no pytest needed):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import threading
+import time
+
+from repro.serving import QueryServer, ServeClient, build_query
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The hot pool: a handful of distinct queries clients keep re-asking.
+#: Everything after each query's first arrival should be an LRU hit.
+HOT_POOL = [
+    dict(problem="coloring", family="gnp", n=80, p=0.3, graph_seed=g,
+         seed=s, method=m)
+    for g, s, m in [(0, 1, "kt1-delta-plus-one"), (1, 2, "luby"),
+                    (2, 3, "baseline-trial"), (3, 4, "kt1-delta-plus-one")]
+]
+for _q in HOT_POOL[1::2]:
+    _q["problem"] = "mis"
+    _q["method"] = "luby"
+
+COLD_COLORING = ("kt1-delta-plus-one", "baseline-trial",
+                 "baseline-rank-greedy")
+COLD_MIS = ("luby", "rank-greedy")
+
+
+def _cold_query(rng: random.Random) -> dict:
+    """A fresh, almost-surely-uncached query."""
+    problem = rng.choice(("coloring", "mis"))
+    method = (rng.choice(COLD_MIS) if problem == "mis"
+              else rng.choice(COLD_COLORING))
+    return dict(problem=problem, family="gnp",
+                n=rng.choice((60, 90, 120)), p=0.3,
+                graph_seed=rng.randrange(10_000),
+                seed=rng.randrange(10_000), method=method)
+
+
+def _client_loop(host, port, requests, out, errors):
+    try:
+        with ServeClient(host, port) as client:
+            for req in requests:
+                t0 = time.monotonic()
+                result = client.query(req)
+                out.append((result.status, result.degraded,
+                            result.cached, time.monotonic() - t0))
+    except Exception as exc:  # pragma: no cover - surfaced below
+        errors.append(exc)
+
+
+def run_bench(clients: int, per_client: int, hot_ratio: float,
+              deadline_mix: float, master_seed: int) -> dict:
+    rng = random.Random(master_seed)
+    plans = []
+    for _ in range(clients):
+        plan = []
+        for _ in range(per_client):
+            if rng.random() < hot_ratio:
+                params = dict(rng.choice(HOT_POOL))
+            else:
+                params = _cold_query(rng)
+            deadline = 0.05 if rng.random() < deadline_mix else None
+            plan.append(build_query(params.pop("problem"),
+                                    deadline_s=deadline, **params))
+        plans.append(plan)
+
+    server = QueryServer(host="127.0.0.1", port=0, solvers=4,
+                         max_pending=4 * clients, deadline_s=30.0)
+    with server:
+        host, port = server.address
+        out, errors = [], []
+        threads = [threading.Thread(target=_client_loop,
+                                    args=(host, port, plan, out, errors))
+                   for plan in plans]
+        t0 = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.monotonic() - t0
+        if errors:
+            raise SystemExit(f"bench_serve: client errors: {errors[:3]}")
+        snap = server.status_snapshot()
+
+    lat = sorted(l for (_, _, _, l) in out)
+
+    def pct(q):
+        if not lat:
+            return 0.0
+        return lat[min(len(lat) - 1, int(q * len(lat)))]
+
+    answered = sum(1 for (s, _, _, _) in out if s == "ok")
+    return {
+        "clients": clients,
+        "queries": len(out),
+        "answered": answered,
+        "degraded": sum(1 for (_, d, _, _) in out if d),
+        "cached": sum(1 for (_, _, c, _) in out if c),
+        "shed": snap["shed"],
+        "errors": snap["errors"],
+        "wall_s": round(wall, 3),
+        "queries_per_s": round(len(out) / wall, 2) if wall else 0.0,
+        "p50_ms": round(pct(0.50) * 1000, 2),
+        "p99_ms": round(pct(0.99) * 1000, 2),
+        "cache_hit_rate": snap["cache_hit_rate"],
+        "seed": master_seed,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="serving-layer throughput/latency benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke mix (CI-sized, ~10s)")
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT,
+                                                      "BENCH_serve.json"))
+    args = parser.parse_args()
+
+    if args.quick:
+        payload = run_bench(clients=3, per_client=6, hot_ratio=0.5,
+                            deadline_mix=0.0, master_seed=args.seed)
+    else:
+        payload = run_bench(clients=6, per_client=20, hot_ratio=0.5,
+                            deadline_mix=0.1, master_seed=args.seed)
+    payload["mode"] = "quick" if args.quick else "full"
+
+    if payload["answered"] + payload["shed"] + payload["errors"] \
+            < payload["queries"]:
+        raise SystemExit(f"bench_serve: unaccounted queries: {payload}")
+    if not args.quick and payload["cached"] == 0:
+        raise SystemExit("bench_serve: hot pool never hit the cache")
+
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"bench_serve: {payload['queries']} queries from "
+          f"{payload['clients']} clients in {payload['wall_s']}s — "
+          f"{payload['queries_per_s']}/s, p50 {payload['p50_ms']}ms, "
+          f"p99 {payload['p99_ms']}ms, cache hit rate "
+          f"{payload['cache_hit_rate']}")
+    print(f"bench_serve: wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

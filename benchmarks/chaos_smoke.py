@@ -1,7 +1,9 @@
 #!/usr/bin/env python
-"""Chaos smoke: kill real processes mid-sweep, prove the store heals.
+"""Chaos smoke: kill real processes mid-flight, prove the system heals.
 
-The acceptance scenario for the self-healing farm, with nothing faked:
+Two chapters, nothing faked (select with ``--only``):
+
+**farm** — the self-healing sweep farm acceptance scenario:
 
 1. A coordinator subprocess (``repro sweep --serve``) hosts a small
    sweep with the queue journal enabled.
@@ -17,14 +19,26 @@ The acceptance scenario for the self-healing farm, with nothing faked:
 Afterwards the merged store must be **bit-identical per key** to a
 serial in-process ``run_cell`` pass (modulo the volatile ``wall_s`` /
 ``attempts`` fields), contain **zero lost records**, and ``w1`` must
-have demonstrably reconnected (its stderr logs the attempts; its
-completion count covers every post-bounce cell).
+have demonstrably reconnected.
 
-Run directly (``python benchmarks/chaos_smoke.py``) or via the
-slow-marked test in tests/test_chaos.py; verify.sh runs it as the
-chaos stage.  Wall clock is a few seconds — the sweep is 8 cells of
-~0.1-0.4s each, big enough to kill things mid-flight, small enough
-for CI.
+**serve** — the query service (``repro serve``) robustness spine, per
+docs/serving.md's failure matrix:
+
+1. A slow query occupies the single solver slot; its solver child is
+   **SIGKILL**ed (twice — the supervisor's one retry included) and the
+   client gets a structured retriable ``error`` while the server keeps
+   answering other queries.
+2. An **unmeetable deadline** returns a verified ``degraded=true``
+   answer within deadline + grace.
+3. A **flood** past ``--max-pending`` is shed immediately with
+   ``overloaded`` responses (bounded queue, no backlog growth).
+4. **SIGTERM** mid-query: the in-flight query is answered, new ones
+   refused, and the server exits 0.
+
+All queries use fixed seeds, so both chapters are deterministic.  Run
+directly (``python benchmarks/chaos_smoke.py``) or via the slow-marked
+tests in tests/test_chaos.py / tests/test_serving.py; verify.sh runs
+both chapters as the chaos stage.
 """
 
 import argparse
@@ -35,15 +49,22 @@ import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO, "src")
 sys.path.insert(0, SRC)
 
-from repro.errors import DistributedError  # noqa: E402
+from repro.errors import DistributedError, ReproError  # noqa: E402
 from repro.experiments import ResultStore, SweepSpec, run_cell  # noqa: E402
 from repro.experiments.distributed import fetch_status  # noqa: E402
+from repro.serving import (  # noqa: E402
+    ServeClient,
+    build_query,
+    fetch_serve_status,
+    query_once,
+)
 
 # ~0.1-0.4s per cell on a laptop: long enough that a SIGKILL lands
 # mid-cell, short enough that the whole scenario stays CI-sized.
@@ -55,6 +76,13 @@ SPEC = SweepSpec(families=("gnp",), sizes=(90, 120), seeds=(0, 1, 2, 3),
 #: serial one: how long it took (total and per stage) and how many
 #: supervised attempts.
 VOLATILE = ("wall_s", "stage_wall", "attempts")
+
+#: The serve chapter's slow query: ~5s of solver work — a wide window
+#: to land signals in, still CI-sized.
+SLOW_QUERY = dict(family="gnp", n=400, p=0.3, graph_seed=0, seed=1,
+                  method="kt1-eps-delta")
+FAST_QUERY = dict(family="gnp", n=60, p=0.3, graph_seed=1, seed=2,
+                  method="kt1-delta-plus-one")
 
 
 def _env():
@@ -104,13 +132,7 @@ def _holds_lease(snap, worker):
     return entry is not None and entry["connected"] and entry["leases"]
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--workdir", default=None,
-                        help="scratch directory (default: a fresh tmpdir)")
-    args = parser.parse_args()
-    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
-    os.makedirs(workdir, exist_ok=True)
+def run_farm_scenario(workdir: str) -> None:
     out = os.path.join(workdir, "chaos.jsonl")
     port = _free_port()
     serve_argv = (["sweep", "--serve", f"127.0.0.1:{port}", "--out", out,
@@ -215,6 +237,183 @@ def main() -> int:
     print(f"chaos smoke: OK — {total} cells bit-identical to serial, "
           f"0 lost, w0 SIGKILLed, coordinator bounced, w1 reconnected "
           f"and completed {w1_count}")
+
+
+# -- the serve chapter --------------------------------------------------------
+
+
+def _poll_serve(port, predicate, what, deadline_s=60.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            snap = fetch_serve_status("127.0.0.1", port, timeout_s=2.0)
+        except ReproError:
+            time.sleep(0.02)
+            continue
+        if predicate(snap):
+            return snap
+        time.sleep(0.02)
+    raise SystemExit(f"chaos smoke: timed out waiting for {what}")
+
+
+def _query_thread(port, results, **params):
+    """Issue one query on its own connection, collecting the answer."""
+    deadline_s = params.pop("deadline_s", None)
+    request = build_query(params.pop("problem", "coloring"),
+                          deadline_s=deadline_s, **params)
+
+    def run():
+        results.append(query_once("127.0.0.1", port, request))
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+def run_serve_scenario(workdir: str) -> None:
+    port = _free_port()
+    log_out = open(os.path.join(workdir, "serve.out"), "w+")
+    log_err = open(os.path.join(workdir, "serve.err"), "w+")
+    server = _spawn(["serve", f"127.0.0.1:{port}", "--solvers", "1",
+                     "--max-pending", "1", "--deadline", "20",
+                     "--grace", "2", "--status-interval", "0"],
+                    log_out, log_err)
+    try:
+        _poll_serve(port, lambda s: True, "the query server to come up")
+
+        # -- scenario 1: SIGKILL the solver child (and its retry) --------
+        answers = []
+        t = _query_thread(port, answers, deadline_s=60.0, **SLOW_QUERY)
+        snap = _poll_serve(port, lambda s: s["solver_pids"],
+                           "a solver child to appear")
+        first_pid = snap["solver_pids"][0]
+        os.kill(first_pid, signal.SIGKILL)
+        print(f"chaos smoke: SIGKILLed solver child {first_pid} "
+              "mid-request")
+        snap = _poll_serve(
+            port,
+            lambda s: any(p != first_pid for p in s["solver_pids"]),
+            "the supervisor's retry child")
+        retry_pid = next(p for p in snap["solver_pids"] if p != first_pid)
+        os.kill(retry_pid, signal.SIGKILL)
+        print(f"chaos smoke: SIGKILLed the retry child {retry_pid} too")
+        t.join(60)
+        if t.is_alive() or not answers:
+            raise SystemExit("chaos smoke: no answer after double kill")
+        resp = answers[0]
+        if resp.status != "error" or not resp.payload.get("retriable"):
+            raise SystemExit(
+                f"chaos smoke: double-killed query answered "
+                f"{resp.status!r} (want structured retriable error): "
+                f"{resp.payload}")
+        check = query_once("127.0.0.1", port,
+                           build_query("coloring", **FAST_QUERY))
+        if not (check.ok and check.valid and not check.degraded):
+            raise SystemExit("chaos smoke: server unhealthy after "
+                             f"child kills: {check.payload}")
+        print("chaos smoke: structured retriable error delivered, "
+              "server kept serving")
+
+        # -- scenario 2: unmeetable deadline -> degraded, in time --------
+        t0 = time.monotonic()
+        resp = query_once("127.0.0.1", port,
+                          build_query("coloring", deadline_s=1.0,
+                                      **dict(SLOW_QUERY, n=300,
+                                             graph_seed=2)))
+        elapsed = time.monotonic() - t0
+        if not (resp.ok and resp.degraded and resp.valid):
+            raise SystemExit(
+                f"chaos smoke: unmeetable deadline answered "
+                f"{resp.payload} (want degraded=true, valid)")
+        # deadline (1.0) + grace (2.0) + graph-build, fallback-compute,
+        # and transport slack (generous: CI boxes run loaded)
+        if elapsed > 10.0:
+            raise SystemExit(
+                f"chaos smoke: degraded answer took {elapsed:.1f}s, "
+                "deadline+grace contract broken")
+        print(f"chaos smoke: degraded-but-valid answer in "
+              f"{elapsed:.2f}s (deadline 1s + grace 2s)")
+
+        # -- scenario 3: flood past --max-pending -> immediate shed ------
+        background, floods = [], []
+        threads = [
+            _query_thread(port, background, deadline_s=8.0,
+                          **dict(SLOW_QUERY, graph_seed=3 + i))
+            for i in range(2)      # solvers=1 + max_pending=1: both admitted
+        ]
+        _poll_serve(port, lambda s: s["in_flight"] >= 2,
+                    "the admission queue to fill")
+        t0 = time.monotonic()
+        for i in range(3):
+            floods.append(query_once(
+                "127.0.0.1", port,
+                build_query("coloring",
+                            **dict(SLOW_QUERY, graph_seed=10 + i))))
+        shed_elapsed = time.monotonic() - t0
+        bad = [f.payload for f in floods if f.status != "overloaded"]
+        if bad:
+            raise SystemExit(f"chaos smoke: flood queries not shed: {bad}")
+        if any(f.retry_after_s is None or f.retry_after_s <= 0
+               for f in floods):
+            raise SystemExit("chaos smoke: shed responses carry no "
+                             "retry-after hint")
+        if shed_elapsed > 2.0:
+            raise SystemExit(
+                f"chaos smoke: shedding took {shed_elapsed:.1f}s for 3 "
+                "queries — load-shedding is not immediate")
+        for thread in threads:
+            thread.join(60)
+        if len(background) != 2 or any(not r.ok for r in background):
+            raise SystemExit("chaos smoke: admitted queries lost "
+                             "during the flood")
+        print(f"chaos smoke: 3 flood queries shed in "
+              f"{shed_elapsed:.2f}s with retry-after hints, admitted "
+              "queries still answered")
+
+        # -- scenario 4: SIGTERM -> in-flight answered, exit 0 -----------
+        final = []
+        t = _query_thread(port, final, deadline_s=30.0,
+                          **dict(SLOW_QUERY, graph_seed=20))
+        _poll_serve(port, lambda s: s["in_flight"] >= 1,
+                    "the final query to be in flight")
+        server.send_signal(signal.SIGTERM)
+        rc = _wait(server, "draining query server", timeout_s=60.0)
+        if rc != 0:
+            raise SystemExit(
+                f"chaos smoke: drained server exited {rc}, want 0")
+        t.join(60)
+        if not final or not final[0].ok:
+            raise SystemExit(
+                "chaos smoke: in-flight query lost during drain: "
+                f"{final[0].payload if final else 'no answer'}")
+        print("chaos smoke: serve OK — solver kills survived, deadline "
+              "degraded in time, flood shed, SIGTERM drained with "
+              "exit 0")
+    finally:
+        if server.poll() is None:
+            server.kill()
+        log_out.close()
+        log_err.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tmpdir)")
+    parser.add_argument("--only", default="all",
+                        choices=("farm", "serve", "all"),
+                        help="which chaos chapter to run")
+    args = parser.parse_args()
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    os.makedirs(workdir, exist_ok=True)
+    chapters = []
+    if args.only in ("farm", "all"):
+        run_farm_scenario(workdir)
+        chapters.append("farm")
+    if args.only in ("serve", "all"):
+        run_serve_scenario(workdir)
+        chapters.append("serve")
+    print(f"CHAOS OK ({', '.join(chapters)})")
     return 0
 
 

@@ -12,14 +12,22 @@ We model the deployment as a random geometric-flavored power-law + Gnp
 mixture, and compare three distributed protocols end to end:
 
 * Algorithm 1 — Õ(n^1.5) messages, (Δ+1) frequencies;
-* Algorithm 2 — Õ(n/ε²) messages if 25% extra spectrum is available
-  ((1+ε)Δ frequencies with ε = 0.25);
+* Algorithm 2 — Õ(n/ε²) messages if extra spectrum is available
+  ((1+ε)Δ frequencies);
 * the classical trial-coloring baseline — Ω(m) messages.
 
-Run:  python examples/frequency_assignment.py
+Run standalone (in-process solves):
+
+    python examples/frequency_assignment.py [--n 360]
+
+or as a client of the query service (``docs/serving.md``):
+
+    python -m repro serve 7431 &
+    python examples/frequency_assignment.py --connect 127.0.0.1:7431
 """
 
-from repro import api
+import argparse
+
 from repro.graphs.core import Graph
 from repro.graphs.generators import connected_gnp_graph, power_law_graph
 
@@ -31,12 +39,10 @@ def interference_graph(n: int, seed: int) -> Graph:
     return Graph(n, list(core.edges()) + list(overlay.edges()))
 
 
-def main() -> None:
-    graph = interference_graph(360, seed=11)
-    delta = graph.max_degree()
-    print(f"interference graph: n={graph.n}, m={graph.m}, Δ={delta}")
+def solve_locally(graph):
+    from repro import api
 
-    runs = {
+    return {
         "Algorithm 1  (Δ+1 frequencies)": api.color_graph(
             graph, method="kt1-delta-plus-one", seed=21),
         "Algorithm 2  (1.5Δ frequencies)": api.color_graph(
@@ -44,6 +50,43 @@ def main() -> None:
         "baseline     (Δ+1, Ω(m) messages)": api.color_graph(
             graph, method="baseline-trial", seed=23),
     }
+
+
+def solve_via_server(graph, endpoint: str):
+    """The same three runs, answered by a ``repro serve`` instance."""
+    from repro.serving import ServeClient
+
+    host, _, port = endpoint.rpartition(":")
+    with ServeClient(host or "127.0.0.1", int(port)) as client:
+        return {
+            "Algorithm 1  (Δ+1 frequencies)": client.color(
+                graph, method="kt1-delta-plus-one", seed=21),
+            "Algorithm 2  (1.5Δ frequencies)": client.color(
+                graph, method="kt1-eps-delta", epsilon=0.5, seed=22),
+            "baseline     (Δ+1, Ω(m) messages)": client.color(
+                graph, method="baseline-trial", seed=23),
+        }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=360,
+                        help="number of radio cells")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="answer via a running 'repro serve' "
+                             "instead of solving in-process")
+    args = parser.parse_args(argv)
+
+    graph = interference_graph(args.n, seed=11)
+    delta = graph.max_degree()
+    mode = f"served by {args.connect}" if args.connect else "in-process"
+    print(f"interference graph: n={graph.n}, m={graph.m}, Δ={delta} "
+          f"({mode})")
+
+    if args.connect:
+        runs = solve_via_server(graph, args.connect)
+    else:
+        runs = solve_locally(graph)
 
     print(f"\n{'protocol':38} {'messages':>9} {'msgs/edge':>10} "
           f"{'frequencies':>12} {'spectrum bound':>15}")

@@ -13,29 +13,49 @@ Compares Algorithm 3 (the paper's KT-2 MIS, Õ(n^1.5) messages in
 densities, and shows the remnant-degree collapse (Konrad's lemma) that
 makes the two-phase structure work.
 
-Run:  python examples/wireless_mis_scheduling.py
+Run standalone (in-process solves):
+
+    python examples/wireless_mis_scheduling.py [--n 450]
+
+or as a client of the query service (``docs/serving.md``):
+
+    python -m repro serve 7431 &
+    python examples/wireless_mis_scheduling.py --connect 127.0.0.1:7431
+
+(The remnant-degree dive at the end needs the solver's internal detail
+record, which the wire protocol doesn't carry, so it runs standalone
+only.)
 """
 
+import argparse
 import math
 
-from repro import api
 from repro.graphs.generators import connected_gnp_graph
 
 
-def main() -> None:
-    print(f"{'density':>8} {'m':>7} {'alg3 msgs':>10} {'luby msgs':>10} "
-          f"{'saving':>7} {'alg3 rounds':>12} {'|MIS|':>6}")
+def _density_runs(n: int, client):
+    from repro import api
+
     for p in (0.1, 0.2, 0.4):
-        mesh = connected_gnp_graph(450, p, seed=int(100 * p))
-        new = api.find_mis(mesh, method="kt2-sampled-greedy", seed=5)
-        old = api.find_mis(mesh, method="luby", seed=6)
+        mesh = connected_gnp_graph(n, p, seed=int(100 * p))
+        if client is not None:
+            new = client.mis(mesh, method="kt2-sampled-greedy", seed=5)
+            old = client.mis(mesh, method="luby", seed=6)
+            rounds = new.rounds
+        else:
+            new = api.find_mis(mesh, method="kt2-sampled-greedy", seed=5)
+            old = api.find_mis(mesh, method="luby", seed=6)
+            rounds = new.report.rounds
         assert new.valid and old.valid
         saving = 100 * (1 - new.messages / old.messages)
         print(f"{p:>8} {mesh.m:>7} {new.messages:>10} {old.messages:>10} "
-              f"{saving:>6.0f}% {new.report.rounds:>12} {new.size:>6}")
+              f"{saving:>6.0f}% {rounds:>12} {new.size:>6}")
 
-    # Peek inside one run: the sampled-greedy prefix crushes the degree.
-    mesh = connected_gnp_graph(450, 0.3, seed=9)
+
+def _remnant_dive(n: int) -> None:
+    from repro import api
+
+    mesh = connected_gnp_graph(n, 0.3, seed=9)
     result = api.find_mis(mesh, method="kt2-sampled-greedy", seed=7)
     detail = result.detail
     print(f"\ninside Algorithm 3 on the p=0.3 mesh "
@@ -48,6 +68,31 @@ def main() -> None:
           f"(<= Õ(sqrt n))")
     print(f"  Luby finished the remnant with {detail.luby_joined} more "
           f"joiners; stage messages: {detail.stage_messages}")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=450,
+                        help="number of mesh nodes")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="answer via a running 'repro serve' "
+                             "instead of solving in-process")
+    args = parser.parse_args(argv)
+
+    print(f"{'density':>8} {'m':>7} {'alg3 msgs':>10} {'luby msgs':>10} "
+          f"{'saving':>7} {'alg3 rounds':>12} {'|MIS|':>6}")
+    if args.connect:
+        from repro.serving import ServeClient
+
+        host, _, port = args.connect.rpartition(":")
+        with ServeClient(host or "127.0.0.1", int(port)) as client:
+            _density_runs(args.n, client)
+        print("\n(remnant-degree dive skipped in --connect mode: the "
+              "wire protocol carries results, not solver internals)")
+    else:
+        _density_runs(args.n, None)
+        # Peek inside one run: the sampled prefix crushes the degree.
+        _remnant_dive(args.n)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,11 @@ farm        inspect a running coordinator (farm status: queue counts,
 report      aggregate a sweep's JSON-lines results (growth exponents)
 lowerbound  run the Section 2 crossing experiment
 cycles      run the Theorem 2.17 mute-cycle sweep
+serve       host the coloring/MIS query service (deadlines, bounded
+            queue with load-shedding, supervised solver children,
+            result cache, graceful drain on SIGTERM)
+query       send one coloring/MIS query to a 'repro serve' server
+serve-status  read-only health probe of a running query server
 profile     cProfile a single sweep cell (top cumulative entries)
 info        print the model/engine constants for a given n
 
@@ -47,7 +52,9 @@ GRAPH_FAMILIES = ("gnp", "regular", "powerlaw", "barbell",
 def _build_graph(args) -> Graph:
     try:
         if getattr(args, "graph_file", None):
-            return load_edge_list(args.graph_file)
+            return load_edge_list(
+                args.graph_file,
+                strict=not getattr(args, "lenient_graph", False))
         return family_graph(args.family, args.n, p=args.p,
                             seed=args.graph_seed)
     except ReproError as exc:
@@ -68,6 +75,10 @@ def _graph_args(sub) -> None:
     sub.add_argument("--graph-file", default=None, metavar="PATH",
                      help="run on an edge-list file instead of a "
                           "generated graph (overrides --family/--n/--p)")
+    sub.add_argument("--lenient-graph", action="store_true",
+                     help="with --graph-file: skip self-loops and "
+                          "collapse duplicate edges (repository-dump "
+                          "convention) instead of rejecting them")
     sub.add_argument("--graph-seed", type=int, default=0)
     sub.add_argument("--seed", type=int, default=0,
                      help="algorithm randomness seed")
@@ -565,6 +576,167 @@ def cmd_profile(args) -> int:
     return 0 if record["valid"] else 1
 
 
+def cmd_serve(args) -> int:
+    """Host the query service until SIGTERM/SIGINT drains it."""
+    from repro.experiments.store import write_json_atomic
+    from repro.serving import QueryServer
+
+    host, port = _parse_endpoint(args.listen, "0.0.0.0", "PORT")
+    try:
+        server = QueryServer(
+            host=host, port=port,
+            solvers=args.solvers,
+            max_pending=args.max_pending,
+            cache_size=args.cache_size,
+            deadline_s=args.deadline,
+            grace_s=args.grace,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    bound_host, bound_port = server.start()
+    print(f"serving on {bound_host}:{bound_port} — query with:\n"
+          f"    python -m repro query --connect HOST:{bound_port} "
+          f"--problem coloring --n 100", flush=True)
+
+    def _drain_handler(signum, frame):
+        name = signal.Signals(signum).name
+        print(f"{name}: draining — answering in-flight queries, "
+              "refusing new ones", file=sys.stderr, flush=True)
+        server.drain()
+
+    previous = {sig: signal.signal(sig, _drain_handler)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
+
+    def _observer_loop():
+        while not server.wait(timeout=args.status_interval or 30.0):
+            snap = server.status_snapshot()
+            if args.stats_out:
+                write_json_atomic(args.stats_out, snap)
+            if args.status_interval > 0:
+                p99 = ("-" if snap["p99_ms"] is None
+                       else f"{snap['p99_ms']:.0f}ms")
+                print(f"[serve] {snap['queries']} queries "
+                      f"({snap['queries_per_s']:.2f}/s), "
+                      f"{snap['cache_hits']} cached, "
+                      f"{snap['degraded']} degraded, "
+                      f"{snap['shed']} shed, "
+                      f"{snap['errors']} errors, p99 {p99}",
+                      flush=True)
+
+    if args.status_interval > 0 or args.stats_out:
+        threading.Thread(target=_observer_loop, daemon=True).start()
+
+    try:
+        server.wait()
+    finally:
+        server.stop()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        if args.stats_out:
+            write_json_atomic(args.stats_out, server.status_snapshot())
+    print("drained: all in-flight queries answered", file=sys.stderr)
+    return 0
+
+
+def cmd_query(args) -> int:
+    """One query round trip against a running ``repro serve``."""
+    from repro.serving import build_query, query_once
+
+    host, port = _parse_endpoint(args.connect, "127.0.0.1", "--connect")
+    try:
+        if args.graph_file and args.send_path:
+            # Ship the path; the server (which shares our filesystem)
+            # loads the file itself — no megabyte edge lists inline.
+            request = build_query(
+                args.problem, method=args.method,
+                graph_file=args.graph_file, seed=args.seed,
+                epsilon=args.epsilon, deadline_s=args.deadline)
+        else:
+            graph = _build_graph(args)
+            request = build_query(
+                args.problem, method=args.method,
+                edges=graph.edges(), n=graph.n, seed=args.seed,
+                epsilon=args.epsilon, deadline_s=args.deadline)
+        result = query_once(host, port, request,
+                            timeout_s=args.timeout)
+    except ReproError as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.payload, indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+    if result.status == "overloaded":
+        hint = ("draining" if result.payload.get("draining")
+                else f"retry in {result.retry_after_s:g}s")
+        print(f"server overloaded ({hint})", file=sys.stderr)
+        return 1
+    if result.status == "error":
+        retriable = ("retriable" if result.payload.get("retriable")
+                     else "permanent")
+        print(f"query failed ({retriable}): {result.error}",
+              file=sys.stderr)
+        return 1
+    payload = {
+        "server": f"{host}:{port}",
+        "problem": args.problem,
+        "method": result.payload.get("method"),
+        "valid": result.valid,
+        "degraded": result.degraded,
+        "cached": result.cached,
+        "messages": result.messages,
+        "rounds": result.rounds,
+        "elapsed": f"{result.payload.get('elapsed_s', 0):.3f}s",
+    }
+    if args.problem == "coloring":
+        payload["colors used"] = result.num_colors
+        payload["palette bound"] = result.palette_bound
+    else:
+        payload["MIS size"] = result.size
+    if result.messages_per_edge is not None:
+        payload["messages/edge"] = round(result.messages_per_edge, 3)
+    _emit(args, payload)
+    return 0 if result.valid else 1
+
+
+def cmd_serve_status(args) -> int:
+    """One read-only status round trip against a live query server."""
+    from repro.serving import fetch_serve_status
+
+    host, port = _parse_endpoint(args.connect, "127.0.0.1", "--connect")
+    try:
+        snap = fetch_serve_status(host, port, timeout_s=args.timeout)
+    except ReproError as exc:
+        print(f"serve status: {exc}", file=sys.stderr)
+        return 1
+    snap.pop("type", None)
+    if args.json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+    p50 = "-" if snap["p50_ms"] is None else f"{snap['p50_ms']:.1f}ms"
+    p99 = "-" if snap["p99_ms"] is None else f"{snap['p99_ms']:.1f}ms"
+    _emit(args, {
+        "server": f"{host}:{port}",
+        "uptime": f"{snap['uptime_s']:.0f}s",
+        "queries": (f"{snap['queries']} "
+                    f"({snap['queries_per_s']:.2f}/s)"),
+        "ok": snap["ok"],
+        "cache": (f"{snap['cache_hits']} hits "
+                  f"({snap['cache_hit_rate']:.0%}), "
+                  f"{snap['cache_entries']}/{snap['cache_size']} "
+                  "entries"),
+        "degraded": snap["degraded"],
+        "shed": snap["shed"],
+        "errors": snap["errors"],
+        "retries": snap["retries"],
+        "in flight": (f"{snap['in_flight']} "
+                      f"({snap['running']} running, "
+                      f"{snap['solvers']} slots)"),
+        "latency": f"p50 {p50}, p99 {p99}",
+        "draining": "yes" if snap["draining"] else "no",
+    })
+    return 0
+
+
 def cmd_info(args) -> int:
     from repro.congest.network import SyncNetwork
 
@@ -810,6 +982,82 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile the full-accounting path instead of "
                         "stats-lite")
     p.set_defaults(fn=cmd_profile)
+
+    p = subs.add_parser(
+        "serve",
+        help="host the coloring/MIS query service: per-request "
+             "deadlines with degraded-mode fallback, bounded queue "
+             "with load-shedding, supervised solver subprocesses, "
+             "LRU result cache, graceful drain on SIGTERM "
+             "(docs/serving.md)",
+    )
+    p.add_argument("listen", metavar="[HOST:]PORT",
+                   help="address to listen on (HOST defaults to "
+                        "0.0.0.0; PORT 0 picks a free port)")
+    p.add_argument("--solvers", type=int, default=2,
+                   help="concurrent solver subprocesses")
+    p.add_argument("--max-pending", type=int, default=8,
+                   help="queries allowed to wait beyond the solver "
+                        "slots; past this, new queries are shed with "
+                        "an 'overloaded' response")
+    p.add_argument("--cache-size", type=int, default=128,
+                   help="LRU result-cache entries (0 disables)")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="default per-query deadline (queries may set "
+                        "their own); past it the solver child is "
+                        "killed and a degraded greedy answer returned")
+    p.add_argument("--grace", type=float, default=2.0, metavar="SECONDS",
+                   help="extra allowance past a deadline for the "
+                        "degraded fallback to be computed and sent")
+    p.add_argument("--status-interval", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="print a one-line health summary this often "
+                        "(0 disables)")
+    p.add_argument("--stats-out", default=None, metavar="PATH",
+                   help="periodically write the status snapshot as "
+                        "JSON (atomic rename), for dashboards")
+    p.set_defaults(fn=cmd_serve)
+
+    p = subs.add_parser(
+        "query",
+        help="send one coloring/MIS query to a 'repro serve' server",
+    )
+    _graph_args(p)
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the query server's address")
+    p.add_argument("--problem", default="coloring",
+                   choices=("coloring", "mis"))
+    p.add_argument("--method", default=None, metavar="METHOD",
+                   help="solver method (default: the problem's "
+                        "kt-native method)")
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-query deadline (default: the server's); "
+                        "an over-deadline solve returns degraded=true")
+    p.add_argument("--send-path", action="store_true",
+                   help="with --graph-file: send the path for the "
+                        "server to load, instead of inlining edges")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="socket deadline per exchange (on top of the "
+                        "query deadline + grace)")
+    p.set_defaults(fn=cmd_query)
+
+    p = subs.add_parser(
+        "serve-status",
+        help="read-only health probe of a running query server "
+             "(queries/s, p50/p99, cache hit rate, shed/degraded/"
+             "error counts)",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the query server's address")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   metavar="SECONDS", help="status request deadline")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable status")
+    p.set_defaults(fn=cmd_serve_status)
 
     p = subs.add_parser("info", help="model constants for a graph")
     _graph_args(p)

@@ -100,6 +100,29 @@ class LatencyModel:
     def packet_delay(self, rng: random.Random) -> float:
         raise NotImplementedError
 
+    def begin(self, net) -> None:
+        """Reset per-execution state; called from ``EventScheduler.bind``.
+
+        Stateless distributions ignore this; stateful models (the
+        latency adversary) size and zero their per-sender bookkeeping
+        here so an instance reused across networks starts fresh.
+        """
+
+    def link_delay(self, env: "Envelope", charged: int,
+                   rng: random.Random) -> float:
+        """Total delay for a charged k-message payload on its link.
+
+        The default replicates the scheduler's historical draw loop
+        exactly — first packet plus ``charged - 1`` more, in order — so
+        every distribution-only model consumes the identical rng stream
+        and fixed-seed arrival schedules are unchanged.  Models that
+        need the envelope (who is sending to whom) override this.
+        """
+        delay = self.packet_delay(rng)
+        for _ in range(charged - 1):
+            delay += self.packet_delay(rng)
+        return delay
+
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"{type(self).__name__}()"
 
@@ -181,14 +204,79 @@ class HeavyTailLatency(LatencyModel):
         return self.scale * rng.paretovariate(self.alpha)
 
 
+class AdversaryLatency(LatencyModel):
+    """Slow the links of whichever sender is currently busiest.
+
+    The latency twin of :class:`AdaptiveAdversary`: instead of dropping
+    the busiest sender's traffic it stretches the delay of each of that
+    sender's payloads by ``slowdown``, targeting exactly the node the
+    message-frugal algorithms route their communication through.  Like
+    the drop adversary it is warmup-bounded (the first ``warmup``
+    charged messages per sender travel at base speed, so it never shoots
+    the first node to speak) and budget-bounded (at most ``budget``
+    payloads are slowed in one execution, so runs still terminate in
+    reasonable normalized time).  Base delays come from a
+    :class:`UniformLatency` draw, so against ``uniform`` cells any count
+    drift is pure adversarial reordering; the targeting itself consumes
+    no randomness — for a fixed seed the arrival schedule is exact.
+    """
+
+    name = "adversary_latency"
+
+    def __init__(self, slowdown: float = 8.0, budget: int = 64,
+                 warmup: int = 4, min_delay: float = 0.05):
+        if slowdown < 1:
+            raise ReproError("adversary_latency slowdown must be >= 1")
+        if budget < 0:
+            raise ReproError("adversary_latency budget must be >= 0")
+        if warmup < 0:
+            raise ReproError("adversary_latency warmup must be >= 0")
+        self.base = UniformLatency(low=min_delay)
+        self.slowdown = slowdown
+        self.budget = budget
+        self.warmup = warmup
+        self.remaining = budget
+        self.slowed = 0
+        self._sent: list[int] = []
+        self._max = 0
+
+    def begin(self, net) -> None:
+        self._sent = [0] * net._n
+        self._max = 0
+        self.remaining = self.budget
+        self.slowed = 0
+
+    def packet_delay(self, rng: random.Random) -> float:
+        return self.base.packet_delay(rng)
+
+    def link_delay(self, env: "Envelope", charged: int,
+                   rng: random.Random) -> float:
+        # Identical draw order to the default implementation, so the
+        # base schedule matches `uniform` draw-for-draw; targeting only
+        # scales what was drawn.
+        delay = super().link_delay(env, charged, rng)
+        count = self._sent[env.sender] + charged
+        self._sent[env.sender] = count
+        is_busiest = count >= self._max
+        if count > self._max:
+            self._max = count
+        if is_busiest and count > self.warmup and self.remaining > 0:
+            self.remaining -= 1
+            self.slowed += 1
+            return delay * self.slowdown
+        return delay
+
+
 #: Latency-model vocabulary shared by the engine, SweepSpec, and the CLI.
-LATENCY_MODELS = ("fixed", "uniform", "exponential", "heavy_tail")
+LATENCY_MODELS = ("fixed", "uniform", "exponential", "heavy_tail",
+                  "adversary_latency")
 
 _LATENCY_CLASSES = {
     "fixed": FixedLatency,
     "uniform": UniformLatency,
     "exponential": ExponentialLatency,
     "heavy_tail": HeavyTailLatency,
+    "adversary_latency": AdversaryLatency,
 }
 
 
@@ -203,6 +291,8 @@ def make_latency_model(spec, min_delay: float = 0.05) -> LatencyModel:
         return spec
     if spec == "uniform":
         return UniformLatency(low=min_delay)
+    if spec == "adversary_latency":
+        return AdversaryLatency(min_delay=min_delay)
     cls = _LATENCY_CLASSES.get(spec)
     if cls is None:
         raise ReproError(
@@ -426,8 +516,11 @@ def make_fault_model(spec) -> Optional[FaultModel]:
         raise ReproError(f"fault spec must be a string, got {type(spec)!r}")
     if spec == "none":
         return None
-    head, _, rest = spec.partition(":")
-    args = rest.split(":") if rest else []
+    head, sep, rest = spec.partition(":")
+    # "drop:" (a colon with nothing after it) is malformed, not an
+    # alias for the defaults — split on the separator, so the empty
+    # token reaches the numeric parse and fails loudly.
+    args = rest.split(":") if sep else []
     try:
         if head == "drop":
             (p,) = args or ["0.05"]
@@ -447,8 +540,13 @@ def make_fault_model(spec) -> Optional[FaultModel]:
             budget = int(args[0]) if args else 64
             warmup = int(args[1]) if len(args) > 1 else 4
             return AdaptiveAdversary(budget=budget, warmup=warmup)
-    except ReproError:
-        raise
+    except ReproError as exc:
+        if repr(spec) in str(exc):
+            raise
+        # Constructor range errors ("drop probability must be in
+        # [0, 1]") know the parameter but not which spec supplied it;
+        # name the spec so a failing 40-cell sweep axis is debuggable.
+        raise ReproError(f"bad fault spec {spec!r}: {exc}") from exc
     except ValueError as exc:
         raise ReproError(f"malformed fault spec {spec!r}: {exc}") from exc
     raise ReproError(
@@ -974,14 +1072,12 @@ class EventScheduler(Scheduler):
         # One delay stream per network, shared across stages, seeded the
         # way the historical AsyncNetwork seeded it.
         self._rng = random.Random(f"delays-{net.seed}")
+        self.latency.begin(net)
 
     def schedule(self, env: Envelope, charged: int) -> None:
         link = (env.sender, env.receiver)
         start = max(self._now, self._link_clock.get(link, 0.0))
-        rng = self._rng
-        delay = self.latency.packet_delay(rng)
-        for _ in range(charged - 1):
-            delay += self.latency.packet_delay(rng)
+        delay = self.latency.link_delay(env, charged, self._rng)
         arrival = start + delay
         self._link_clock[link] = arrival
         self._seq += 1

@@ -57,6 +57,12 @@ class ProtocolMismatchError(DistributedError):
     pooling records produced under different conventions."""
 
 
+class ServingError(ReproError):
+    """A failure in the query-serving layer (``repro serve`` /
+    ``repro query``): an unreachable or unresponsive server, a broken
+    connection mid-query, or an invalid serving configuration."""
+
+
 class VerificationError(ReproError):
     """A produced output (coloring / MIS / tree) failed verification."""
 

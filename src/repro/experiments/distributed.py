@@ -127,6 +127,13 @@ def _recv_msg(rfile) -> Optional[dict]:
     return msg
 
 
+#: Public names for the JSON-lines framing: the serving layer
+#: (:mod:`repro.serving`) speaks the same wire format, so the project
+#: has exactly one framing implementation.
+send_msg = _send_msg
+recv_msg = _recv_msg
+
+
 # -- the lease queue ----------------------------------------------------------
 
 

@@ -6,6 +6,14 @@ labels, ``#`` or ``%`` comment lines.  ``load_edge_list`` maps arbitrary
 labels to the contiguous ``0..n-1`` vertex ids the simulator uses —
 deterministically, so the same file always yields the same
 :class:`~repro.graphs.core.Graph` and seeded runs on it reproduce.
+
+Parsing is **strict by default**: self-loops and duplicate edges are
+rejected with the exact line numbers involved, because a file a user
+hands to ``repro query --graph-file`` (or any CLI verb) that silently
+loses edges is a silent change of the experiment.  Repository dumps that
+legitimately list both orientations of every edge (SNAP convention) opt
+out with ``strict=False``, which restores the historical lenient
+behavior (skip self-loops, collapse duplicates).
 """
 
 from __future__ import annotations
@@ -16,21 +24,27 @@ from repro.errors import ReproError
 from repro.graphs.core import Graph
 
 
-def parse_edge_list(lines: Iterable[str],
-                    source: str = "<edge list>") -> Graph:
+def parse_edge_list(lines: Iterable[str], source: str = "<edge list>",
+                    strict: bool = True) -> Graph:
     """Build a graph from edge-list lines.
 
     * ``#``- or ``%``-prefixed lines and blank lines are skipped.
     * The first two whitespace-separated columns are the endpoints;
       extra columns (weights, timestamps) are ignored.
-    * Self-loops are skipped (the CONGEST model has no self-channels);
-      duplicate edges collapse (the Graph is simple).
+    * Strict (the default): a self-loop or a duplicate edge (in either
+      orientation) raises :class:`~repro.errors.ReproError` naming the
+      offending line — and for duplicates, the line the edge first
+      appeared on.  With ``strict=False`` self-loops are skipped and
+      duplicates collapse (the lenient convention repository dumps
+      need).
     * Labels map to contiguous ids deterministically: numerically when
       every label is an integer, lexicographically otherwise — the order
       the file lists edges in never changes the built graph.
     """
     pairs: list[tuple[str, str]] = []
     labels: set[str] = set()
+    #: canonical (min, max) label pair -> first line it appeared on
+    seen: dict[tuple[str, str], int] = {}
     for lineno, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith("#") or line.startswith("%"):
@@ -43,25 +57,55 @@ def parse_edge_list(lines: Iterable[str],
             )
         u, v = cols[0], cols[1]
         if u == v:
+            if strict:
+                raise ReproError(
+                    f"{source}:{lineno}: self-loop {u!r} -- the CONGEST "
+                    "model has no self-channels (pass strict=False to "
+                    "skip self-loops)"
+                )
             continue
+        canon = (u, v) if u <= v else (v, u)
+        first = seen.get(canon)
+        if first is not None:
+            if strict:
+                raise ReproError(
+                    f"{source}:{lineno}: duplicate edge ({u!r}, {v!r}), "
+                    f"first seen at line {first} (pass strict=False to "
+                    "collapse duplicates)"
+                )
+            continue
+        seen[canon] = lineno
         pairs.append((u, v))
         labels.add(u)
         labels.add(v)
     if not labels:
         raise ReproError(f"{source}: no edges found")
-    try:
-        ordered = sorted(labels, key=int)
-    except ValueError:
-        ordered = sorted(labels)
+    ordered = _order_labels(labels)
     index = {label: i for i, label in enumerate(ordered)}
     return Graph(len(ordered), [(index[u], index[v]) for u, v in pairs])
 
 
-def load_edge_list(path: str) -> Graph:
+def _order_labels(labels: set[str]) -> list[str]:
+    """Deterministic label order: numeric when every label parses as an
+    integer, lexicographic otherwise.
+
+    The probe is explicit (no bare ``except`` around the sort itself):
+    which label breaks numeric ordering is knowable, and a file mixing
+    ``7`` with ``alice`` orders lexicographically *by decision*, not by
+    whichever label the sort happened to reach first.
+    """
+    try:
+        numeric = {label: int(label) for label in labels}
+    except ValueError:
+        return sorted(labels)
+    return sorted(labels, key=numeric.__getitem__)
+
+
+def load_edge_list(path: str, strict: bool = True) -> Graph:
     """Read an edge-list file (see :func:`parse_edge_list`)."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            return parse_edge_list(fh, source=path)
+            return parse_edge_list(fh, source=path, strict=strict)
     except OSError as exc:
         raise ReproError(f"cannot read edge list {path}: {exc}")
 

@@ -76,6 +76,53 @@ def test_malformed_specs_raise(spec):
         make_fault_model(spec)
 
 
+#: The full accept/reject table for the spec grammar.  Accepted rows
+#: check the constructed model's salient parameter; rejected rows check
+#: both the exception type and that the message names the offending
+#: spec — a bad entry in a 40-cell ``--faults`` axis must be findable
+#: from the error alone.
+ACCEPTED_SPECS = [
+    ("drop", lambda m: m.p == 0.05),
+    ("drop:0", lambda m: m.p == 0.0),
+    ("drop:1", lambda m: m.p == 1.0),
+    ("drop:0.25", lambda m: m.p == 0.25),
+    ("crash", lambda m: (m.p, m.at, m.recover) == (0.05, 16.0, None)),
+    ("crash:0.5", lambda m: m.p == 0.5),
+    ("crash:0.2:8", lambda m: (m.p, m.at) == (0.2, 8.0)),
+    ("crash:0.2:8:4", lambda m: (m.p, m.at, m.recover) == (0.2, 8.0, 4.0)),
+    ("adversary", lambda m: (m.budget, m.warmup) == (64, 4)),
+    ("adversary:0", lambda m: m.budget == 0),
+    ("adversary:32:2", lambda m: (m.budget, m.warmup) == (32, 2)),
+]
+
+REJECTED_SPECS = [
+    # malformed tokens
+    "drop:x", "drop:", "crash:a", "adversary:many", "adversary:1.5",
+    # arity
+    "drop:0.1:0.2", "crash:0.1:8:2:1", "adversary:1:2:3",
+    # out-of-range parameters (constructor errors, wrapped by the parser)
+    "drop:1.5", "drop:-0.1", "crash:-1", "crash:2",
+    "adversary:-3", "adversary:4:-1",
+    # unknown heads
+    "bogus", "drops:0.1", "",
+]
+
+
+@pytest.mark.parametrize("spec,check", ACCEPTED_SPECS,
+                         ids=[s for s, _ in ACCEPTED_SPECS])
+def test_spec_table_accepted(spec, check):
+    assert check(make_fault_model(spec))
+
+
+@pytest.mark.parametrize("spec", REJECTED_SPECS)
+def test_spec_table_rejected_and_named(spec):
+    """Every rejected spec raises ReproError (never bare ValueError)
+    and the message contains the spec itself."""
+    with pytest.raises(ReproError) as excinfo:
+        make_fault_model(spec)
+    assert repr(spec) in str(excinfo.value)
+
+
 # -- drop semantics -----------------------------------------------------------
 
 

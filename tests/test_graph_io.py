@@ -1,4 +1,4 @@
-"""Edge-list I/O: deterministic label mapping and round-trips."""
+"""Edge-list I/O: deterministic label mapping, strictness, round-trips."""
 
 from __future__ import annotations
 
@@ -9,23 +9,45 @@ from repro.graphs.generators import connected_gnp_graph
 from repro.graphs.io import load_edge_list, parse_edge_list, save_edge_list
 
 
-def test_parse_skips_comments_blanks_selfloops_and_extras():
+def test_parse_skips_comments_blanks_and_extras():
     g = parse_edge_list([
         "# SNAP-style comment",
         "% KONECT-style comment",
         "",
         "0 1 7.5 1999",       # extra columns ignored
         "1 2",
-        "2 2",                # self-loop skipped
         "2 0",
     ])
     assert g.n == 3
     assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 2)]
 
 
-def test_duplicate_edges_collapse():
-    g = parse_edge_list(["0 1", "1 0", "0 1"])
-    assert g.m == 1
+def test_lenient_mode_skips_selfloops_and_collapses_duplicates():
+    """strict=False keeps the repository-dump convention: SNAP files
+    list both orientations of every edge, KONECT ones carry loops."""
+    g = parse_edge_list(["0 1", "1 0", "0 1", "2 2", "1 2"],
+                        strict=False)
+    assert g.n == 3
+    assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+
+def test_strict_rejects_selfloop_with_line_number():
+    with pytest.raises(ReproError, match=r"edges\.txt:3: self-loop '2'"):
+        parse_edge_list(["0 1", "1 2", "2 2"], source="edges.txt")
+
+
+def test_strict_rejects_duplicate_with_both_line_numbers():
+    """Either orientation is a duplicate, and the error names both the
+    offending line and the line the edge first appeared on."""
+    with pytest.raises(ReproError,
+                       match=r"edges\.txt:4: duplicate edge \('1', '0'\), "
+                             r"first seen at line 1"):
+        parse_edge_list(["0 1", "1 2", "", "1 0"], source="edges.txt")
+
+
+def test_malformed_line_reports_position():
+    with pytest.raises(ReproError, match=r"edges\.txt:2: expected two"):
+        parse_edge_list(["0 1", "just-one-token"], source="edges.txt")
 
 
 def test_integer_labels_sort_numerically():
@@ -41,6 +63,14 @@ def test_string_labels_sort_lexicographically():
     g = parse_edge_list(["carol alice", "alice bob"])
     # alice=0, bob=1, carol=2
     assert sorted(g.edges()) == [(0, 1), (0, 2)]
+
+
+def test_mixed_labels_sort_lexicographically():
+    """One non-numeric label flips the whole file to string order —
+    a decision, not an accident of which label the sort reached."""
+    g = parse_edge_list(["7 alice", "10 7"])
+    # lexicographic: '10'=0, '7'=1, 'alice'=2
+    assert sorted(g.edges()) == [(0, 1), (1, 2)]
 
 
 def test_mapping_is_independent_of_line_order():
@@ -62,6 +92,19 @@ def test_save_load_round_trip(tmp_path):
     g = connected_gnp_graph(30, 0.2, seed=3)
     path = str(tmp_path / "g.txt")
     save_edge_list(g, path, header="gnp n=30 p=0.2 seed=3")
+    # save_edge_list emits each edge once, so the strict default holds.
     assert load_edge_list(path) == g
     with open(path, encoding="utf-8") as fh:
         assert fh.readline().startswith("# ")
+
+
+def test_round_trip_preserves_comments_and_blanks_semantics(tmp_path):
+    """A file with interleaved comments and blank lines loads to the
+    same graph as its clean save."""
+    path = str(tmp_path / "messy.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# header\n\n0 1\n% mid comment\n\n1 2\n")
+    g = load_edge_list(path)
+    clean = str(tmp_path / "clean.txt")
+    save_edge_list(g, clean)
+    assert load_edge_list(clean) == g

@@ -9,6 +9,7 @@ from repro.congest.network import SyncNetwork
 from repro.congest.node import NodeAlgorithm
 from repro.congest.runtime import (
     LATENCY_MODELS,
+    AdversaryLatency,
     EventScheduler,
     FixedLatency,
     HeavyTailLatency,
@@ -146,3 +147,75 @@ def test_async_network_exposes_latency_model(gnp_small):
     anet = AsyncNetwork(gnp_small, seed=1, latency="exponential")
     assert anet.latency_model.name == "exponential"
     assert isinstance(anet.scheduler, EventScheduler)
+
+
+# -- the latency adversary ----------------------------------------------------
+
+
+def test_adversary_latency_parameter_validation():
+    with pytest.raises(ReproError):
+        AdversaryLatency(slowdown=0.5)
+    with pytest.raises(ReproError):
+        AdversaryLatency(budget=-1)
+    with pytest.raises(ReproError):
+        AdversaryLatency(warmup=-1)
+
+
+def test_adversary_latency_is_seed_deterministic(gnp_small):
+    """Targeting consumes no randomness: a fixed seed reproduces the
+    exact normalized-time schedule, run after run."""
+    def run(seed):
+        anet = AsyncNetwork(gnp_small, seed=seed,
+                            latency="adversary_latency")
+        anet.run(EchoOnce)
+        return anet.stats.rounds, anet.stats.messages
+
+    assert run(5) == run(5)
+    assert run(9) == run(9)
+
+
+def test_adversary_latency_stretches_time_not_counts(gnp_small):
+    """Against `uniform` (the identical base draws), the adversary can
+    only reorder and delay: message counts stay put, normalized time
+    does not shrink."""
+    adv = AsyncNetwork(gnp_small, seed=11, latency="adversary_latency")
+    adv.run(EchoOnce)
+    base = AsyncNetwork(gnp_small, seed=11, latency="uniform")
+    base.run(EchoOnce)
+    assert adv.stats.messages == base.stats.messages
+    assert adv.stats.rounds >= base.stats.rounds
+    assert adv.latency_model.slowed > 0
+
+
+def test_adversary_latency_respects_budget(gnp_small):
+    model = AdversaryLatency(budget=3, warmup=0)
+    anet = AsyncNetwork(gnp_small, seed=4, latency=model)
+    anet.run(EchoOnce)
+    assert model.slowed == 3
+    assert model.remaining == 0
+
+
+def test_adversary_latency_zero_budget_matches_uniform(gnp_small):
+    """budget=0 disarms the adversary entirely: same draws, same
+    schedule, bit-identical normalized time."""
+    model = AdversaryLatency(budget=0)
+    adv = AsyncNetwork(gnp_small, seed=8, latency=model)
+    adv.run(EchoOnce)
+    base = AsyncNetwork(gnp_small, seed=8, latency="uniform")
+    base.run(EchoOnce)
+    assert adv.stats.rounds == base.stats.rounds
+    assert adv.stats.messages == base.stats.messages
+
+
+def test_adversary_latency_instance_resets_between_networks(gnp_small):
+    """`begin` re-arms a reused instance: the second network sees the
+    full budget again, not the first run's leftovers."""
+    model = AdversaryLatency(budget=5, warmup=0)
+    a = AsyncNetwork(gnp_small, seed=2, latency=model)
+    a.run(EchoOnce)
+    first = model.slowed
+    assert first == 5
+    b = AsyncNetwork(gnp_small, seed=2, latency=model)
+    b.run(EchoOnce)
+    assert model.slowed == first
+    assert a.stats.rounds == b.stats.rounds
