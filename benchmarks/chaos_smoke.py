@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Chaos smoke: kill real processes mid-flight, prove the system heals.
 
-Two chapters, nothing faked (select with ``--only``):
+Three chapters, nothing faked (select with ``--only``):
 
 **farm** — the self-healing sweep farm acceptance scenario:
 
@@ -20,6 +20,21 @@ Afterwards the merged store must be **bit-identical per key** to a
 serial in-process ``run_cell`` pass (modulo the volatile ``wall_s`` /
 ``attempts`` fields), contain **zero lost records**, and ``w1`` must
 have demonstrably reconnected.
+
+**tenants** — the multi-tenant farm (``repro farm serve``) under the
+same abuse:
+
+1. A persistent farm subprocess hosts **two named sweeps** (submitted
+   via ``repro farm submit``) with per-sweep stores and the multi-sweep
+   journal.
+2. Batching worker ``w0`` is **SIGKILL**ed while holding a multi-cell
+   batch (status shows ≥ 2 leases).
+3. With both sweeps still live, the farm is SIGTERM-drained (exit 0)
+   and restarted with ``--resume-journal`` — every tenant must come
+   back.
+4. ``w1`` reconnects and drains both sweeps; each tenant's store must
+   be bit-identical per key to a serial pass with **zero lost
+   records**.
 
 **serve** — the query service (``repro serve``) robustness spine, per
 docs/serving.md's failure matrix:
@@ -139,9 +154,13 @@ def run_farm_scenario(workdir: str) -> None:
                    "--lease", "5", "--journal-interval", "0.2",
                    "--drain-grace", "0.05", "--status-interval", "0"]
                   + SPEC_ARGS)
+    # Single-cell leases: this chapter pins down lease/requeue semantics
+    # and needs pending work outstanding at the bounce; batched leases
+    # get their own chapter (tenants, below).
     worker_argv = ["worker", "--connect", f"127.0.0.1:{port}",
                    "--poll", "0.1", "--reconnect", "25",
-                   "--backoff", "0.2", "--backoff-max", "2", "--json"]
+                   "--backoff", "0.2", "--backoff-max", "2",
+                   "--max-batch", "1", "--json"]
     total = SPEC.size
     procs = []
     logs = {}
@@ -237,6 +256,166 @@ def run_farm_scenario(workdir: str) -> None:
     print(f"chaos smoke: OK — {total} cells bit-identical to serial, "
           f"0 lost, w0 SIGKILLed, coordinator bounced, w1 reconnected "
           f"and completed {w1_count}")
+
+
+# -- the tenants chapter ------------------------------------------------------
+
+#: Two distinct matrices — different methods so a cross-tenant routing
+#: bug would land visibly foreign keys in a store.
+TENANT_SPECS = {
+    "alpha": (SweepSpec(families=("gnp",), sizes=(90, 120),
+                        seeds=(0, 1, 2, 3), methods=("kt1-eps-delta",)),
+              ["--families", "gnp", "--sizes", "90", "120",
+               "--seeds", "0", "1", "2", "3",
+               "--methods", "kt1-eps-delta"]),
+    "beta": (SweepSpec(families=("gnp",), sizes=(90, 120), seeds=(0, 1, 2),
+                       methods=("luby",)),
+             ["--families", "gnp", "--sizes", "90", "120",
+              "--seeds", "0", "1", "2", "--methods", "luby"]),
+}
+
+
+def _farm_submit(port, name, spec_args):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "farm", "submit",
+         "--connect", f"127.0.0.1:{port}", "--name", name] + spec_args,
+        env=_env(), capture_output=True, text=True, timeout=30)
+    if proc.returncode != 0:
+        raise SystemExit(f"chaos smoke: farm submit {name} failed: "
+                         f"{proc.stderr}")
+
+
+def _sweeps_live(snap):
+    sweeps = snap.get("sweeps", {})
+    return (len(sweeps) == 2
+            and all(s["pending"] + s["leased"] > 0
+                    for s in sweeps.values()))
+
+
+def run_tenants_scenario(workdir: str) -> None:
+    store_dir = os.path.join(workdir, "tenant-stores")
+    os.makedirs(store_dir, exist_ok=True)
+    port = _free_port()
+    serve_argv = ["farm", "serve", f"127.0.0.1:{port}",
+                  "--store-dir", store_dir, "--lease", "5",
+                  "--journal-interval", "0.2", "--drain-grace", "0.05",
+                  "--status-interval", "0"]
+    worker_argv = ["worker", "--connect", f"127.0.0.1:{port}",
+                   "--poll", "0.1", "--reconnect", "25",
+                   "--backoff", "0.2", "--backoff-max", "2",
+                   "--max-batch", "4", "--json"]
+    total = sum(spec.size for spec, _ in TENANT_SPECS.values())
+    procs = []
+    logs = {}
+
+    def spawn(name, argv):
+        logs[name] = (open(os.path.join(workdir, name + ".out"), "w+"),
+                      open(os.path.join(workdir, name + ".err"), "w+"))
+        proc = _spawn(argv, *logs[name])
+        procs.append(proc)
+        return proc
+
+    try:
+        farm_a = spawn("farm-a", serve_argv)
+        _poll_status(port, lambda s: s.get("persistent"),
+                     "the farm to come up")
+        for name, (_, spec_args) in TENANT_SPECS.items():
+            _farm_submit(port, name, spec_args)
+
+        # -- SIGKILL a worker while it holds a multi-cell batch ----------
+        fw0 = spawn("farm-w0", worker_argv + ["--id", "w0"])
+        _poll_status(
+            port,
+            lambda s: (s["workers"].get("w0", {}).get("connected")
+                       and len(s["workers"]["w0"]["leases"]) >= 2),
+            "w0 to hold a multi-cell batch")
+        os.kill(fw0.pid, signal.SIGKILL)
+        print(f"chaos smoke: SIGKILLed w0 mid-batch (pid {fw0.pid})")
+
+        # -- drain + restart with two live sweeps ------------------------
+        fw1 = spawn("farm-w1", worker_argv + ["--id", "w1"])
+        snap = _poll_status(
+            port,
+            lambda s: (s["done"] >= 2 and _sweeps_live(s)
+                       and _holds_lease(s, "w1")),
+            "both sweeps live with w1 mid-cell")
+        done_at_bounce = snap["done"]
+        farm_a.send_signal(signal.SIGTERM)
+        rc = _wait(farm_a, "draining farm", timeout_s=30.0)
+        if rc != 0:
+            raise SystemExit(
+                f"chaos smoke: drained farm exited {rc}, want 0")
+        print(f"chaos smoke: farm drained at {done_at_bounce}/{total} "
+              "done with both sweeps live (exit 0)")
+
+        farm_b = spawn("farm-b", serve_argv + ["--resume-journal"])
+        snap = _poll_status(
+            port, lambda s: len(s.get("sweeps", {})) == 2,
+            "the restarted farm to restore both tenants")
+        restored = sorted(snap["sweeps"])
+        if restored != ["alpha", "beta"]:
+            raise SystemExit(
+                f"chaos smoke: restored tenants {restored}, want both")
+        # The drain either handed w1 a shutdown verb (clean exit 0) or
+        # left it mid-cell to reconnect — both are legitimate outcomes,
+        # so the restarted farm always gets a fresh worker of its own.
+        fw2 = spawn("farm-w2", worker_argv + ["--id", "w2"])
+        _poll_status(
+            port,
+            lambda s: all(v["finished"] for v in s["sweeps"].values()),
+            "both sweeps to finish", deadline_s=120.0)
+        farm_b.send_signal(signal.SIGTERM)
+        rc = _wait(farm_b, "restarted farm", timeout_s=30.0)
+        if rc != 0:
+            raise SystemExit(
+                f"chaos smoke: restarted farm exited {rc}, want 0")
+        for label, proc in (("w1", fw1), ("w2", fw2)):
+            rc = _wait(proc, f"worker {label}")
+            if rc != 0:
+                raise SystemExit(
+                    f"chaos smoke: {label} exited {rc}, want 0")
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+
+    # -- the proof: per-tenant stores vs serial, zero lost ---------------
+    for fh, _ in logs.values():
+        fh.flush()
+    for name, (spec, _) in TENANT_SPECS.items():
+        store = ResultStore(os.path.join(store_dir, f"{name}.jsonl"))
+        latest = store.latest_per_key()
+        serial = {c.key(): run_cell(c) for c in spec.cells()}
+        if set(latest) != set(serial):
+            raise SystemExit(
+                f"chaos smoke: sweep {name} store keys != spec keys "
+                f"(missing {sorted(set(serial) - set(latest))}, "
+                f"extra {sorted(set(latest) - set(serial))})")
+        lost = [r for r in store.iter_records()
+                if r.get("status") == "lost"]
+        if lost:
+            raise SystemExit(
+                f"chaos smoke: sweep {name} has {len(lost)} lost "
+                f"record(s): {[r['key'] for r in lost]}")
+        for key, rec in latest.items():
+            want, got = dict(serial[key]), dict(rec)
+            for field in VOLATILE:
+                want.pop(field, None)
+                got.pop(field, None)
+            if got != want:
+                diff = {k for k in set(want) | set(got)
+                        if want.get(k) != got.get(k)}
+                raise SystemExit(
+                    f"chaos smoke: sweep {name} record for {key} "
+                    f"differs from serial in field(s) {sorted(diff)}")
+
+    w1_err = open(os.path.join(workdir, "farm-w1.err")).read()
+    w1_mode = ("reconnected across the bounce"
+               if "reconnect attempt" in w1_err
+               else "drained cleanly at the bounce")
+    print(f"chaos smoke: tenants OK — {total} cells across 2 sweeps "
+          "bit-identical to serial, 0 lost per tenant, w0 SIGKILLed "
+          f"mid-batch, farm bounced with both sweeps live, w1 {w1_mode}")
 
 
 # -- the serve chapter --------------------------------------------------------
@@ -401,7 +580,7 @@ def main() -> int:
     parser.add_argument("--workdir", default=None,
                         help="scratch directory (default: a fresh tmpdir)")
     parser.add_argument("--only", default="all",
-                        choices=("farm", "serve", "all"),
+                        choices=("farm", "tenants", "serve", "all"),
                         help="which chaos chapter to run")
     args = parser.parse_args()
     workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
@@ -410,6 +589,9 @@ def main() -> int:
     if args.only in ("farm", "all"):
         run_farm_scenario(workdir)
         chapters.append("farm")
+    if args.only in ("tenants", "all"):
+        run_tenants_scenario(workdir)
+        chapters.append("tenants")
     if args.only in ("serve", "all"):
         run_serve_scenario(workdir)
         chapters.append("serve")

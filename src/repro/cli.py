@@ -5,13 +5,20 @@ Commands
 color       run a coloring algorithm on a generated graph
 mis         run an MIS algorithm on a generated graph
 sweep       run a declarative experiment matrix under a worker pool
-            (--serve hosts it for remote workers, --dry-run prints the
-            cell plan without executing)
-worker      pull cells from a 'sweep --serve' coordinator and run them
+            (--serve hosts it for remote workers — the single-tenant
+            alias for the farm — --dry-run prints the cell plan)
+worker      pull cells (batched) from a coordinator and run them
             (reconnects with backoff when the coordinator bounces)
-farm        inspect a running coordinator (farm status: queue counts,
-            per-worker health, throughput/ETA)
-report      aggregate a sweep's JSON-lines results (growth exponents)
+farm        the persistent multi-tenant experiment service:
+            farm serve   host named sweeps with per-sweep stores,
+                         priorities, fair-share leasing, journal
+            farm submit  register a named sweep on a running farm
+            farm attach  follow one sweep until it completes
+            farm cancel  drop a sweep's pending cells, revoke leases
+            farm status  queue counts, per-worker health, per-sweep
+                         progress, throughput/ETA
+report      aggregate JSON-lines results (growth exponents); accepts
+            multiple stores and globs for per-sweep farm files
 lowerbound  run the Section 2 crossing experiment
 cycles      run the Theorem 2.17 mute-cycle sweep
 serve       host the coloring/MIS query service (deadlines, bounded
@@ -32,7 +39,9 @@ interrupted sweep resumes where it stopped.
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
 import signal
 import sys
 import threading
@@ -180,11 +189,13 @@ def _parse_endpoint(value: str, default_host: str, what: str):
         raise SystemExit(f"{what} takes PORT or HOST:PORT, got {value!r}")
 
 
-def cmd_sweep(args) -> int:
-    from repro.experiments import ResultStore, SweepSpec, run_sweep
+def _spec_from_args(args):
+    """Build the SweepSpec shared by ``sweep`` and ``farm submit``
+    (both parsers add the same axis flags via ``_sweep_axis_args``)."""
+    from repro.experiments import SweepSpec
 
     try:
-        spec = SweepSpec(
+        return SweepSpec(
             families=tuple(args.families),
             sizes=tuple(args.sizes),
             seeds=tuple(args.seeds),
@@ -202,6 +213,11 @@ def cmd_sweep(args) -> int:
     except ReproError as exc:
         raise SystemExit(str(exc))
 
+
+def cmd_sweep(args) -> int:
+    from repro.experiments import ResultStore, run_sweep
+
+    spec = _spec_from_args(args)
     store = ResultStore(args.out)
 
     if args.dry_run:
@@ -400,6 +416,178 @@ def cmd_farm_status(args) -> int:
         state = "up" if w["connected"] else "gone"
         print(f"    {wid}: {state}, {w['completed']} done, "
               f"{len(w['leases'])} lease(s), {beat}")
+    for name, s in sorted(snap.get("sweeps", {}).items()):
+        eta = "-" if s["eta_s"] is None else f"{s['eta_s']:g}s"
+        flag = (" [cancelled]" if s["cancelled"]
+                else " [finished]" if s["finished"] else "")
+        print(f"    sweep {name}: {s['done']}/{s['total']} done, "
+              f"{s['leased']} leased, {s['pending']} pending, "
+              f"{s['lost']} lost, {s['cells_per_s']:.2f} cells/s, "
+              f"eta {eta}, priority {s['priority']}{flag}")
+    return 0
+
+
+def cmd_farm_serve(args) -> int:
+    """Host the persistent multi-tenant farm until SIGTERM drains it."""
+    from repro.errors import DistributedError
+    from repro.experiments.distributed import Coordinator, QueueJournal
+
+    host, port = _parse_endpoint(args.listen, "0.0.0.0", "PORT")
+    os.makedirs(args.store_dir, exist_ok=True)
+    journal_path = args.journal or os.path.join(args.store_dir,
+                                                "farm.journal")
+    try:
+        coord = Coordinator(
+            persistent=True,
+            store_dir=args.store_dir,
+            host=host, port=port,
+            lease_s=args.lease,
+            max_requeues=args.max_requeues,
+            journal=QueueJournal(journal_path),
+            resume_journal=args.resume_journal,
+            journal_interval_s=args.journal_interval,
+        )
+    except (DistributedError, ReproError) as exc:
+        raise SystemExit(str(exc))
+    bound_host, bound_port = coord.start()
+    resumed = coord.status_snapshot()["sweeps"]
+    print(f"farm serving on {bound_host}:{bound_port} "
+          f"(stores: {args.store_dir}, journal: {journal_path})\n"
+          f"    submit:  python -m repro farm submit "
+          f"--connect HOST:{bound_port} --name NAME ...\n"
+          f"    workers: python -m repro worker "
+          f"--connect HOST:{bound_port}", flush=True)
+    if resumed:
+        print(f"resumed {len(resumed)} sweep(s) from the journal: "
+              f"{', '.join(sorted(resumed))}", flush=True)
+
+    def _drain_handler(signum, frame):
+        name = signal.Signals(signum).name
+        print(f"{name}: draining farm — no new leases, up to "
+              f"{args.drain_grace:g}s for in-flight cells "
+              f"(journal: {journal_path})", file=sys.stderr, flush=True)
+        coord.drain(grace_s=args.drain_grace)
+
+    previous = {sig: signal.signal(sig, _drain_handler)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
+
+    if args.status_interval > 0:
+        def _summary_loop():
+            while True:
+                time.sleep(args.status_interval)
+                snap = coord.status_snapshot()
+                if snap["finished"]:
+                    return
+                sweeps = snap["sweeps"]
+                live = sum(1 for s in sweeps.values()
+                           if not s["finished"] and not s["cancelled"])
+                print(f"[farm] {len(sweeps)} sweep(s), {live} live, "
+                      f"{snap['done']}/{snap['total']} cells done, "
+                      f"{snap['active_workers']} worker(s), "
+                      f"{snap['cells_per_s']:.2f} cells/s", flush=True)
+        threading.Thread(target=_summary_loop, daemon=True).start()
+
+    try:
+        coord.wait(linger_s=2.0)
+    finally:
+        coord.stop()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("farm drained: stores and journal flushed; restart with "
+          "--resume-journal to continue every sweep", file=sys.stderr)
+    return 0
+
+
+def cmd_farm_submit(args) -> int:
+    """Register a named sweep on a running farm."""
+    from repro.errors import DistributedError
+    from repro.experiments.distributed import submit_sweep
+
+    host, port = _parse_endpoint(args.connect, "127.0.0.1", "--connect")
+    spec = _spec_from_args(args)
+    try:
+        ack = submit_sweep(host, port, args.name, spec,
+                           priority=args.priority,
+                           timeout_s=args.rpc_timeout)
+    except DistributedError as exc:
+        print(f"farm submit: {exc}", file=sys.stderr)
+        return 1
+    payload = {
+        "coordinator": f"{host}:{port}",
+        "sweep": ack.get("sweep"),
+        "created": ack.get("created"),
+        "cells to run": ack.get("total"),
+        "fingerprint": ack.get("fingerprint"),
+        "priority": args.priority,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>18}: {value}")
+    return 0
+
+
+def cmd_farm_attach(args) -> int:
+    """Follow one sweep's progress until it completes (or once with
+    ``--poll 0``)."""
+    from repro.errors import DistributedError
+    from repro.experiments.distributed import fetch_sweep
+
+    host, port = _parse_endpoint(args.connect, "127.0.0.1", "--connect")
+    last_done = None
+    while True:
+        try:
+            snap = fetch_sweep(host, port, args.name,
+                               timeout_s=args.timeout)
+        except DistributedError as exc:
+            print(f"farm attach: {exc}", file=sys.stderr)
+            return 1
+        snap.pop("type", None)
+        if not args.json and snap["done"] != last_done:
+            eta = "-" if snap["eta_s"] is None else f"{snap['eta_s']:g}s"
+            print(f"[{args.name}] {snap['done']}/{snap['total']} done, "
+                  f"{snap['leased']} leased, {snap['pending']} pending, "
+                  f"{snap['cells_per_s']:.2f} cells/s, eta {eta}",
+                  flush=True)
+            last_done = snap["done"]
+        if snap.get("cancelled"):
+            print(f"farm attach: sweep {args.name!r} was cancelled",
+                  file=sys.stderr)
+            return 1
+        if snap.get("finished") or args.poll <= 0:
+            if args.json:
+                print(json.dumps(snap, indent=2))
+            elif snap.get("finished"):
+                print(f"[{args.name}] finished: {snap['done']}/"
+                      f"{snap['total']} done, {snap['lost']} lost "
+                      f"(store: {snap['store']})")
+            return 1 if snap.get("finished") and snap["lost"] else 0
+        time.sleep(args.poll)
+
+
+def cmd_farm_cancel(args) -> int:
+    """Cancel a named sweep on a running farm."""
+    from repro.errors import DistributedError
+    from repro.experiments.distributed import cancel_sweep
+
+    host, port = _parse_endpoint(args.connect, "127.0.0.1", "--connect")
+    try:
+        ack = cancel_sweep(host, port, args.name, timeout_s=args.timeout)
+    except DistributedError as exc:
+        print(f"farm cancel: {exc}", file=sys.stderr)
+        return 1
+    payload = {
+        "coordinator": f"{host}:{port}",
+        "sweep": ack.get("sweep"),
+        "dropped (pending)": ack.get("dropped"),
+        "revoked (leases)": ack.get("revoked"),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>18}: {value}")
     return 0
 
 
@@ -436,6 +624,8 @@ def cmd_worker(args) -> int:
             backoff_s=args.backoff,
             backoff_max_s=args.backoff_max,
             on_reconnect=on_reconnect,
+            max_batch=args.max_batch,
+            batch_target_s=args.batch_target,
         )
     except DistributedError as exc:
         print(f"worker: {exc}", file=sys.stderr)
@@ -457,9 +647,20 @@ def cmd_report(args) -> int:
         summarize,
     )
 
-    records = ResultStore(args.results).load()
+    # Each argument may be a literal path or a glob (per-sweep farm
+    # stores: ``repro report --store 'farm-stores/*.jsonl'``).  A
+    # pattern matching nothing falls through as a literal path so the
+    # "no records" diagnostic names it.
+    paths: list[str] = []
+    for pattern in args.results:
+        for path in sorted(glob.glob(pattern)) or [pattern]:
+            if path not in paths:
+                paths.append(path)
+    records = []
+    for path in paths:
+        records.extend(ResultStore(path).load())
     if not records:
-        print(f"no records found in {args.results}", file=sys.stderr)
+        print(f"no records found in {', '.join(paths)}", file=sys.stderr)
         return 1
     summary = summarize(records)
     if args.json:
@@ -754,6 +955,54 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _sweep_axis_args(p) -> None:
+    """Experiment-matrix flags shared by ``sweep`` and ``farm submit``
+    (everything :func:`_spec_from_args` reads)."""
+    p.add_argument("--families", nargs="+", default=["gnp"],
+                   choices=GRAPH_FAMILIES, metavar="FAMILY")
+    p.add_argument("--sizes", type=int, nargs="+", default=[100, 160, 240],
+                   metavar="N")
+    p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
+                   metavar="SEED")
+    p.add_argument("--methods", nargs="+", default=["kt1-delta-plus-one"],
+                   metavar="METHOD",
+                   help="coloring: kt1-delta-plus-one, kt1-eps-delta, "
+                        "baseline-trial, baseline-rank-greedy; "
+                        "MIS: kt2-sampled-greedy, luby, rank-greedy")
+    p.add_argument("--engines", "--engine", nargs="+", dest="engines",
+                   default=["sync"], choices=("sync", "columnar", "async"),
+                   metavar="ENGINE",
+                   help="engine axis: sync (scalar rounds), columnar "
+                        "(numpy whole-round scheduler; counts identical "
+                        "to sync, wall clock differs — docs/columnar.md), "
+                        "async (event-driven; every method runs async, "
+                        "round-cadence ones via the alpha-synchronizer)")
+    p.add_argument("--latencies", nargs="+", default=["uniform"],
+                   choices=LATENCY_MODELS, metavar="MODEL",
+                   help="latency-model axis for async cells "
+                        f"({', '.join(LATENCY_MODELS)}); sync cells "
+                        "ignore it")
+    p.add_argument("--faults", nargs="+", default=["none"], metavar="SPEC",
+                   help="fault-model axis: none, drop:P, "
+                        "crash:P[:T[:R]], adversary[:B[:W]]; multiplies "
+                        "every cell (fault-free keys are unchanged)")
+    p.add_argument("--p", type=float, default=0.2,
+                   help="density knob (edge probability for gnp)")
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--sample-constant", type=float, default=None,
+                   help="Algorithm 3 |S| knob (kt2-sampled-greedy only; "
+                        "default: the method's 1.0)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-cell wall-clock budget; a cell past it is "
+                        "killed (pool unharmed), retried --retries times, "
+                        "then recorded with status=timeout")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts for a timed-out cell")
+    p.add_argument("--full-stats", action="store_true",
+                   help="full accounting (utilized edges, per-tag) "
+                        "instead of the default stats-lite mode")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -801,54 +1050,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an experiment matrix (family x n x seed x method) "
              "under a multiprocessing pool; JSON-lines output, resumable",
     )
-    p.add_argument("--families", nargs="+", default=["gnp"],
-                   choices=GRAPH_FAMILIES, metavar="FAMILY")
-    p.add_argument("--sizes", type=int, nargs="+", default=[100, 160, 240],
-                   metavar="N")
-    p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
-                   metavar="SEED")
-    p.add_argument("--methods", nargs="+", default=["kt1-delta-plus-one"],
-                   metavar="METHOD",
-                   help="coloring: kt1-delta-plus-one, kt1-eps-delta, "
-                        "baseline-trial, baseline-rank-greedy; "
-                        "MIS: kt2-sampled-greedy, luby, rank-greedy")
-    p.add_argument("--engines", "--engine", nargs="+", dest="engines",
-                   default=["sync"], choices=("sync", "columnar", "async"),
-                   metavar="ENGINE",
-                   help="engine axis: sync (scalar rounds), columnar "
-                        "(numpy whole-round scheduler; counts identical "
-                        "to sync, wall clock differs — docs/columnar.md), "
-                        "async (event-driven; every method runs async, "
-                        "round-cadence ones via the alpha-synchronizer)")
-    p.add_argument("--latencies", nargs="+", default=["uniform"],
-                   choices=LATENCY_MODELS, metavar="MODEL",
-                   help="latency-model axis for async cells "
-                        f"({', '.join(LATENCY_MODELS)}); sync cells "
-                        "ignore it")
-    p.add_argument("--faults", nargs="+", default=["none"], metavar="SPEC",
-                   help="fault-model axis: none, drop:P, "
-                        "crash:P[:T[:R]], adversary[:B[:W]]; multiplies "
-                        "every cell (fault-free keys are unchanged)")
-    p.add_argument("--p", type=float, default=0.2,
-                   help="density knob (edge probability for gnp)")
-    p.add_argument("--epsilon", type=float, default=0.5)
-    p.add_argument("--sample-constant", type=float, default=None,
-                   help="Algorithm 3 |S| knob (kt2-sampled-greedy only; "
-                        "default: the method's 1.0)")
+    _sweep_axis_args(p)
     p.add_argument("--workers", type=int, default=0,
                    help="worker processes (0/1 = serial)")
-    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
-                   help="per-cell wall-clock budget; a cell past it is "
-                        "killed (pool unharmed), retried --retries times, "
-                        "then recorded with status=timeout")
-    p.add_argument("--retries", type=int, default=0,
-                   help="extra attempts for a timed-out cell")
     p.add_argument("--out", default="results.jsonl",
                    help="JSON-lines result store (appended; completed "
                         "cells are skipped on re-run)")
-    p.add_argument("--full-stats", action="store_true",
-                   help="full accounting (utilized edges, per-tag) "
-                        "instead of the default stats-lite mode")
     p.add_argument("--serve", default=None, metavar="[HOST:]PORT",
                    help="instead of running locally, serve the cells to "
                         "'repro worker' processes over a TCP work queue "
@@ -908,19 +1115,125 @@ def build_parser() -> argparse.ArgumentParser:
                    help="base reconnect backoff (doubles per attempt)")
     p.add_argument("--backoff-max", type=float, default=15.0,
                    metavar="SECONDS", help="reconnect backoff ceiling")
+    p.add_argument("--max-batch", type=int, default=16, metavar="K",
+                   help="lease up to K cells per round trip (one "
+                        "heartbeat covers the batch); auto-tuned down "
+                        "from an EWMA of cell wall time so a batch "
+                        "targets --batch-target seconds. 1 = classic "
+                        "one-cell-per-lease")
+    p.add_argument("--batch-target", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="wall-clock a leased batch should amount to "
+                        "(capped by the coordinator's lease duration)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable summary")
     p.set_defaults(fn=cmd_worker)
 
     p = subs.add_parser(
         "farm",
-        help="inspect a running 'repro sweep --serve' coordinator",
+        help="run and drive the persistent multi-tenant experiment farm "
+             "(serve/submit/attach/cancel/status)",
     )
     farm_subs = p.add_subparsers(dest="farm_command", required=True)
+
+    ps = farm_subs.add_parser(
+        "serve",
+        help="host a persistent coordinator: named sweeps are submitted "
+             "with 'farm submit', workers pull from every live sweep "
+             "(fair-share by priority), results land in per-sweep "
+             "stores under --store-dir",
+    )
+    ps.add_argument("listen", metavar="[HOST:]PORT",
+                    help="listen address; HOST defaults to 0.0.0.0")
+    ps.add_argument("--store-dir", required=True, metavar="DIR",
+                    help="directory for per-sweep result stores "
+                         "(<name>.jsonl) and the farm journal")
+    ps.add_argument("--journal", default=None, metavar="PATH",
+                    help="multi-sweep queue journal (default: "
+                         "<store-dir>/farm.journal)")
+    ps.add_argument("--resume-journal", action="store_true",
+                    help="restore every journalled sweep at startup — "
+                         "done cells stay done, requeue history "
+                         "survives, cancelled sweeps stay cancelled")
+    ps.add_argument("--lease", type=float, default=30.0, metavar="SECONDS",
+                    help="lease duration per cell (a batch of K cells "
+                         "holds K leases renewed by one heartbeat)")
+    ps.add_argument("--max-requeues", type=int, default=3, metavar="N",
+                    help="times a cell may be re-served after lease "
+                         "expiry before it is recorded as lost")
+    ps.add_argument("--journal-interval", type=float, default=2.0,
+                    metavar="SECONDS",
+                    help="seconds between journal writes")
+    ps.add_argument("--drain-grace", type=float, default=5.0,
+                    metavar="SECONDS",
+                    help="on SIGTERM/SIGINT: stop leasing, wait this "
+                         "long for in-flight cells, flush stores and "
+                         "journal, exit 0")
+    ps.add_argument("--status-interval", type=float, default=30.0,
+                    metavar="SECONDS",
+                    help="print a one-line farm summary this often; "
+                         "0 disables")
+    ps.set_defaults(fn=cmd_farm_serve)
+
+    ps = farm_subs.add_parser(
+        "submit",
+        help="register a named sweep on a running farm (idempotent: "
+             "re-submitting the same name+spec attaches to the live "
+             "sweep; same name, different spec is refused)",
+    )
+    ps.add_argument("--connect", required=True, metavar="HOST:PORT",
+                    help="the farm coordinator's address")
+    ps.add_argument("--name", required=True, metavar="NAME",
+                    help="sweep name (letters, digits, . _ -); also "
+                         "names the store file <name>.jsonl")
+    ps.add_argument("--priority", type=int, default=0,
+                    help="fair-share priority; higher drains first")
+    _sweep_axis_args(ps)
+    ps.add_argument("--rpc-timeout", type=float, default=10.0,
+                    metavar="SECONDS",
+                    help="submit request deadline (--timeout is the "
+                         "per-cell wall-clock budget, an axis flag)")
+    ps.add_argument("--json", action="store_true",
+                    help="machine-readable acknowledgement")
+    ps.set_defaults(fn=cmd_farm_submit)
+
+    ps = farm_subs.add_parser(
+        "attach",
+        help="follow one sweep's progress until it finishes (exit 0 "
+             "clean, 1 on lost cells or cancellation)",
+    )
+    ps.add_argument("--connect", required=True, metavar="HOST:PORT",
+                    help="the farm coordinator's address")
+    ps.add_argument("--name", required=True, metavar="NAME")
+    ps.add_argument("--poll", type=float, default=2.0, metavar="SECONDS",
+                    help="progress poll interval; 0 = print one "
+                         "snapshot and exit")
+    ps.add_argument("--timeout", type=float, default=10.0,
+                    metavar="SECONDS", help="per-request deadline")
+    ps.add_argument("--json", action="store_true",
+                    help="machine-readable final snapshot")
+    ps.set_defaults(fn=cmd_farm_attach)
+
+    ps = farm_subs.add_parser(
+        "cancel",
+        help="cancel a named sweep: pending cells are dropped, leased "
+             "cells are revoked at the next heartbeat; its store keeps "
+             "already-recorded results",
+    )
+    ps.add_argument("--connect", required=True, metavar="HOST:PORT",
+                    help="the farm coordinator's address")
+    ps.add_argument("--name", required=True, metavar="NAME")
+    ps.add_argument("--timeout", type=float, default=10.0,
+                    metavar="SECONDS", help="cancel request deadline")
+    ps.add_argument("--json", action="store_true",
+                    help="machine-readable acknowledgement")
+    ps.set_defaults(fn=cmd_farm_cancel)
+
     ps = farm_subs.add_parser(
         "status",
-        help="live queue counts, per-worker heartbeat ages, cells/s, eta "
-             "(read-only; never leases or disturbs the sweep)",
+        help="live queue counts, per-worker heartbeat ages, per-sweep "
+             "pending/leased/done, cells/s, eta (read-only; never "
+             "leases or disturbs the sweeps)",
     )
     ps.add_argument("--connect", required=True, metavar="HOST:PORT",
                     help="the coordinator's address")
@@ -935,8 +1248,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="aggregate sweep results: mean ± CI per size and fitted "
              "messages-vs-n growth exponents per (family, method)",
     )
-    p.add_argument("--results", default="results.jsonl",
-                   help="JSON-lines store written by 'repro sweep'")
+    p.add_argument("--results", "--store", dest="results", nargs="+",
+                   default=["results.jsonl"], metavar="PATH",
+                   help="JSON-lines store(s) written by 'repro sweep' / "
+                        "the farm; accepts multiple paths and globs "
+                        "(quote them), e.g. --store 'stores/*.jsonl'")
     p.add_argument("--json", action="store_true")
     p.add_argument("--bench-out", default=None, metavar="PATH",
                    help="also write a BENCH_engine.json perf artifact")

@@ -32,13 +32,19 @@ host a distributed run, ``--dry-run`` to print the plan),
 """
 
 from repro.experiments.distributed import (
+    DEFAULT_SWEEP,
     PROTOCOL_VERSION,
     Coordinator,
     QueueJournal,
+    SweepState,
     WorkQueue,
+    cancel_sweep,
     fetch_status,
+    fetch_sweep,
+    list_sweeps,
     run_worker,
     serve_sweep,
+    submit_sweep,
 )
 from repro.experiments.report import bench_payload, render_report, summarize
 from repro.experiments.runner import run_cell, run_sweep
@@ -64,15 +70,20 @@ __all__ = [
     "ASYNC_NATIVE_METHODS",
     "COLORING_METHODS",
     "Coordinator",
+    "DEFAULT_SWEEP",
     "MIS_METHODS",
     "PROTOCOL_VERSION",
     "Cell",
     "QueueJournal",
     "ResultStore",
     "SweepSpec",
+    "SweepState",
     "WorkQueue",
     "bench_payload",
+    "cancel_sweep",
     "fetch_status",
+    "fetch_sweep",
+    "list_sweeps",
     "fit_exponent",
     "growth_exponents",
     "latest_per_key",
@@ -83,5 +94,6 @@ __all__ = [
     "run_sweep",
     "run_worker",
     "serve_sweep",
+    "submit_sweep",
     "summarize",
 ]

@@ -1,18 +1,29 @@
-"""Distributed multi-host sweep execution.
+"""Distributed multi-host sweep execution: the experiment farm.
 
 The exponent fits behind the paper's claims want many families x sizes
 x seeds x engines cells — more than one machine delivers in reasonable
-time.  This module splits a
-:class:`~repro.experiments.spec.SweepSpec` across hosts:
+time.  This module splits
+:class:`~repro.experiments.spec.SweepSpec` matrices across hosts:
 
-* a **coordinator** (:class:`Coordinator` / :func:`serve_sweep`) serves
-  cells over a TCP work queue with lease + heartbeat + requeue-on-dead-
-  worker semantics and merges every incoming record into the one
-  resumable JSON-lines :class:`~repro.experiments.store.ResultStore`;
+* a **coordinator** (:class:`Coordinator` / :func:`serve_sweep` /
+  ``repro farm serve``) serves cells over a TCP work queue with lease +
+  heartbeat + requeue-on-dead-worker semantics and merges every
+  incoming record into resumable JSON-lines
+  :class:`~repro.experiments.store.ResultStore` files;
 * a **worker** (:func:`run_worker`, ``repro worker --connect
   HOST:PORT``) pulls cells, runs each through the supervised process
   farm (per-cell timeouts and retries included, exactly as a local
   sweep would), and streams the records back.
+
+Since PR 10 the coordinator is **multi-tenant**: one farm process
+serves any number of *named sweeps*, each with its own
+:class:`WorkQueue`, its own result store, and a priority; workers are
+fed across tenants by fair-share leasing (highest priority first, then
+least recently served).  ``repro sweep --serve`` still works unchanged
+— it is the single-tenant special case, serving one sweep named
+``"default"`` and exiting when it completes — while ``repro farm
+serve`` keeps the process up between sweeps (``persistent=True``) and
+accepts new tenants over the wire.
 
 Wire protocol
 -------------
@@ -24,17 +35,37 @@ conventions refuse to mix records instead of silently mispooling them:
                "worker": ID}
     coord  <- {"type": "welcome", "version": V, "lease_s": S}
             | {"type": "reject", "reason": ...}        # then close
-    worker -> {"type": "lease"}
-    coord  <- {"type": "cell", "cell": {...}}          # Cell.to_dict()
+    worker -> {"type": "lease"}                        # classic, or:
+    worker -> {"type": "lease", "max_cells": K}        # batched
+    coord  <- {"type": "cell", "cell": {...}, "sweep": NAME}
+            | {"type": "cells", "sweep": NAME, "cells": [{...}, ...]}
             | {"type": "idle", "retry_s": S}           # leased out, wait
             | {"type": "shutdown"}                     # sweep complete
-    worker -> {"type": "heartbeat", "key": K}          # while running
+    worker -> {"type": "heartbeat", "key": K, "sweep": NAME}
     coord  <- {"type": "ok"} | {"type": "gone"}        # lease revoked:
                                                        # kill the cell
-    worker -> {"type": "result", "record": {...}}
+    worker -> {"type": "heartbeat", "keys": [K...], "sweep": NAME}
+    coord  <- {"type": "ok", "gone": [K...]}           # batch form
+    worker -> {"type": "result", "record": {...}, "sweep": NAME}
     coord  <- {"type": "ok", "accepted": bool}
     any    -> {"type": "status"}                       # read-only
-    coord  <- {"type": "status", pending/leased/done/workers/...}
+    coord  <- {"type": "status", pending/leased/done/workers/sweeps/...}
+    any    -> {"type": "submit", "name": N, "spec": {...},
+               "fingerprint": F, "priority": P}        # new tenant
+    coord  <- {"type": "ok", "sweep": N, "created": bool, "total": T}
+    any    -> {"type": "attach", "name": N}
+    coord  <- {"type": "sweep", ...per-sweep snapshot...}
+    any    -> {"type": "list"}
+    coord  <- {"type": "sweeps", "sweeps": {N: {...}, ...}}
+    any    -> {"type": "cancel", "name": N}
+    coord  <- {"type": "ok", "sweep": N, "dropped": D, "revoked": R}
+
+Every addition is *additive*: the protocol version stays 1, an old
+worker that never sends ``max_cells`` gets the classic single-``cell``
+reply (the ``sweep`` field rides along unread) and keeps working
+against the farm's default tenant selection; a farm verb the peer
+cannot satisfy answers ``{"type": "error", "reason": ...}`` instead of
+closing the connection.
 
 Leases are keyed on ``cell.key()``.  A worker that stops heartbeating
 (crash, network partition) has its leases expire and the cells are
@@ -44,6 +75,14 @@ Duplicate results for one key (a lease that expired on a worker that
 then finished anyway) are dropped at the queue, and the store's readers
 apply last-record-wins per key regardless, so the merged store is safe
 to aggregate even when races slip through.
+
+Worker-side batching amortizes the per-cell lease/heartbeat churn that
+dominates sub-second cells: a worker asks for up to K cells per round
+trip, runs them sequentially, and one heartbeat covers the whole
+in-flight batch (current cell plus the queued remainder).  K is
+auto-tuned from an EWMA of observed cell wall time so the batch fits
+inside ``min(batch_target_s, lease_s)`` — long cells degrade to K=1,
+the classic protocol.
 
 Self-healing semantics (the reasons hour-long robustness sweeps survive
 real faults, not just simulated ones):
@@ -57,16 +96,18 @@ real faults, not just simulated ones):
   means the coordinator re-served the cell; the worker terminates the
   in-flight child process (the ``cancel`` seam on
   :func:`~repro.experiments.runner._run_cells_with_timeout`) and drops
-  the stale record instead of computing to completion.
-* **Coordinator drain.**  SIGTERM/SIGINT on ``repro sweep --serve``
-  stops leasing, answers ``shutdown`` to lease requests, gives
-  in-flight cells a grace window to land, fsyncs the store + journal,
-  and exits 0.
+  the stale record instead of computing to completion.  In a batch,
+  revoked not-yet-started cells are silently dropped from the
+  remainder.
+* **Coordinator drain.**  SIGTERM/SIGINT on ``repro sweep --serve`` /
+  ``repro farm serve`` stops leasing, answers ``shutdown`` to lease
+  requests, gives in-flight cells a grace window to land, fsyncs every
+  tenant's store + the journal, and exits 0.
 * **Queue journal.**  The coordinator periodically writes an fsync'd
-  snapshot of the queue (done keys, requeue counts, live leases) beside
-  the store; ``repro sweep --serve --resume-journal`` restores it so a
-  bounced coordinator neither re-runs completed cells nor forgets
-  ``max_requeues`` history.
+  snapshot of *every* tenant queue (spec, done keys, requeue counts,
+  live leases) beside the stores; ``--resume-journal`` restores all of
+  them so a bounced farm neither re-runs completed cells nor forgets
+  ``max_requeues`` history, for any tenant.
 """
 
 from __future__ import annotations
@@ -74,6 +115,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import re
 import socket
 import socketserver
 import threading
@@ -81,7 +123,7 @@ import time
 from collections import deque
 from typing import Callable, Iterable, Optional
 
-from repro.errors import DistributedError, ProtocolMismatchError
+from repro.errors import DistributedError, ProtocolMismatchError, ReproError
 from repro.experiments.runner import (
     _failure_record,
     _run_cells_with_timeout,
@@ -104,6 +146,25 @@ DEFAULT_BACKOFF_MAX_S = 15.0
 DEFAULT_JOURNAL_INTERVAL_S = 2.0
 DEFAULT_DRAIN_GRACE_S = 5.0
 
+#: The tenant name single-sweep entry points (`repro sweep --serve`,
+#: Coordinator(spec=...)) serve under — old workers land here.
+DEFAULT_SWEEP = "default"
+DEFAULT_PRIORITY = 0
+#: Upper bound on cells per batched lease; the EWMA tuner never asks
+#: for more than fit in ``batch_target_s`` of observed wall time.
+DEFAULT_MAX_BATCH = 16
+#: Wall-time worth of cells a worker aims to hold per round trip.
+#: Deliberately well under the default lease: the whole batch must
+#: finish (or heartbeat) before any of its leases expire.
+DEFAULT_BATCH_TARGET_S = 5.0
+#: Smoothing for the worker's per-cell wall-time estimate.
+BATCH_EWMA_ALPHA = 0.3
+
+_SWEEP_NAME_PATTERN = r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}"
+#: Sweep names become store file names (`<name>.jsonl`), so the grammar
+#: excludes separators and anything a shell would mangle.
+_SWEEP_NAME_RE = re.compile(rf"^{_SWEEP_NAME_PATTERN}$")
+
 
 # -- framing ------------------------------------------------------------------
 
@@ -118,6 +179,10 @@ def _recv_msg(rfile) -> Optional[dict]:
     line = rfile.readline()
     if not line:
         return None
+    return _parse_msg(line)
+
+
+def _parse_msg(line: bytes) -> dict:
     try:
         msg = json.loads(line)
     except json.JSONDecodeError as exc:
@@ -140,11 +205,11 @@ recv_msg = _recv_msg
 class WorkQueue:
     """Thread-safe cell queue with per-key leases.
 
-    The coordinator's single source of truth: every cell is either
-    pending, leased (keyed on ``cell.key()``, with an expiry a healthy
-    worker keeps pushing forward via heartbeats), or done.  Expired or
-    dropped leases put the cell back on the pending deque; a cell that
-    keeps getting requeued (``max_requeues`` exceeded) comes back from
+    One tenant's single source of truth: every cell is either pending,
+    leased (keyed on ``cell.key()``, with an expiry a healthy worker
+    keeps pushing forward via heartbeats), or done.  Expired or dropped
+    leases put the cell back on the pending deque; a cell that keeps
+    getting requeued (``max_requeues`` exceeded) comes back from
     :meth:`reap` as *lost* so the caller can record a failure and the
     sweep can still finish.
     """
@@ -172,14 +237,23 @@ class WorkQueue:
     def lease(self, worker: str,
               now: Optional[float] = None) -> Optional[Cell]:
         """Hand the next pending cell to ``worker`` (None = none free)."""
+        cells = self.lease_batch(worker, 1, now=now)
+        return cells[0] if cells else None
+
+    def lease_batch(self, worker: str, max_cells: int,
+                    now: Optional[float] = None) -> list[Cell]:
+        """Hand up to ``max_cells`` pending cells to ``worker`` in one
+        turn — the batched lease all K cells' expiries start from."""
         now = time.monotonic() if now is None else now
+        cells: list[Cell] = []
         with self._lock:
-            if not self._pending:
-                return None
-            cell = self._pending.popleft()
-            self._leases[cell.key()] = [cell, worker, now + self.lease_s]
-            self._ever_leased.add(cell.key())
-            return cell
+            while self._pending and len(cells) < max_cells:
+                cell = self._pending.popleft()
+                self._leases[cell.key()] = [cell, worker,
+                                            now + self.lease_s]
+                self._ever_leased.add(cell.key())
+                cells.append(cell)
+        return cells
 
     def heartbeat(self, worker: str, key: str,
                   now: Optional[float] = None) -> bool:
@@ -247,6 +321,21 @@ class WorkQueue:
                     lost.append(cell)
         return lost
 
+    def cancel(self) -> tuple[int, list[str]]:
+        """Drop all pending cells and revoke every live lease.
+
+        Returns ``(dropped, revoked_keys)``.  Afterwards the queue is
+        finished: heartbeats answer ``gone`` (killing in-flight cells)
+        and results for revoked keys are refused by the coordinator's
+        cancelled-tenant check.
+        """
+        with self._lock:
+            dropped = len(self._pending)
+            self._pending.clear()
+            revoked = sorted(self._leases)
+            self._leases.clear()
+            return dropped, revoked
+
     def _requeue_locked(self, key: str) -> Optional[Cell]:
         """Drop ``key``'s lease; returns the cell only if it became
         lost (otherwise it went back on the pending deque)."""
@@ -271,9 +360,21 @@ class WorkQueue:
         with self._lock:
             return len(self._pending) + len(self._leases)
 
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
     def has_leases(self) -> bool:
         with self._lock:
             return bool(self._leases)
+
+    def knows(self, key: str) -> bool:
+        """Whether ``key`` belongs to this queue (done, leased, or
+        pending) — the coordinator's last-resort record router for
+        legacy workers that tag results with neither sweep nor route."""
+        with self._lock:
+            return (key in self._done or key in self._leases
+                    or any(c.key() == key for c in self._pending))
 
     def counts(self) -> dict:
         """Live queue counts for the ``status`` verb / progress lines."""
@@ -351,16 +452,23 @@ class WorkQueue:
 
 
 class QueueJournal:
-    """Durable queue snapshots beside the result store.
+    """Durable queue snapshots beside the result stores.
 
-    The store alone cannot restart a mid-sweep coordinator faithfully:
-    it knows the *ok* cells (resume skips them) but not the requeue
+    The stores alone cannot restart a mid-sweep coordinator faithfully:
+    they know the *ok* cells (resume skips them) but not the requeue
     history (``max_requeues`` would reset, so a worker-killing cell
-    could loop forever across coordinator bounces) nor which failed/lost
-    keys the dying coordinator had already given up on.  The journal is
-    a single atomically-replaced, fsync'd JSON file carrying exactly
-    that (:meth:`WorkQueue.snapshot`) plus the sweep's spec fingerprint,
-    written periodically and at drain.
+    could loop forever across coordinator bounces) nor which
+    failed/lost keys the dying coordinator had already given up on.
+    The journal is a single atomically-replaced, fsync'd JSON file
+    carrying exactly that per tenant (:meth:`WorkQueue.snapshot` plus
+    each sweep's spec and fingerprint), written periodically and at
+    drain.
+
+    Two on-disk formats are understood: the multi-tenant
+    ``repro-farm-journal`` (:meth:`write_farm` — what coordinators
+    write now) and the single-sweep ``repro-queue-journal``
+    (:meth:`write` — the legacy flat layout, still accepted on load so
+    pre-farm journals resume cleanly as the ``default`` tenant).
     """
 
     def __init__(self, path: str):
@@ -368,12 +476,23 @@ class QueueJournal:
 
     def write(self, snapshot: dict, fingerprint: Optional[str] = None,
               drained: bool = False) -> None:
+        """Legacy single-sweep layout: one flat queue snapshot."""
         write_json_atomic(self.path, {
             "format": "repro-queue-journal",
             "version": PROTOCOL_VERSION,
             "fingerprint": fingerprint,
             "drained": drained,
             **snapshot,
+        })
+
+    def write_farm(self, sweeps: dict, drained: bool = False) -> None:
+        """Multi-tenant layout: one entry per named sweep, each a queue
+        snapshot plus the spec needed to re-expand its pending cells."""
+        write_json_atomic(self.path, {
+            "format": "repro-farm-journal",
+            "version": 2,
+            "drained": drained,
+            "sweeps": sweeps,
         })
 
     def load(self) -> Optional[dict]:
@@ -386,7 +505,8 @@ class QueueJournal:
         except (OSError, json.JSONDecodeError) as exc:
             raise DistributedError(
                 f"unreadable queue journal {self.path}: {exc}")
-        if payload.get("format") != "repro-queue-journal":
+        if payload.get("format") not in ("repro-queue-journal",
+                                         "repro-farm-journal"):
             raise DistributedError(
                 f"{self.path} is not a repro queue journal")
         return payload
@@ -398,7 +518,131 @@ class QueueJournal:
             pass
 
 
+def _journal_sweeps(payload: dict) -> dict:
+    """Normalize either journal format to ``{name: entry}``.
+
+    A legacy flat journal becomes one entry for the ``default`` tenant
+    (no spec recorded — legacy coordinators re-expanded from their own
+    command line), so every reader handles exactly one shape.
+    """
+    if payload.get("format") == "repro-farm-journal":
+        sweeps = payload.get("sweeps") or {}
+        return {str(name): dict(entry) for name, entry in sweeps.items()}
+    return {DEFAULT_SWEEP: {
+        "spec": None,
+        "fingerprint": payload.get("fingerprint"),
+        "priority": DEFAULT_PRIORITY,
+        "cancelled": False,
+        "done": payload.get("done", []),
+        "failed": payload.get("failed", []),
+        "requeues": payload.get("requeues", {}),
+        "leased": payload.get("leased", []),
+    }}
+
+
+# -- per-tenant state ---------------------------------------------------------
+
+
+class SweepState:
+    """One named sweep inside a multi-tenant coordinator.
+
+    Owns the tenant's queue, store, priority, and bookkeeping; the
+    coordinator's global counters are sums over these.
+    """
+
+    def __init__(self, name: str, spec: Optional[SweepSpec],
+                 cells: Optional[Iterable[Cell]],
+                 store: Optional[ResultStore], owns_store: bool,
+                 priority: int, lease_s: float, max_requeues: int):
+        self.name = name
+        self.spec = spec
+        self.fingerprint = spec.fingerprint() if spec is not None else None
+        self.store = store
+        #: Farm-opened stores are closed by the coordinator at stop();
+        #: caller-supplied ones stay the caller's to close.
+        self.owns_store = owns_store
+        self.priority = priority
+        self.cancelled = False
+        if cells is None:
+            cells = spec.cells()
+        done = store.completed_keys() if store is not None else set()
+        todo = [c for c in cells if c.key() not in done]
+        self.total = len(todo)
+        self.queue = WorkQueue(todo, lease_s=lease_s,
+                               max_requeues=max_requeues)
+        self.fresh: list[dict] = []
+        self.duplicates = 0
+        #: Fair-share clock: bumped to the coordinator's lease sequence
+        #: each time this tenant is served, so ties on priority go to
+        #: the tenant served longest ago.
+        self.last_leased_seq = 0
+        self.started_at = time.monotonic()
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        """JSON-safe per-sweep view for ``status``/``attach``/``list``."""
+        now = time.monotonic() if now is None else now
+        counts = self.queue.counts()
+        outstanding = counts["pending"] + counts["leased"]
+        elapsed = max(1e-9, now - self.started_at)
+        rate = len(self.fresh) / elapsed
+        return {
+            "name": self.name,
+            "priority": self.priority,
+            "cancelled": self.cancelled,
+            "fingerprint": self.fingerprint,
+            "total": self.total,
+            "pending": counts["pending"],
+            "leased": counts["leased"],
+            "done": self.total - outstanding,
+            "lost": counts["failed"],
+            "records": len(self.fresh),
+            "duplicates": self.duplicates,
+            "cells_per_s": round(rate, 4),
+            "eta_s": (round(outstanding / rate, 1) if rate > 0
+                      and outstanding else (0.0 if not outstanding
+                                            else None)),
+            "finished": self.queue.finished(),
+            "store": self.store.path if self.store is not None else None,
+        }
+
+
 # -- coordinator --------------------------------------------------------------
+
+
+def _farm_verb_reply(coord: "Coordinator", msg: dict) -> dict:
+    """Handle one farm-management verb; errors become error *replies*
+    (the connection stays usable), unlike worker-verb errors which drop
+    the peer."""
+    kind = msg.get("type")
+    try:
+        if kind == "submit":
+            spec_dict = msg.get("spec")
+            if not isinstance(spec_dict, dict):
+                raise DistributedError("submit without a spec")
+            spec = SweepSpec.from_dict(spec_dict)
+            sent = msg.get("fingerprint")
+            if sent is not None and sent != spec.fingerprint():
+                raise DistributedError(
+                    f"submitted fingerprint {sent} != recomputed "
+                    f"{spec.fingerprint()} (coordinator/client schema "
+                    "skew?)")
+            state, created = coord.add_sweep(
+                msg.get("name"), spec=spec,
+                priority=int(msg.get("priority", DEFAULT_PRIORITY)))
+            return {"type": "ok", "sweep": state.name,
+                    "created": created, "total": state.total,
+                    "fingerprint": state.fingerprint}
+        if kind == "attach":
+            return {"type": "sweep",
+                    **coord.sweep_snapshot(msg.get("name"))}
+        if kind == "list":
+            return {"type": "sweeps", "sweeps": coord.sweeps_snapshot()}
+        if kind == "cancel":
+            return {"type": "ok",
+                    **coord.cancel_sweep(msg.get("name"))}
+        raise DistributedError(f"unknown farm verb {kind!r}")
+    except (DistributedError, ReproError, TypeError, ValueError) as exc:
+        return {"type": "error", "reason": str(exc)}
 
 
 class _WorkerConnection(socketserver.StreamRequestHandler):
@@ -411,6 +655,7 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
         # leases is a dead peer and its cells must go back in the queue.
         self.connection.settimeout(max(10.0, 2 * coord.lease_s))
         worker = None
+        registered = False
         try:
             hello = _recv_msg(self.rfile)
             if (not hello or hello.get("type") != "hello"
@@ -433,9 +678,9 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
                 return
             worker = str(hello.get("worker")
                          or f"{self.client_address[0]}:{self.client_address[1]}")
-            # Status probes (`repro farm status`) are read-only peers:
-            # they never lease, so they don't enter the worker registry
-            # that drain/status report on.
+            # Control clients (`repro farm status|submit|...`) are
+            # read-or-manage peers: they never lease, so they don't
+            # enter the worker registry that drain/status report on.
             registered = hello.get("role") != "status"
             if registered:
                 coord.worker_connected(worker)
@@ -454,35 +699,58 @@ class _WorkerConnection(socketserver.StreamRequestHandler):
                         # worker is released cleanly mid-sweep.
                         _send_msg(self.wfile, {"type": "shutdown"})
                         return
-                    cell = coord.queue.lease(worker)
-                    if cell is not None:
+                    max_cells = msg.get("max_cells")
+                    batch = (max(1, int(max_cells))
+                             if max_cells is not None else 1)
+                    name, cells = coord.lease_cells(worker, batch)
+                    if cells and max_cells is None:
+                        # Classic reply for pre-batching workers; the
+                        # sweep name is additive (old workers ignore it).
                         _send_msg(self.wfile, {"type": "cell",
-                                               "cell": cell.to_dict()})
-                    elif coord.queue.finished():
+                                               "cell": cells[0].to_dict(),
+                                               "sweep": name})
+                    elif cells:
+                        _send_msg(self.wfile, {
+                            "type": "cells",
+                            "sweep": name,
+                            "cells": [c.to_dict() for c in cells],
+                        })
+                    elif coord.work_complete():
                         _send_msg(self.wfile, {"type": "shutdown"})
                         return
                     else:
-                        # Everything is leased out; work may still come
-                        # back if another worker's lease expires.
+                        # Everything is leased out (or the farm is idle
+                        # but persistent); work may still arrive.
                         _send_msg(self.wfile, {
                             "type": "idle",
                             "retry_s": min(1.0, coord.lease_s / 4),
                         })
                 elif kind == "heartbeat":
                     coord.touch_worker(worker, heartbeat=True)
-                    alive = coord.queue.heartbeat(worker, msg.get("key"))
-                    _send_msg(self.wfile,
-                              {"type": "ok" if alive else "gone"})
+                    sweep = msg.get("sweep")
+                    if "keys" in msg:
+                        gone = coord.heartbeat_keys(
+                            worker, [str(k) for k in msg.get("keys") or []],
+                            sweep=sweep)
+                        _send_msg(self.wfile, {"type": "ok", "gone": gone})
+                    else:
+                        alive = coord.lease_heartbeat(
+                            worker, msg.get("key"), sweep=sweep)
+                        _send_msg(self.wfile,
+                                  {"type": "ok" if alive else "gone"})
                 elif kind == "result":
                     record = msg.get("record")
                     if not isinstance(record, dict) or "key" not in record:
                         raise DistributedError("result without a record")
-                    accepted = coord.submit(worker, record)
+                    accepted = coord.submit(worker, record,
+                                            sweep=msg.get("sweep"))
                     _send_msg(self.wfile, {"type": "ok",
                                            "accepted": accepted})
                 elif kind == "status":
                     _send_msg(self.wfile, {"type": "status",
                                            **coord.status_snapshot()})
+                elif kind in ("submit", "attach", "list", "cancel"):
+                    _send_msg(self.wfile, _farm_verb_reply(coord, msg))
                 else:
                     raise DistributedError(
                         f"unknown message type {kind!r}")
@@ -503,22 +771,37 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
 
 
 class Coordinator:
-    """Serve a sweep's cells to remote workers and merge their records.
+    """Serve sweeps' cells to remote workers and merge their records.
 
     The counterpart of :func:`repro.experiments.run_sweep` for
     multi-host execution: the same resume semantics (cells whose key the
-    store already holds are never served), the same store (every record
-    a worker streams back is appended and flushed immediately), and the
-    same failure conventions (a cell no worker could finish is recorded
-    with ``status="lost"``, ``valid=False``, excluded from fits and
-    retried by the next resume).
+    store already holds are never served), the same stores (every record
+    a worker streams back is appended and flushed immediately, to the
+    tenant that leased the cell), and the same failure conventions (a
+    cell no worker could finish is recorded with ``status="lost"``,
+    ``valid=False``, excluded from fits and retried by the next resume).
 
-    Usage::
+    Two shapes:
 
-        coord = Coordinator(spec, store=store)
-        host, port = coord.start()
-        ... point `repro worker --connect host:port` at it ...
-        fresh = coord.wait()
+    * **single sweep** (the classic, ``repro sweep --serve``)::
+
+          coord = Coordinator(spec, store=store)
+          host, port = coord.start()
+          ... point `repro worker --connect host:port` at it ...
+          fresh = coord.wait()      # returns when the sweep completes
+
+    * **persistent farm** (``repro farm serve``)::
+
+          coord = Coordinator(persistent=True, store_dir="results/")
+          coord.start()
+          ... `repro farm submit --name exp-a ...` adds tenants over
+          ... the wire (or call coord.add_sweep directly) ...
+          coord.drain()             # SIGTERM handler calls this
+          coord.wait()              # returns after the drain settles
+
+    A persistent coordinator never declares the work complete on its
+    own — an empty farm idles, waiting for the next ``submit`` — so
+    :meth:`wait` only returns after :meth:`drain`.
     """
 
     def __init__(
@@ -534,59 +817,184 @@ class Coordinator:
         journal: Optional[QueueJournal] = None,
         resume_journal: bool = False,
         journal_interval_s: float = DEFAULT_JOURNAL_INTERVAL_S,
+        persistent: bool = False,
+        store_dir: Optional[str] = None,
+        name: str = DEFAULT_SWEEP,
+        priority: int = DEFAULT_PRIORITY,
     ):
-        if cells is None:
-            if spec is None:
-                raise DistributedError("Coordinator needs a spec or cells")
-            cells = spec.cells()
-        done = store.completed_keys() if store is not None else set()
-        todo = [c for c in cells if c.key() not in done]
-        self.total = len(todo)
+        if spec is None and cells is None and not persistent:
+            raise DistributedError("Coordinator needs a spec or cells")
         self.lease_s = lease_s
-        self.queue = WorkQueue(todo, lease_s=lease_s,
-                               max_requeues=max_requeues)
+        self.max_requeues = max_requeues
         self.fresh: list[dict] = []
-        self.duplicates = 0
         self.drained = False
-        self._fingerprint = (spec.fingerprint()
-                             if spec is not None else None)
-        self._journal = journal
+        self._persistent = persistent
+        self._store_dir = store_dir
+        # Attached below, *after* the initial sweep registers: add_sweep
+        # persists the registry, which must not clobber a journal that
+        # resume_journal is about to load.
+        self._journal = None
         self._journal_interval_s = journal_interval_s
-        self._store = store
         self._progress = progress
         self._lock = threading.Lock()
         #: worker_id -> {connections, completed, last_seen,
         #:               last_heartbeat} (monotonic clocks)
         self._workers: dict[str, dict] = {}
         self._started_at = time.monotonic()
-        # Serializes "mark done in the queue" with "write the record":
-        # check_finished takes it too, so no thread can observe the
-        # queue finished while the final record is still unwritten
-        # (wait() returning before the last append reaches the store).
+        # Serializes tenant bookkeeping — the sweep registry, lease
+        # routing, and "mark done in the queue" with "write the
+        # record"; check_finished takes it too, so no thread can observe
+        # the queues finished while the final record is still unwritten
+        # (wait() returning before the last append reaches a store).
         self._submit_lock = threading.Lock()
+        self._sweeps: dict[str, SweepState] = {}
+        #: (worker_id, cell key) -> sweep name, written at lease time
+        #: so legacy results (no ``sweep`` field) still route home.
+        self._routes: dict[tuple[str, str], str] = {}
+        self._lease_seq = 0
         self._finished = threading.Event()
         self._draining = threading.Event()
         self._server: Optional[_CoordinatorServer] = None
         self._threads: list[threading.Thread] = []
         self._host, self._port = host, port
+        if spec is not None or cells is not None:
+            self.add_sweep(name, spec=spec, cells=cells, store=store,
+                           priority=priority)
+        self._journal = journal
         if journal is not None and resume_journal:
-            snapshot = journal.load()
-            if snapshot is not None:
-                self._restore_journal(snapshot)
+            payload = journal.load()
+            if payload is not None:
+                self._restore_journal(payload)
         self.check_finished()
 
-    def _restore_journal(self, snapshot: dict) -> None:
-        theirs = snapshot.get("fingerprint")
-        if (theirs is not None and self._fingerprint is not None
-                and theirs != self._fingerprint):
+    # -- tenant registry ---------------------------------------------------
+
+    def add_sweep(
+        self,
+        name: str,
+        spec: Optional[SweepSpec] = None,
+        cells: Optional[Iterable[Cell]] = None,
+        store: Optional[ResultStore] = None,
+        priority: int = DEFAULT_PRIORITY,
+        owns_store: bool = False,
+    ) -> tuple[SweepState, bool]:
+        """Register (or find) a named sweep; returns (state, created).
+
+        Submitting the same name with the same spec fingerprint is
+        idempotent (the live tenant is returned, ``created=False``);
+        the same name with a *different* spec is an error — records
+        from different matrices must not share a store.  Resubmitting a
+        *cancelled* name revives it with a fresh queue (the store, if
+        farm-managed, resumes from its completed keys as usual).
+        """
+        name = str(name or "")
+        if not _SWEEP_NAME_RE.match(name):
             raise DistributedError(
-                f"queue journal {self._journal.path} was written for a "
-                f"different sweep (fingerprint {theirs} != "
-                f"{self._fingerprint}); refusing to replay its requeue "
-                "history into this one"
-            )
-        for cell in self.queue.restore(snapshot):
-            self._record_lost(cell)
+                f"invalid sweep name {name!r} "
+                f"(want /{_SWEEP_NAME_PATTERN}/)")
+        if spec is None and cells is None:
+            raise DistributedError(f"sweep {name!r} needs a spec or cells")
+        fingerprint = spec.fingerprint() if spec is not None else None
+        with self._submit_lock:
+            if self._draining.is_set():
+                raise DistributedError(
+                    "coordinator is draining; not accepting new sweeps")
+            existing = self._sweeps.get(name)
+            if existing is not None and not existing.cancelled:
+                if (fingerprint is not None
+                        and existing.fingerprint is not None
+                        and fingerprint != existing.fingerprint):
+                    raise DistributedError(
+                        f"sweep {name!r} is already being served for a "
+                        f"different spec (fingerprint "
+                        f"{existing.fingerprint} != {fingerprint})")
+                return existing, False
+            if (existing is not None and existing.owns_store
+                    and existing.store is not None):
+                try:
+                    existing.store.close()
+                except OSError:
+                    pass
+            if store is None and self._store_dir is not None:
+                store = ResultStore(
+                    os.path.join(self._store_dir, f"{name}.jsonl"))
+                owns_store = True
+            state = SweepState(name, spec, cells, store, owns_store,
+                               priority, self.lease_s, self.max_requeues)
+            self._sweeps[name] = state
+            if not state.queue.finished():
+                self._finished.clear()
+        self.check_finished()
+        self._journal_write()
+        return state, True
+
+    def _states(self) -> list[SweepState]:
+        with self._submit_lock:
+            return list(self._sweeps.values())
+
+    # -- legacy single-sweep surface ---------------------------------------
+
+    @property
+    def queue(self) -> WorkQueue:
+        """The default (or sole) tenant's queue — the single-sweep API."""
+        with self._submit_lock:
+            state = self._sweeps.get(DEFAULT_SWEEP)
+            if state is None and len(self._sweeps) == 1:
+                state = next(iter(self._sweeps.values()))
+        if state is None:
+            raise DistributedError(
+                "no default sweep on this coordinator; address tenants "
+                "by name")
+        return state.queue
+
+    @property
+    def total(self) -> int:
+        return sum(s.total for s in list(self._sweeps.values()))
+
+    @property
+    def duplicates(self) -> int:
+        return sum(s.duplicates for s in list(self._sweeps.values()))
+
+    # -- journal restore ---------------------------------------------------
+
+    def _restore_journal(self, payload: dict) -> None:
+        entries = _journal_sweeps(payload)
+        if not self._persistent:
+            extras = sorted(set(entries) - set(self._sweeps))
+            if extras:
+                raise DistributedError(
+                    f"queue journal {self._journal.path} holds sweeps "
+                    f"this coordinator is not serving "
+                    f"({', '.join(extras)}); resume the whole farm with "
+                    "`repro farm serve --resume-journal` instead")
+        for name, entry in entries.items():
+            state = self._sweeps.get(name)
+            if state is None:
+                # Persistent farm: rebuild the tenant from its
+                # journalled spec.
+                spec_dict = entry.get("spec")
+                if not spec_dict:
+                    raise DistributedError(
+                        f"journal entry for sweep {name!r} carries no "
+                        "spec (written by an older coordinator?); "
+                        "submit the sweep again instead of resuming")
+                state, _ = self.add_sweep(
+                    name, spec=SweepSpec.from_dict(spec_dict),
+                    priority=int(entry.get("priority", DEFAULT_PRIORITY)))
+            theirs = entry.get("fingerprint")
+            if (theirs is not None and state.fingerprint is not None
+                    and theirs != state.fingerprint):
+                raise DistributedError(
+                    f"queue journal {self._journal.path} was written for "
+                    f"a different sweep (fingerprint {theirs} != "
+                    f"{state.fingerprint}); refusing to replay its "
+                    "requeue history into this one"
+                )
+            if entry.get("cancelled"):
+                state.cancelled = True
+                state.queue.cancel()
+            for cell in state.queue.restore(entry):
+                self._record_lost(state, cell)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -621,9 +1029,11 @@ class Coordinator:
         their shutdown message instead of finding a dead socket.
         """
         if not self._finished.wait(timeout):
+            outstanding = sum(s.queue.outstanding()
+                              for s in self._states())
             raise DistributedError(
                 f"sweep not finished after {timeout}s "
-                f"({self.queue.outstanding()} cells outstanding)"
+                f"({outstanding} cells outstanding)"
             )
         if linger_s > 0:
             time.sleep(linger_s)
@@ -643,9 +1053,9 @@ class Coordinator:
         Signal-handler safe (returns immediately; a watcher thread does
         the waiting): lease requests are answered ``shutdown`` from now
         on, in-flight cells get up to ``grace_s`` to land their results,
-        then the store and journal are fsync'd and :meth:`wait` returns
-        whatever completed.  ``drained`` distinguishes this exit from a
-        completed sweep.
+        then every store and the journal are fsync'd and :meth:`wait`
+        returns whatever completed.  ``drained`` distinguishes this exit
+        from a completed sweep.
         """
         if self._draining.is_set():
             return
@@ -660,18 +1070,19 @@ class Coordinator:
         deadline = time.monotonic() + grace_s
         while (time.monotonic() < deadline
                 and not self._finished.is_set()
-                and self.queue.has_leases()):
+                and any(s.queue.has_leases() for s in self._states())):
             time.sleep(0.05)
         self._flush_durable()
         self._finished.set()
 
     def _flush_durable(self) -> None:
-        """Push the store to disk and journal the final queue state."""
-        if self._store is not None:
-            try:
-                self._store.sync()
-            except (OSError, ValueError):
-                pass    # a closed store has nothing left to sync
+        """Push every tenant store to disk and journal the final state."""
+        for state in self._states():
+            if state.store is not None:
+                try:
+                    state.store.sync()
+                except (OSError, ValueError):
+                    pass    # a closed store has nothing left to sync
         self._journal_write()
 
     def stop(self) -> None:
@@ -679,6 +1090,12 @@ class Coordinator:
             self._server.shutdown()
             self._server.server_close()
             self._server = None
+        for state in self._states():
+            if state.owns_store and state.store is not None:
+                try:
+                    state.store.close()
+                except OSError:
+                    pass
 
     def __enter__(self) -> "Coordinator":
         self.start()
@@ -687,21 +1104,116 @@ class Coordinator:
     def __exit__(self, *exc) -> None:
         self.stop()
 
-    # -- record sinks (called from handler/reaper threads) ----------------
+    # -- leasing / record sinks (handler and reaper threads) ---------------
 
-    def submit(self, worker: str, record: dict) -> bool:
-        """Merge one worker record; False if dropped as a duplicate."""
+    def lease_cells(self, worker: str,
+                    max_cells: int = 1) -> tuple[Optional[str], list[Cell]]:
+        """Fair-share lease of up to ``max_cells`` cells from one tenant.
+
+        Tenant choice: highest priority wins; ties go to the tenant
+        least recently served (a whole batch counts as one serving, so
+        equal-priority sweeps alternate batches).  All cells in a batch
+        come from a single sweep — one store, one ``sweep`` tag, one
+        heartbeat covering them all.
+        """
+        with self._submit_lock:
+            candidates = [s for s in self._sweeps.values()
+                          if not s.cancelled
+                          and s.queue.pending_count() > 0]
+            if not candidates:
+                return None, []
+            best = max(candidates,
+                       key=lambda s: (s.priority, -s.last_leased_seq))
+            self._lease_seq += 1
+            best.last_leased_seq = self._lease_seq
+            cells = best.queue.lease_batch(worker, max_cells)
+            for cell in cells:
+                self._routes[(worker, cell.key())] = best.name
+            return (best.name, cells) if cells else (None, [])
+
+    def _resolve_locked(self, worker: str, key: str,
+                        sweep: Optional[str]) -> Optional[SweepState]:
+        """Which tenant does (worker, key) belong to?  Explicit tag
+        first, then the lease route, then the sole tenant, then a scan
+        (legacy worker re-submitting into a journal-restored farm)."""
+        if sweep is not None:
+            return self._sweeps.get(str(sweep))
+        name = self._routes.get((worker, key))
+        if name is not None:
+            return self._sweeps.get(name)
+        states = list(self._sweeps.values())
+        if len(states) == 1:
+            return states[0]
+        for state in states:
+            if state.queue.knows(key):
+                return state
+        return None
+
+    def submit(self, worker: str, record: dict,
+               sweep: Optional[str] = None) -> bool:
+        """Merge one worker record; False if dropped (duplicate, or a
+        cancelled/unknown tenant)."""
         self.touch_worker(worker, completed=True)
         with self._submit_lock:
-            ok = record.get("status", "ok") == "ok"
-            if not self.queue.complete(worker, record["key"], ok):
-                self.duplicates += 1
+            key = record["key"]
+            state = self._resolve_locked(worker, key, sweep)
+            self._routes.pop((worker, key), None)
+            if state is None or state.cancelled:
                 accepted = False
             else:
-                self._record(record)
-                accepted = True
+                ok = record.get("status", "ok") == "ok"
+                if not state.queue.complete(worker, key, ok):
+                    state.duplicates += 1
+                    accepted = False
+                else:
+                    self._record(state, record)
+                    accepted = True
         self.check_finished()
         return accepted
+
+    def lease_heartbeat(self, worker: str, key: str,
+                        sweep: Optional[str] = None) -> bool:
+        """Extend one lease; False = gone (revoked or cancelled)."""
+        with self._submit_lock:
+            state = self._resolve_locked(worker, str(key), sweep)
+            if state is None or state.cancelled:
+                return False
+            return state.queue.heartbeat(worker, str(key))
+
+    def heartbeat_keys(self, worker: str, keys: list[str],
+                       sweep: Optional[str] = None) -> list[str]:
+        """Batch heartbeat: returns the subset of ``keys`` whose leases
+        are gone (the worker kills/drops exactly those cells)."""
+        gone = []
+        with self._submit_lock:
+            for key in keys:
+                state = self._resolve_locked(worker, key, sweep)
+                if (state is None or state.cancelled
+                        or not state.queue.heartbeat(worker, key)):
+                    gone.append(key)
+        return gone
+
+    def cancel_sweep(self, name: str) -> dict:
+        """Stop a tenant: drop its pending cells, revoke its leases.
+
+        In-flight workers learn at their next heartbeat (``gone``) and
+        kill the cell; late results for the tenant are refused.  The
+        tenant stays listed (``cancelled: true``) for status/attach and
+        can be revived by resubmitting the same name.
+        """
+        with self._submit_lock:
+            state = self._sweeps.get(str(name or ""))
+            if state is None:
+                raise DistributedError(f"no sweep named {name!r}")
+            state.cancelled = True
+            dropped, revoked = state.queue.cancel()
+            for route in [r for r, n in self._routes.items()
+                          if n == state.name]:
+                del self._routes[route]
+        self.check_finished()
+        self._journal_write()
+        return {"sweep": state.name, "dropped": dropped,
+                "revoked": len(revoked)}
 
     # -- worker registry (drives `repro farm status`) ----------------------
 
@@ -737,14 +1249,22 @@ class Coordinator:
     def status_snapshot(self) -> dict:
         """The read-only ``status`` verb's payload (JSON-safe).
 
-        Live queue counts, per-worker health (connection state, cells
-        completed, heartbeat/last-message ages, held leases), and the
-        session throughput — ``cells_per_s`` over this coordinator's
-        lifetime and the ETA it implies for the outstanding cells.
+        Global queue counts (sums over tenants, so single-sweep readers
+        see exactly the pre-farm shape), per-worker health (connection
+        state, cells completed, heartbeat/last-message ages, held
+        leases), per-sweep snapshots, and session throughput —
+        ``cells_per_s`` over this coordinator's lifetime and the ETA it
+        implies for the outstanding cells.
         """
         now = time.monotonic()
-        counts = self.queue.counts()
-        leases = self.queue.leases_by_worker()
+        states = self._states()
+        counts = [s.queue.counts() for s in states]
+        leases: dict[str, list[str]] = {}
+        for s in states:
+            for wid, keys in s.queue.leases_by_worker().items():
+                leases.setdefault(wid, []).extend(keys)
+        for keys in leases.values():
+            keys.sort()
         with self._lock:
             workers = {
                 wid: {
@@ -758,17 +1278,20 @@ class Coordinator:
                 }
                 for wid, entry in self._workers.items()
             }
-        outstanding = counts["pending"] + counts["leased"]
+        total = sum(s.total for s in states)
+        pending = sum(c["pending"] for c in counts)
+        leased = sum(c["leased"] for c in counts)
+        outstanding = pending + leased
         elapsed = max(1e-9, now - self._started_at)
         rate = len(self.fresh) / elapsed
         return {
-            "total": self.total,
-            "pending": counts["pending"],
-            "leased": counts["leased"],
-            "done": self.total - outstanding,
-            "lost": counts["failed"],
+            "total": total,
+            "pending": pending,
+            "leased": leased,
+            "done": total - outstanding,
+            "lost": sum(c["failed"] for c in counts),
             "records": len(self.fresh),
-            "duplicates": self.duplicates,
+            "duplicates": sum(s.duplicates for s in states),
             "active_workers": sum(
                 1 for w in workers.values() if w["connected"]),
             "workers": workers,
@@ -779,46 +1302,78 @@ class Coordinator:
                                             else None)),
             "draining": self.draining,
             "finished": self._finished.is_set(),
+            "persistent": self._persistent,
+            "sweeps": {s.name: s.snapshot(now) for s in states},
         }
 
-    def release_worker_cells(self, worker: str) -> None:
-        """Requeue a disconnected worker's leases, recording any that
-        exhausted their requeue budget."""
+    def sweep_snapshot(self, name: str) -> dict:
+        """One tenant's snapshot (the ``attach`` verb's payload)."""
         with self._submit_lock:
-            for cell in self.queue.release_worker(worker):
-                if cell is not None:
-                    self._record_lost(cell)
+            state = self._sweeps.get(str(name or ""))
+        if state is None:
+            raise DistributedError(f"no sweep named {name!r}")
+        return state.snapshot()
+
+    def sweeps_snapshot(self) -> dict:
+        """All tenants' snapshots (the ``list`` verb's payload)."""
+        now = time.monotonic()
+        return {s.name: s.snapshot(now) for s in self._states()}
+
+    def release_worker_cells(self, worker: str) -> None:
+        """Requeue a disconnected worker's leases across every tenant,
+        recording any that exhausted their requeue budget."""
+        with self._submit_lock:
+            for state in self._sweeps.values():
+                for cell in state.queue.release_worker(worker):
+                    if cell is not None:
+                        self._record_lost(state, cell)
+            for route in [r for r in self._routes if r[0] == worker]:
+                del self._routes[route]
         self.check_finished()
 
-    def _record_lost(self, cell: Cell) -> None:
+    def _record_lost(self, state: SweepState, cell: Cell) -> None:
         """A cell no worker could hold a lease on long enough."""
-        self._record(_failure_record(
+        self._record(state, _failure_record(
             cell, "lost",
-            attempts=self.queue.requeues(cell.key()),
+            attempts=state.queue.requeues(cell.key()),
             error=("lease expired or worker died "
-                   f"{self.queue.requeues(cell.key())} times"),
+                   f"{state.queue.requeues(cell.key())} times"),
         ))
 
-    def _record(self, rec: dict) -> None:
+    def _record(self, state: SweepState, rec: dict) -> None:
         with self._lock:
+            state.fresh.append(rec)
             self.fresh.append(rec)
-            if self._store is not None:
-                self._store.append(rec)
+            if state.store is not None:
+                state.store.append(rec)
             count = len(self.fresh)
         if self._progress is not None:
             self._progress(rec, count, self.total)
 
+    def work_complete(self) -> bool:
+        """Would a lease request be answered ``shutdown``?  A
+        persistent farm idles instead of shutting workers down — more
+        work may be submitted any minute."""
+        with self._submit_lock:
+            return self._all_done_locked()
+
+    def _all_done_locked(self) -> bool:
+        if self._persistent and not self._draining.is_set():
+            return False
+        return all(s.queue.finished() for s in self._sweeps.values())
+
     def check_finished(self) -> None:
         with self._submit_lock:
-            if self.queue.finished():
+            if self._all_done_locked():
                 self._finished.set()
 
     def _reap_loop(self) -> None:
         interval = max(0.05, self.lease_s / 4)
         while not self._finished.wait(interval):
             with self._submit_lock:
-                for cell in self.queue.reap():
-                    self._record_lost(cell)
+                for state in self._sweeps.values():
+                    for cell in state.queue.reap():
+                        self._record_lost(state, cell)
             self.check_finished()
 
     def _journal_loop(self) -> None:
@@ -829,13 +1384,21 @@ class Coordinator:
     def _journal_write(self) -> None:
         if self._journal is None:
             return
+        states = self._states()
+        sweeps = {}
+        for s in states:
+            sweeps[s.name] = {
+                "spec": s.spec.to_dict() if s.spec is not None else None,
+                "fingerprint": s.fingerprint,
+                "priority": s.priority,
+                "cancelled": s.cancelled,
+                **s.queue.snapshot(),
+            }
         try:
-            self._journal.write(self.queue.snapshot(),
-                                fingerprint=self._fingerprint,
-                                drained=self.drained)
+            self._journal.write_farm(sweeps, drained=self.drained)
         except OSError:
             # A journal that cannot be written degrades restart fidelity,
-            # not the live sweep; the store still holds every record.
+            # not the live sweep; the stores still hold every record.
             pass
 
 
@@ -856,13 +1419,14 @@ def serve_sweep(
 ) -> list[dict]:
     """Serve ``spec``'s unfinished cells to workers until all complete.
 
-    The distributed sibling of :func:`repro.experiments.run_sweep`:
-    same resumable store, same return value (the newly produced
-    records).  ``on_listen`` receives the bound (host, port) — with
-    ``port=0`` that is the only way to learn the chosen port.
-    ``journal_path`` enables the fsync'd queue journal;
-    ``resume_journal`` additionally restores it at startup (see
-    :class:`QueueJournal`).
+    The distributed sibling of :func:`repro.experiments.run_sweep`, and
+    the single-tenant special case of the farm: one sweep named
+    ``"default"``, exiting when it completes.  Same resumable store,
+    same return value (the newly produced records).  ``on_listen``
+    receives the bound (host, port) — with ``port=0`` that is the only
+    way to learn the chosen port.  ``journal_path`` enables the fsync'd
+    queue journal; ``resume_journal`` additionally restores it at
+    startup (see :class:`QueueJournal`).
     """
     journal = QueueJournal(journal_path) if journal_path else None
     coord = Coordinator(spec, store=store, host=host, port=port,
@@ -879,45 +1443,149 @@ def serve_sweep(
         coord.stop()
 
 
+# -- control clients (status / farm management) -------------------------------
+
+
+def _control_exchange(host: str, port: int, requests: list[dict],
+                      timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+                      role: str = "status") -> list[dict]:
+    """Run a short request/reply conversation under one total deadline.
+
+    Unlike the worker loop's per-request timeouts, ``timeout_s`` here
+    bounds the *whole* exchange with a monotonic deadline re-armed
+    before every socket operation — a wedged coordinator that trickles
+    a byte per timeout window can stall a per-read timeout forever, but
+    not this (`repro farm status` against a hung farm returns in
+    ``timeout_s``, full stop).
+    """
+    deadline = time.monotonic() + timeout_s
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout_s)
+    except OSError as exc:
+        raise DistributedError(
+            f"cannot reach coordinator at {host}:{port}: {exc}")
+    replies: list[dict] = []
+    with sock:
+        buf = b""
+
+        def _arm() -> None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise socket.timeout("control deadline exhausted")
+            sock.settimeout(remaining)
+
+        def _send(msg: dict) -> None:
+            _arm()
+            sock.sendall(
+                (json.dumps(msg, sort_keys=True) + "\n").encode("utf-8"))
+
+        def _recv_line() -> Optional[bytes]:
+            # Manual framing on the raw socket: makefile().readline()
+            # cannot be bounded by a total deadline, only per-read.
+            nonlocal buf
+            while b"\n" not in buf:
+                _arm()
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return None
+                buf += chunk
+            line, buf = buf.split(b"\n", 1)
+            return line
+
+        try:
+            _send({"type": "hello", "protocol": PROTOCOL,
+                   "version": PROTOCOL_VERSION,
+                   "worker": f"{role}-{os.getpid()}",
+                   "role": "status"})
+            line = _recv_line()
+            if line is None:
+                raise DistributedError("coordinator closed during handshake")
+            welcome = _parse_msg(line)
+            if welcome.get("type") == "reject":
+                raise ProtocolMismatchError(
+                    welcome.get("reason", "handshake rejected"))
+            for request in requests:
+                _send(request)
+                line = _recv_line()
+                if line is None:
+                    raise DistributedError("coordinator closed mid-exchange")
+                replies.append(_parse_msg(line))
+        except socket.timeout:
+            raise DistributedError("coordinator stopped responding")
+        except OSError as exc:
+            raise DistributedError(f"control exchange failed: {exc}")
+    return replies
+
+
 def fetch_status(host: str, port: int,
                  timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S) -> dict:
     """One read-only ``status`` round trip against a live coordinator.
 
     The client behind ``repro farm status``: handshakes with
     ``role="status"`` (so it never appears in the worker registry),
-    asks once, returns the snapshot dict.
+    asks once, returns the snapshot dict.  ``timeout_s`` bounds the
+    whole call — connect, handshake, and reply.
     """
-    try:
-        sock = socket.create_connection((host, port), timeout=timeout_s)
-    except OSError as exc:
-        raise DistributedError(
-            f"cannot reach coordinator at {host}:{port}: {exc}")
-    with sock:
-        sock.settimeout(timeout_s)
-        rfile, wfile = sock.makefile("rb"), sock.makefile("wb")
-        try:
-            _send_msg(wfile, {"type": "hello", "protocol": PROTOCOL,
-                              "version": PROTOCOL_VERSION,
-                              "worker": f"status-{os.getpid()}",
-                              "role": "status"})
-            welcome = _recv_msg(rfile)
-            if welcome is None:
-                raise DistributedError(
-                    "coordinator closed during handshake")
-            if welcome.get("type") == "reject":
-                raise ProtocolMismatchError(
-                    welcome.get("reason", "handshake rejected"))
-            _send_msg(wfile, {"type": "status"})
-            reply = _recv_msg(rfile)
-        except socket.timeout:
-            raise DistributedError("coordinator stopped responding")
-        except OSError as exc:
-            raise DistributedError(f"status query failed: {exc}")
-    if reply is None or reply.get("type") != "status":
+    [reply] = _control_exchange(host, port, [{"type": "status"}],
+                                timeout_s=timeout_s)
+    if reply.get("type") != "status":
         raise DistributedError(
             f"unexpected status reply "
-            f"{(reply or {}).get('type')!r} (old coordinator?)")
+            f"{reply.get('type')!r} (old coordinator?)")
     return reply
+
+
+def _farm_request(host: str, port: int, msg: dict, expect: str,
+                  timeout_s: float, role: str) -> dict:
+    [reply] = _control_exchange(host, port, [msg],
+                                timeout_s=timeout_s, role=role)
+    if reply.get("type") == "error":
+        raise DistributedError(
+            reply.get("reason") or f"{msg['type']} refused")
+    if reply.get("type") != expect:
+        raise DistributedError(
+            f"unexpected {msg['type']} reply "
+            f"{reply.get('type')!r} (old coordinator?)")
+    return reply
+
+
+def submit_sweep(host: str, port: int, name: str, spec: SweepSpec,
+                 priority: int = DEFAULT_PRIORITY,
+                 timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S) -> dict:
+    """Register a named sweep on a running farm (`repro farm submit`).
+
+    Carries the spec and its fingerprint; the coordinator recomputes
+    the fingerprint from the shipped spec and refuses on mismatch, so a
+    client/coordinator schema skew cannot silently mint a different
+    matrix under the submitted name.  Returns the coordinator's ack
+    (``sweep``, ``created``, ``total``, ``fingerprint``).
+    """
+    return _farm_request(host, port, {
+        "type": "submit", "name": name, "spec": spec.to_dict(),
+        "fingerprint": spec.fingerprint(), "priority": priority,
+    }, "ok", timeout_s, "submit")
+
+
+def fetch_sweep(host: str, port: int, name: str,
+                timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S) -> dict:
+    """One tenant's live snapshot (`repro farm attach` polls this)."""
+    return _farm_request(host, port, {"type": "attach", "name": name},
+                         "sweep", timeout_s, "attach")
+
+
+def list_sweeps(host: str, port: int,
+                timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S) -> dict:
+    """All tenants' snapshots, keyed by sweep name."""
+    return _farm_request(host, port, {"type": "list"},
+                         "sweeps", timeout_s, "list")["sweeps"]
+
+
+def cancel_sweep(host: str, port: int, name: str,
+                 timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S) -> dict:
+    """Cancel a named sweep (`repro farm cancel`); returns the ack
+    (``dropped`` pending cells, ``revoked`` live leases)."""
+    return _farm_request(host, port, {"type": "cancel", "name": name},
+                         "ok", timeout_s, "cancel")
 
 
 # -- worker -------------------------------------------------------------------
@@ -966,15 +1634,118 @@ def _run_leased_cell(cell: Cell, heartbeat: Callable[[], bool],
     return out[0]
 
 
+def _run_leased_batch(
+    cells: list[Cell],
+    heartbeat: Callable[[list[str]], set],
+    interval: float,
+    submit: Callable[[dict, float], None],
+) -> None:
+    """Run a batch of leased cells sequentially, one heartbeat for all.
+
+    ``heartbeat(keys)`` covers the in-flight cell *and* the queued
+    remainder (their leases age while they wait their turn) and returns
+    the subset of keys whose leases are gone: revoked queued cells are
+    dropped from the batch, a revoked in-flight cell is killed through
+    the cancel seam and not submitted.  A heartbeat that raises kills
+    the in-flight child on the way out, exactly like the single-cell
+    path.  ``submit(record, wall_s)`` is called per completed cell (the
+    wall time feeds the worker's EWMA batch tuner); a submit that
+    raises (connection cut mid-send) aborts the rest of the batch — the
+    coordinator requeues the unfinished cells when their leases lapse,
+    and the cut-off record is re-submitted after reconnect.
+    """
+    remaining: deque[Cell] = deque(cells)
+    last_beat = time.monotonic()
+
+    def _beat(current_key: Optional[str]) -> bool:
+        """Heartbeat everything in flight; True = current cell revoked."""
+        nonlocal last_beat, remaining
+        keys = ([current_key] if current_key is not None else [])
+        keys += [c.key() for c in remaining]
+        gone = heartbeat(keys)
+        last_beat = time.monotonic()
+        if gone:
+            remaining = deque(c for c in remaining
+                              if c.key() not in gone)
+        return current_key is not None and current_key in gone
+
+    while remaining:
+        cell = remaining.popleft()
+        out: list[dict] = []
+        cancel = threading.Event()
+        runner = threading.Thread(
+            target=_run_cells_with_timeout, args=([cell], 1, out.append),
+            kwargs={"cancel": cancel},
+            daemon=True,
+        )
+        started = time.monotonic()
+        runner.start()
+        revoked = False
+        try:
+            while runner.is_alive():
+                due_in = last_beat + interval - time.monotonic()
+                if due_in > 0:
+                    runner.join(due_in)
+                if not runner.is_alive():
+                    break
+                if _beat(cell.key()):
+                    cancel.set()
+                    runner.join()
+                    revoked = True
+                    break
+        except BaseException:
+            cancel.set()
+            runner.join()
+            raise
+        if revoked:
+            continue
+        wall = time.monotonic() - started
+        record = (out[0] if out else
+                  _failure_record(cell, "error",
+                                  error="farm produced no record"))
+        submit(record, wall)
+        # Quick cells can drain the whole batch without the join loop
+        # ever heartbeating; keep the queued remainder's leases alive.
+        if remaining and time.monotonic() - last_beat >= interval:
+            _beat(None)
+
+
+def _batch_size(ewma_wall: Optional[float], max_batch: int,
+                batch_target_s: float, lease_s: float) -> int:
+    """How many cells to lease this round trip.
+
+    Until a wall-time estimate exists, probe with one cell (also the
+    pre-batching behavior for long cells); afterwards take as many as
+    fit the target window — never past the lease, never past
+    ``max_batch``.  Sub-second cells approach ``max_batch``; cells
+    slower than the window degrade to the classic one-at-a-time flow.
+    """
+    if max_batch <= 1 or ewma_wall is None:
+        return 1
+    window = min(batch_target_s, lease_s)
+    return max(1, min(max_batch, int(window / max(ewma_wall, 1e-6))))
+
+
+def _observe_wall(state: "_WorkerState", wall_s: float) -> None:
+    if state.ewma_wall is None:
+        state.ewma_wall = wall_s
+    else:
+        state.ewma_wall = (BATCH_EWMA_ALPHA * wall_s
+                           + (1 - BATCH_EWMA_ALPHA) * state.ewma_wall)
+
+
 class _WorkerState:
-    """What survives a worker's reconnects: the completion count and a
-    record whose submission was cut off mid-send (re-submitted on the
-    next connection instead of recomputed)."""
+    """What survives a worker's reconnects: the completion count, the
+    cell-wall EWMA steering the batch size, and records whose
+    submission was cut off mid-send (re-submitted on the next
+    connection instead of recomputed)."""
 
     def __init__(self):
         self.completed = 0
-        self.pending_record: Optional[dict] = None
+        #: (record, sweep name or None) not yet acked by a coordinator.
+        self.pending: list[tuple[dict, Optional[str]]] = []
         self.progressed = 0     # successful exchanges; resets backoff
+        self.ewma_wall: Optional[float] = None
 
 
 def run_worker(
@@ -989,6 +1760,8 @@ def run_worker(
     request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
     on_reconnect: Optional[Callable[[int, float, str], None]] = None,
     connect: Optional[Callable[[], socket.socket]] = None,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    batch_target_s: float = DEFAULT_BATCH_TARGET_S,
 ) -> int:
     """Pull cells from a coordinator until it declares the sweep done.
 
@@ -1000,6 +1773,12 @@ def run_worker(
     does :class:`DistributedError` surface.  A version-rejected
     handshake (:class:`ProtocolMismatchError`) is never retried —
     reconnecting cannot fix a protocol skew.
+
+    ``max_batch``/``batch_target_s`` steer cell batching: the worker
+    asks for up to ``max_batch`` cells per lease round trip, sized so
+    (by the EWMA of observed cell wall time) a batch fits in
+    ``batch_target_s`` seconds; ``max_batch=1`` restores the classic
+    one-cell-per-trip protocol against any coordinator.
 
     ``on_reconnect(attempt, delay_s, reason)`` observes each retry
     (the CLI logs it); ``connect`` is a seam returning a connected
@@ -1022,7 +1801,9 @@ def run_worker(
             sock = connect()
             with sock:
                 return _worker_loop(sock, poll_s, worker_id, progress,
-                                    state, request_timeout_s)
+                                    state, request_timeout_s,
+                                    max_batch=max_batch,
+                                    batch_target_s=batch_target_s)
         except ProtocolMismatchError:
             raise
         except (DistributedError, OSError) as exc:
@@ -1042,7 +1823,9 @@ def run_worker(
 
 def _worker_loop(sock, poll_s: float, worker_id: str, progress,
                  state: _WorkerState,
-                 request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S) -> int:
+                 request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 batch_target_s: float = DEFAULT_BATCH_TARGET_S) -> int:
     """The protocol side of :func:`run_worker`, on an open socket."""
     rfile = sock.makefile("rb")
     wfile = sock.makefile("wb")
@@ -1084,41 +1867,80 @@ def _worker_loop(sock, poll_s: float, worker_id: str, progress,
     lease_s = float(welcome.get("lease_s", DEFAULT_LEASE_S))
     heartbeat_interval = max(0.05, lease_s / 3)
 
-    def _submit(record: dict) -> None:
-        # Stash before sending: if the connection dies mid-send the
-        # reconnected loop re-submits instead of recomputing (the queue
-        # dedups if the coordinator did receive it).
-        state.pending_record = record
-        _request({"type": "result", "record": record})
-        state.pending_record = None
-        state.completed += 1
-        if progress is not None:
-            progress(record, state.completed)
+    def _flush_pending() -> None:
+        # Every record stays stashed until the coordinator acks it: if
+        # the connection dies mid-send the reconnected loop re-submits
+        # instead of recomputing (the queue dedups if the coordinator
+        # did receive it).
+        while state.pending:
+            record, sweep = state.pending[0]
+            msg = {"type": "result", "record": record}
+            if sweep is not None:
+                msg["sweep"] = sweep
+            _request(msg)
+            state.pending.pop(0)
+            state.completed += 1
+            if progress is not None:
+                progress(record, state.completed)
 
-    if state.pending_record is not None:
-        _submit(state.pending_record)
+    def _submit(record: dict, sweep: Optional[str]) -> None:
+        state.pending.append((record, sweep))
+        _flush_pending()
+
+    _flush_pending()
 
     while True:
-        reply = _request({"type": "lease"})
+        lease_msg: dict = {"type": "lease"}
+        if max_batch > 1:
+            lease_msg["max_cells"] = _batch_size(
+                state.ewma_wall, max_batch, batch_target_s, lease_s)
+        reply = _request(lease_msg)
         kind = reply.get("type")
         if kind == "shutdown":
             return state.completed
         if kind == "idle":
             time.sleep(float(reply.get("retry_s", poll_s)))
             continue
-        if kind != "cell":
+        if kind == "cell":
+            cell = Cell.from_dict(reply["cell"])
+            sweep = reply.get("sweep")
+
+            def _heartbeat(cell=cell, sweep=sweep) -> bool:
+                hb = {"type": "heartbeat", "key": cell.key()}
+                if sweep is not None:
+                    hb["sweep"] = sweep
+                return _request(hb).get("type") == "ok"
+
+            started = time.monotonic()
+            record = _run_leased_cell(cell, heartbeat=_heartbeat,
+                                      interval=heartbeat_interval)
+            if record is None:
+                # Lease revoked mid-run: the child was killed, the
+                # record dropped; whoever re-leased the cell owns it.
+                continue
+            _observe_wall(state, time.monotonic() - started)
+            _submit(record, sweep)
+        elif kind == "cells":
+            cells = [Cell.from_dict(c) for c in reply.get("cells", [])]
+            sweep = reply.get("sweep")
+
+            def _heartbeat_keys(keys, sweep=sweep) -> set:
+                hb = {"type": "heartbeat", "keys": list(keys)}
+                if sweep is not None:
+                    hb["sweep"] = sweep
+                r = _request(hb)
+                if r.get("type") != "ok":
+                    raise DistributedError(
+                        f"unexpected heartbeat reply {r.get('type')!r}")
+                return set(r.get("gone") or ())
+
+            def _deliver(record, wall_s, sweep=sweep) -> None:
+                _observe_wall(state, wall_s)
+                _submit(record, sweep)
+
+            _run_leased_batch(cells, heartbeat=_heartbeat_keys,
+                              interval=heartbeat_interval,
+                              submit=_deliver)
+        else:
             raise DistributedError(
                 f"unexpected lease reply {kind!r}")
-        cell = Cell.from_dict(reply["cell"])
-
-        def _heartbeat() -> bool:
-            reply = _request({"type": "heartbeat", "key": cell.key()})
-            return reply.get("type") == "ok"
-
-        record = _run_leased_cell(cell, heartbeat=_heartbeat,
-                                  interval=heartbeat_interval)
-        if record is None:
-            # Lease revoked mid-run: the child was killed, the record
-            # dropped; whoever re-leased the cell owns it now.
-            continue
-        _submit(record)

@@ -238,6 +238,37 @@ class SweepSpec:
         ``engine`` when no axis was given)."""
         return self.engines or (self.engine,)
 
+    # -- wire / journal form (distributed farm) ----------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form for farm ``submit`` and the queue journal."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Rebuild a spec shipped over the wire or read from a journal.
+
+        Unknown fields are an error for the same reason as
+        :meth:`Cell.from_dict`: a field this side does not know about
+        means the other side runs a newer schema, and expanding the
+        matrix without the knob would serve cells whose keys claim
+        something the runs never measured.  JSON turned the axis tuples
+        into lists; they are coerced back so the rebuilt spec hashes
+        and compares like a native one.
+        """
+        known = {f.name: f for f in fields(cls)}
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise ReproError(
+                f"unknown SweepSpec field(s) {', '.join(unknown)} "
+                "(coordinator/client schema skew?)"
+            )
+        coerced = {
+            name: tuple(value) if isinstance(value, list) else value
+            for name, value in data.items()
+        }
+        return cls(**coerced)
+
     def _engine_latency_pairs(self) -> list[tuple[str, str]]:
         # Sync delivery has no latency model: one cell per sync engine
         # entry, one per (async, latency) combination.
